@@ -1,0 +1,107 @@
+// Experiment E9a (DESIGN.md): discrete-event engine microbenchmarks —
+// events/second through the queue, message delivery through the simulated
+// network, and a full mini-grid run. google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/core/grid_system.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/network.hpp"
+
+namespace {
+
+using namespace faucets;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t counter = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EngineCascade(benchmark::State& state) {
+  // Each event schedules the next: measures queue churn, not batch insert.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t remaining = n;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) engine.schedule_after(1.0, next);
+    };
+    engine.schedule_at(0.0, next);
+    engine.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineCascade)->Arg(10000)->Arg(100000);
+
+class Sink final : public sim::Entity {
+ public:
+  Sink(sim::Engine& engine) : sim::Entity("sink", engine) {}
+  void on_message(const sim::Message&) override { ++received; }
+  std::uint64_t received = 0;
+};
+
+struct Ping final : sim::Message {
+  [[nodiscard]] std::string_view kind() const noexcept override { return "PING"; }
+};
+
+void BM_NetworkDelivery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Network net{engine};
+    Sink a{engine};
+    Sink b{engine};
+    net.attach(a);
+    net.attach(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      net.send(a, b.id(), std::make_unique<Ping>());
+    }
+    engine.run();
+    benchmark::DoNotOptimize(b.received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_NetworkDelivery)->Arg(1000)->Arg(10000);
+
+void BM_MiniGridEndToEnd(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::GridConfig config;
+    std::vector<core::ClusterSetup> clusters;
+    for (int i = 0; i < 4; ++i) {
+      core::ClusterSetup setup;
+      setup.machine.name = "c" + std::to_string(i);
+      setup.machine.total_procs = 128;
+      setup.strategy = [] { return std::make_unique<sched::EquipartitionStrategy>(); };
+      setup.bid_generator = [] {
+        return std::make_unique<market::BaselineBidGenerator>();
+      };
+      clusters.push_back(std::move(setup));
+    }
+    core::GridSystem grid{config, std::move(clusters), 4};
+    job::WorkloadParams params;
+    params.job_count = jobs;
+    params.user_count = 4;
+    params.procs_cap = 128;
+    job::WorkloadGenerator::calibrate_load(params, 0.5, 4 * 128);
+    const auto report = grid.run(job::WorkloadGenerator{params, 5}.generate());
+    benchmark::DoNotOptimize(report.jobs_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) * state.iterations());
+}
+BENCHMARK(BM_MiniGridEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Experiment E1 (DESIGN.md): internal and external fragmentation.
+//
+// Part 1 — the paper's §1 internal-fragmentation scenario on a 1000-proc
+// machine: urgent job A (600 procs) arrives while long job B holds 500.
+// Rigid schedulers strand 500 processors; adaptive schedulers shrink B.
+//
+// Part 2 — allocator-level fragmentation: contiguous allocation (the §4.1
+// locality constraint) vs scattered allocation under a churn workload.
+#include <iostream>
+#include <memory>
+
+#include "src/cluster/allocator.hpp"
+#include "src/cluster/server.hpp"
+#include "src/job/workload.hpp"
+#include "src/sched/backfill.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sched/fcfs.hpp"
+#include "src/sched/payoff_sched.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+using namespace faucets;
+
+namespace {
+
+struct ScenarioResult {
+  double a_wait = -1.0;  // seconds job A waited; <0 = never started
+  double utilization = 0.0;
+  double payoff = 0.0;
+};
+
+ScenarioResult run_scenario(std::unique_ptr<sched::Strategy> strategy) {
+  sim::Engine engine;
+  cluster::MachineSpec machine;
+  machine.total_procs = 1000;
+  const bool adaptive = strategy->adaptive();
+  cluster::ClusterManager cm{engine, machine, std::move(strategy),
+                             job::AdaptiveCosts{.reconfig_seconds = 5.0,
+                                                .checkpoint_seconds = 30.0,
+                                                .restart_seconds = 30.0}};
+  auto reqs = job::fragmentation_scenario(600.0);
+  if (!adaptive) {
+    // A traditional scheduler starts B at one fixed size (500, as told in
+    // the paper) and cannot change it.
+    auto& b = reqs[0].contract;
+    b = qos::make_contract(500, 500, b.total_work(), 0.95, 0.95);
+    b.payoff = qos::PayoffFunction::flat(10.0);
+  }
+  double a_start = -1.0;
+  for (const auto& req : reqs) {
+    engine.schedule_at(req.submit_time, [&cm, &req] {
+      (void)cm.submit(UserId{req.user_index}, req.contract);
+    });
+  }
+  engine.run(6.0 * 3600.0);
+  cm.finish_metrics();
+
+  ScenarioResult out;
+  out.utilization = cm.metrics().utilization();
+  out.payoff = cm.metrics().total_payoff();
+  for (const auto* j : cm.running_jobs()) {
+    if (j->contract().min_procs == 600 && j->start_time() >= 0.0) {
+      a_start = j->start_time();
+    }
+  }
+  if (a_start < 0.0 && cm.metrics().completed() > 0 &&
+      !cm.metrics().wait_times().empty()) {
+    a_start = 600.0 + cm.metrics().wait_times().max();
+  }
+  out.a_wait = a_start >= 0.0 ? a_start - 600.0 : -1.0;
+  return out;
+}
+
+void allocator_churn(bool contiguous, double& frag_out, double& failure_rate) {
+  Rng rng{4242};
+  cluster::ContiguousAllocator alloc{1024};
+  std::vector<std::vector<cluster::ProcRange>> held;
+  std::uint64_t failures = 0;
+  std::uint64_t attempts = 0;
+  OnlineStats frag;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.bernoulli(0.55) || held.empty()) {
+      const int n = static_cast<int>(rng.uniform_int(8, 192));
+      ++attempts;
+      if (contiguous) {
+        if (auto r = alloc.allocate(n)) {
+          held.push_back({*r});
+        } else {
+          ++failures;
+        }
+      } else {
+        auto pieces = alloc.allocate_scattered(n);
+        if (!pieces.empty()) {
+          held.push_back(std::move(pieces));
+        } else {
+          ++failures;
+        }
+      }
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      for (const auto& r : held[idx]) alloc.release(r);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    frag.add(alloc.fragmentation());
+  }
+  frag_out = frag.mean();
+  failure_rate = static_cast<double>(failures) / static_cast<double>(attempts);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E1a: internal fragmentation, paper SS1 scenario "
+               "(1000-proc machine) ===\n";
+  Table t1{{"scheduler", "adaptive", "job A wait (s)", "utilization", "payoff($)"}};
+  struct Row {
+    const char* name;
+    std::unique_ptr<sched::Strategy> strategy;
+  };
+  Row rows[] = {
+      {"fcfs", std::make_unique<sched::FcfsStrategy>(sched::RigidRequest::kMax)},
+      {"easy-backfill",
+       std::make_unique<sched::BackfillStrategy>(sched::RigidRequest::kMax)},
+      {"equipartition", std::make_unique<sched::EquipartitionStrategy>()},
+      {"payoff", std::make_unique<sched::PayoffStrategy>()},
+  };
+  for (auto& row : rows) {
+    const bool adaptive = row.strategy->adaptive();
+    const auto r = run_scenario(std::move(row.strategy));
+    t1.row()
+        .cell(row.name)
+        .cell(adaptive ? "yes" : "no")
+        .cell(r.a_wait < 0.0 ? std::string(">21000 (never)")
+                             : std::to_string(static_cast<long>(r.a_wait)))
+        .cell(r.utilization, 3)
+        .cell(r.payoff, 1);
+  }
+  t1.print(std::cout);
+  std::cout << "\nPaper claim: adaptive job B shrinks to 400 so A's 600 start "
+               "immediately;\nrigid schedulers leave 500 processors idle while A "
+               "languishes.\n\n";
+
+  std::cout << "=== E1b: allocator fragmentation under churn (1024 procs, "
+               "20000 ops) ===\n";
+  Table t2{{"allocation policy", "mean fragmentation", "allocation failure rate"}};
+  double frag = 0.0;
+  double fail = 0.0;
+  allocator_churn(true, frag, fail);
+  t2.row().cell("contiguous (locality kept)").cell(frag, 4).cell(fail, 4);
+  allocator_churn(false, frag, fail);
+  t2.row().cell("scattered (no locality)").cell(frag, 4).cell(fail, 4);
+  t2.print(std::cout);
+  std::cout << "\nContiguity (the SS4.1 locality constraint) trades some failed\n"
+               "placements for preserved locality; scattered allocation never\n"
+               "fails while total free capacity suffices.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Experiment E4 (DESIGN.md): profit from deadline-driven scheduling.
+//
+// §4.1: "if a high profit job arrives and has a tight deadline, the low
+// priority jobs can be shrunk [...] the payoff from the new job must at
+// least compensate for the loss mentioned above or the job must be
+// rejected." We measure total payoff, deadline misses, and the effect of
+// (a) the admission lookahead (the paper's prototype accepts a job only if
+// it can run "now or at a finite lookahead in future") and (b) charging the
+// displacement loss.
+#include <iostream>
+#include <memory>
+
+#include "src/core/experiment.hpp"
+#include "src/sched/backfill.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sched/fcfs.hpp"
+#include "src/sched/payoff_sched.hpp"
+#include "src/util/table.hpp"
+
+using namespace faucets;
+
+namespace {
+
+job::WorkloadParams deadline_params(int procs, double tightness_lo,
+                                    double tightness_hi) {
+  job::WorkloadParams params;
+  params.job_count = 300;
+  params.user_count = 16;
+  params.procs_cap = procs;
+  params.min_procs_lo = 4;
+  params.min_procs_hi = 32;
+  params.tightness_lo = tightness_lo;
+  params.tightness_hi = tightness_hi;
+  params.penalty_fraction = 0.5;
+  job::WorkloadGenerator::calibrate_load(params, 1.1, procs);  // overloaded
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kProcs = 512;
+  cluster::MachineSpec machine;
+  machine.total_procs = kProcs;
+
+  std::cout << "=== E4a: total payoff under deadline pressure (512 procs, "
+               "offered load 1.1) ===\n";
+  Table t1{{"tightness", "scheduler", "payoff($)", "completed", "rejected",
+            "deadline misses"}};
+  for (auto [lo, hi] : {std::pair{1.2, 3.0}, std::pair{3.0, 8.0}}) {
+    const auto params = deadline_params(kProcs, lo, hi);
+    const auto requests = job::WorkloadGenerator{params, 555}.generate();
+    struct Named {
+      const char* name;
+      std::function<std::unique_ptr<sched::Strategy>()> factory;
+    };
+    const Named rows[] = {
+        {"fcfs",
+         [] { return std::make_unique<sched::FcfsStrategy>(sched::RigidRequest::kMedian); }},
+        {"easy-backfill",
+         [] {
+           return std::make_unique<sched::BackfillStrategy>(sched::RigidRequest::kMedian);
+         }},
+        {"equipartition", [] { return std::make_unique<sched::EquipartitionStrategy>(); }},
+        {"payoff", [] { return std::make_unique<sched::PayoffStrategy>(); }},
+    };
+    const std::string label =
+        (lo < 2.0 ? std::string("tight (") : std::string("loose (")) +
+        std::to_string(lo).substr(0, 3) + "-" + std::to_string(hi).substr(0, 3) + ")";
+    for (const auto& row : rows) {
+      const auto r = core::run_cluster_experiment(machine, row.factory, requests);
+      t1.row()
+          .cell(label)
+          .cell(row.name)
+          .cell(r.total_payoff, 1)
+          .cell(r.completed)
+          .cell(r.rejected)
+          .cell(r.deadline_misses);
+    }
+  }
+  t1.print(std::cout);
+  std::cout << "\nShape check: 'payoff' should earn the most (it rejects jobs it\n"
+               "cannot serve profitably and shrinks low-value work); rigid\n"
+               "schedulers accept everything and bleed penalties.\n\n";
+
+  std::cout << "=== E4b ablation: admission lookahead depth (payoff strategy) ===\n";
+  Table t2{{"lookahead (h)", "payoff($)", "completed", "rejected",
+            "deadline misses"}};
+  const auto params = deadline_params(kProcs, 1.5, 5.0);
+  const auto requests = job::WorkloadGenerator{params, 556}.generate();
+  for (double hours : {0.0, 0.5, 2.0, 8.0, 24.0}) {
+    sched::PayoffStrategyParams p;
+    p.lookahead = hours * 3600.0;
+    const auto r = core::run_cluster_experiment(
+        machine, [p] { return std::make_unique<sched::PayoffStrategy>(p); },
+        requests);
+    t2.row()
+        .cell(hours, 1)
+        .cell(r.total_payoff, 1)
+        .cell(r.completed)
+        .cell(r.rejected)
+        .cell(r.deadline_misses);
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n=== E4c ablation: displacement-loss compensation rule ===\n";
+  Table t3{{"charge displaced loss", "payoff($)", "completed", "deadline misses"}};
+  for (bool charge : {true, false}) {
+    sched::PayoffStrategyParams p;
+    p.charge_displacement_loss = charge;
+    const auto r = core::run_cluster_experiment(
+        machine, [p] { return std::make_unique<sched::PayoffStrategy>(p); },
+        requests);
+    t3.row()
+        .cell(charge ? "yes (paper rule)" : "no")
+        .cell(r.total_payoff, 1)
+        .cell(r.completed)
+        .cell(r.deadline_misses);
+  }
+  t3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E7 (DESIGN.md): scalability of the Faucets framework.
+//
+// §5.3: "We expect this scheme to scale to reasonably large grids
+// (consisting of hundreds of Compute Servers)." We sweep the number of
+// Compute Servers and measure protocol messages per job, time-to-award,
+// bytes on the wire, and the two-phase-commit refusal rate when concurrent
+// requests race; plus the auth-caching optimization §2.2 anticipates.
+#include <chrono>
+#include <iostream>
+
+#include "src/core/grid_system.hpp"
+#include "src/sched/payoff_sched.hpp"
+#include "src/util/table.hpp"
+
+using namespace faucets;
+
+namespace {
+
+std::vector<core::ClusterSetup> make_clusters(int n) {
+  std::vector<core::ClusterSetup> clusters;
+  for (int i = 0; i < n; ++i) {
+    core::ClusterSetup setup;
+    setup.machine.name = "c" + std::to_string(i);
+    setup.machine.total_procs = 128;
+    setup.machine.cost_per_cpu_second = 0.0008;
+    setup.strategy = [] { return std::make_unique<sched::PayoffStrategy>(); };
+    setup.bid_generator = [] {
+      return std::make_unique<market::UtilizationBidGenerator>();
+    };
+    clusters.push_back(std::move(setup));
+  }
+  return clusters;
+}
+
+std::vector<job::JobRequest> workload(int servers, std::uint64_t seed) {
+  job::WorkloadParams params;
+  params.job_count = static_cast<std::size_t>(25) * static_cast<std::size_t>(servers);
+  params.user_count = 16;
+  params.procs_cap = 128;
+  params.min_procs_lo = 4;
+  params.min_procs_hi = 16;
+  job::WorkloadGenerator::calibrate_load(params, 0.6, servers * 128);
+  return job::WorkloadGenerator{params, seed}.generate();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E7a: server-count sweep (25 jobs per server, load 0.6) ===\n";
+  Table t{{"servers", "jobs", "msgs/job", "KB/job", "mean award (s)",
+           "p99 award (s)", "awards refused", "wall ms"}};
+  for (int servers : {4, 8, 16, 32, 64}) {
+    core::GridConfig config;
+    core::GridSystem grid{config, make_clusters(servers), 16};
+    auto reqs = workload(servers, 808);
+    const auto jobs = reqs.size();
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto report = grid.run(std::move(reqs));
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+    std::uint64_t refused = 0;
+    for (const auto& c : report.clusters) refused += c.awards_refused;
+    Samples latency;
+    for (std::size_t i = 0; i < grid.client_count(); ++i) {
+      for (double v : grid.client(i).award_latency().values()) latency.add(v);
+    }
+    t.row()
+        .cell(servers)
+        .cell(jobs)
+        .cell(static_cast<double>(report.messages) / static_cast<double>(jobs), 1)
+        .cell(static_cast<double>(report.network_bytes) / 1024.0 /
+                  static_cast<double>(jobs),
+              1)
+        .cell(report.mean_award_latency, 3)
+        .cell(latency.percentile(99.0), 3)
+        .cell(refused)
+        .cell(static_cast<std::int64_t>(wall_ms));
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: messages per job grow linearly with server count\n"
+               "under the current broadcast RFB (SS5.1 notes distributed\n"
+               "filtering as the future fix); award latency stays flat.\n\n";
+
+  std::cout << "=== E7c: direct broadcast vs brokered submission (SS5.3 "
+               "client agents) ===\n";
+  Table t3{{"mode", "servers", "client msgs/job", "total msgs/job",
+            "mean award (s)"}};
+  for (bool brokered : {false, true}) {
+    for (int servers : {8, 32}) {
+      core::GridConfig config;
+      config.brokered_submission = brokered;
+      core::GridSystem grid{config, make_clusters(servers), 16};
+      auto reqs = workload(servers, 810);
+      const auto jobs = reqs.size();
+      const auto report = grid.run(std::move(reqs));
+      std::uint64_t client_traffic = 0;
+      for (std::size_t i = 0; i < grid.client_count(); ++i) {
+        client_traffic += grid.network().traffic_of(grid.client(i).id());
+      }
+      t3.row()
+          .cell(brokered ? "brokered" : "direct broadcast")
+          .cell(servers)
+          .cell(static_cast<double>(client_traffic) / static_cast<double>(jobs), 1)
+          .cell(static_cast<double>(report.messages) / static_cast<double>(jobs), 1)
+          .cell(report.mean_award_latency, 3);
+    }
+  }
+  t3.print(std::cout);
+  std::cout << "\nShape check: with broker agents evaluating bids on the\n"
+               "client's behalf, per-client message load is flat in server\n"
+               "count — the flood of bids stays inside the Faucets fabric.\n\n";
+
+  std::cout << "=== E7b: auth-cache optimization (SS2.2 single sign-on) ===\n";
+  Table t2{{"auth caching", "msgs/job", "mean award (s)"}};
+  for (bool cache : {false, true}) {
+    core::GridConfig config;
+    config.daemon.cache_auth = cache;
+    core::GridSystem grid{config, make_clusters(16), 16};
+    auto reqs = workload(16, 809);
+    const auto jobs = reqs.size();
+    const auto report = grid.run(std::move(reqs));
+    t2.row()
+        .cell(cache ? "on (GSI-style)" : "off (paper current)")
+        .cell(static_cast<double>(report.messages) / static_cast<double>(jobs), 1)
+        .cell(report.mean_award_latency, 3);
+  }
+  t2.print(std::cout);
+  return 0;
+}

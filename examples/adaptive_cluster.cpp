@@ -1,0 +1,107 @@
+// The paper's introductory internal-fragmentation story, §1, replayed on a
+// single 1000-processor Compute Server.
+//
+// "A user wants to run an urgent and important job A which needs 600
+// processors. However, the machine happens to be running a relatively
+// unimportant but long job B on 500 processors. So the important job
+// languishes while 500 processors remain idle." — unless job B is adaptive
+// and the scheduler shrinks it.
+//
+//   ./examples/adaptive_cluster
+#include <iostream>
+
+#include "src/cluster/server.hpp"
+#include "src/job/workload.hpp"
+#include "src/sched/fcfs.hpp"
+#include "src/sched/payoff_sched.hpp"
+#include "src/util/table.hpp"
+
+using namespace faucets;
+
+namespace {
+
+struct Outcome {
+  bool a_started_on_arrival = false;
+  double a_wait = -1.0;
+  double utilization = 0.0;
+  std::string b_timeline;
+};
+
+Outcome replay(std::unique_ptr<sched::Strategy> strategy) {
+  sim::Engine engine;
+  cluster::MachineSpec machine;
+  machine.name = "hpc-1000";
+  machine.total_procs = 1000;
+  cluster::ClusterManager cm{engine, machine, std::move(strategy),
+                             job::AdaptiveCosts{.reconfig_seconds = 5.0,
+                                                .checkpoint_seconds = 30.0,
+                                                .restart_seconds = 30.0}};
+
+  // Job B rigid at 500 for the rigid scheduler comparison? No: B is
+  // malleable 400..1000 as in the paper; a rigid scheduler simply cannot
+  // change it after starting it at 500.
+  auto reqs = job::fragmentation_scenario(/*gap_seconds=*/600.0);
+  // For the rigid run, B is pinned at 500 processors (min == max == 500):
+  // the traditional scheduler picks one size and sticks with it.
+  if (!cm.strategy().adaptive()) {
+    auto& b = reqs[0].contract;
+    b = qos::make_contract(500, 500, b.total_work(), 0.95, 0.95);
+    b.payoff = qos::PayoffFunction::flat(10.0);
+  }
+
+  for (const auto& req : reqs) {
+    engine.schedule_at(req.submit_time, [&cm, &req] {
+      (void)cm.submit(UserId{req.user_index}, req.contract);
+    });
+  }
+  engine.run(4.0 * 3600.0);  // four simulated hours is plenty of evidence
+  cm.finish_metrics();
+
+  Outcome out;
+  out.utilization = cm.metrics().utilization();
+  for (const auto* j : cm.running_jobs()) {
+    if (j->contract().min_procs == 600) {
+      out.a_started_on_arrival = j->start_time() >= 0.0 &&
+                                 j->start_time() <= 600.0 + 10.0;
+      out.a_wait = j->start_time() - 600.0;
+    }
+  }
+  // A may already have completed under the adaptive scheduler.
+  if (out.a_wait < 0.0) {
+    // Look in the metrics: if a job completed, its wait is recorded.
+    if (cm.metrics().completed() > 0 && !cm.metrics().wait_times().empty()) {
+      out.a_wait = cm.metrics().wait_times().max();
+      out.a_started_on_arrival = out.a_wait <= 10.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Internal fragmentation scenario (paper §1): 1000-proc machine,\n"
+            << "job B on 500 procs, urgent job A needs 600.\n\n";
+
+  const Outcome rigid = replay(
+      std::make_unique<sched::FcfsStrategy>(sched::RigidRequest::kMax));
+  const Outcome adaptive = replay(std::make_unique<sched::PayoffStrategy>());
+
+  Table table{{"scheduler", "A starts on arrival", "A wait (s)", "utilization"}};
+  table.row()
+      .cell("rigid FCFS")
+      .cell(rigid.a_started_on_arrival ? "yes" : "no")
+      .cell(rigid.a_wait, 0)
+      .cell(rigid.utilization, 3);
+  table.row()
+      .cell("adaptive payoff")
+      .cell(adaptive.a_started_on_arrival ? "yes" : "no")
+      .cell(adaptive.a_wait, 0)
+      .cell(adaptive.utilization, 3);
+  table.print(std::cout);
+
+  std::cout << "\nThe adaptive scheduler shrinks B to 400 processors, starts A\n"
+            << "immediately, and keeps the machine fully busy; the rigid\n"
+            << "scheduler leaves 500 processors idle while A waits for B.\n";
+  return 0;
+}

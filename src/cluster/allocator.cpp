@@ -1,0 +1,100 @@
+#include "src/cluster/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace faucets::cluster {
+
+ContiguousAllocator::ContiguousAllocator(int total_procs) : total_(total_procs) {
+  if (total_procs <= 0) throw std::invalid_argument("allocator needs > 0 processors");
+  free_.push_back(ProcRange{0, total_procs});
+}
+
+std::optional<ProcRange> ContiguousAllocator::allocate(int n) {
+  if (n <= 0) return ProcRange{0, 0};
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->size() >= n) {
+      const ProcRange out{it->begin, it->begin + n};
+      it->begin += n;
+      if (it->size() == 0) free_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ProcRange> ContiguousAllocator::allocate_scattered(int n) {
+  if (n <= 0) return {};
+  if (free_count() < n) return {};
+  std::vector<ProcRange> out;
+  int need = n;
+  while (need > 0) {
+    auto& hole = free_.front();
+    const int take = std::min(need, hole.size());
+    out.push_back(ProcRange{hole.begin, hole.begin + take});
+    hole.begin += take;
+    if (hole.size() == 0) free_.erase(free_.begin());
+    need -= take;
+  }
+  return out;
+}
+
+void ContiguousAllocator::release(ProcRange range) {
+  if (range.size() <= 0) return;
+  if (range.begin < 0 || range.end > total_) {
+    throw std::out_of_range("release: range outside machine");
+  }
+  auto it = std::lower_bound(free_.begin(), free_.end(), range,
+                             [](const ProcRange& a, const ProcRange& b) {
+                               return a.begin < b.begin;
+                             });
+  // Overlap with neighbours means a double release: a logic error.
+  if (it != free_.end() && range.end > it->begin) {
+    throw std::logic_error("release: overlaps a free range");
+  }
+  if (it != free_.begin() && std::prev(it)->end > range.begin) {
+    throw std::logic_error("release: overlaps a free range");
+  }
+  it = free_.insert(it, range);
+  // Coalesce with successor, then predecessor.
+  if (std::next(it) != free_.end() && it->end == std::next(it)->begin) {
+    it->end = std::next(it)->end;
+    free_.erase(std::next(it));
+  }
+  if (it != free_.begin() && std::prev(it)->end == it->begin) {
+    std::prev(it)->end = it->end;
+    free_.erase(it);
+  }
+}
+
+int ContiguousAllocator::free_count() const noexcept {
+  int n = 0;
+  for (const auto& r : free_) n += r.size();
+  return n;
+}
+
+int ContiguousAllocator::largest_free_block() const noexcept {
+  int best = 0;
+  for (const auto& r : free_) best = std::max(best, r.size());
+  return best;
+}
+
+double ContiguousAllocator::fragmentation() const noexcept {
+  const int free_total = free_count();
+  if (free_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) /
+                   static_cast<double>(free_total);
+}
+
+bool ContiguousAllocator::invariants_hold() const noexcept {
+  int prev_end = -1;
+  for (const auto& r : free_) {
+    if (r.begin < 0 || r.end > total_ || r.size() <= 0) return false;
+    if (r.begin <= prev_end) return false;  // also catches missed coalesce
+    prev_end = r.end;
+  }
+  return free_count() <= total_;
+}
+
+}  // namespace faucets::cluster

@@ -1,0 +1,62 @@
+// Processor allocation within a Compute Server.
+//
+// §4.1 notes that shrunk jobs should keep locality and a new job should get
+// a contiguous set of processors. The ContiguousAllocator models that
+// constraint; the experiments compare it against unconstrained allocation
+// (fragmentation ablation in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace faucets::cluster {
+
+/// Half-open processor interval [begin, end).
+struct ProcRange {
+  int begin = 0;
+  int end = 0;
+  [[nodiscard]] int size() const noexcept { return end - begin; }
+  friend bool operator==(const ProcRange&, const ProcRange&) = default;
+};
+
+/// First-fit contiguous allocator over a fixed set of processors. Free
+/// ranges are kept sorted and coalesced.
+class ContiguousAllocator {
+ public:
+  explicit ContiguousAllocator(int total_procs);
+
+  /// Allocate `n` contiguous processors (first fit). nullopt if no hole of
+  /// that size exists, even when total free >= n — that gap is external
+  /// fragmentation inside the machine.
+  [[nodiscard]] std::optional<ProcRange> allocate(int n);
+
+  /// Allocate `n` processors from possibly multiple holes (non-contiguous
+  /// fallback). Empty result only when free_count() < n.
+  [[nodiscard]] std::vector<ProcRange> allocate_scattered(int n);
+
+  /// Return a range previously handed out. Coalesces with neighbours.
+  void release(ProcRange range);
+
+  [[nodiscard]] int total_procs() const noexcept { return total_; }
+  [[nodiscard]] int free_count() const noexcept;
+  [[nodiscard]] int busy_count() const noexcept { return total_ - free_count(); }
+  [[nodiscard]] int largest_free_block() const noexcept;
+
+  /// 0 when all free processors are one block; approaches 1 as the free
+  /// space shatters. 0 when nothing is free.
+  [[nodiscard]] double fragmentation() const noexcept;
+
+  [[nodiscard]] const std::vector<ProcRange>& free_ranges() const noexcept {
+    return free_;
+  }
+
+  /// Consistency check for tests: ranges sorted, disjoint, within bounds.
+  [[nodiscard]] bool invariants_hold() const noexcept;
+
+ private:
+  int total_;
+  std::vector<ProcRange> free_;  // sorted by begin, coalesced
+};
+
+}  // namespace faucets::cluster

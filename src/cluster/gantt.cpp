@@ -1,0 +1,105 @@
+#include "src/cluster/gantt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faucets::cluster {
+
+GanttChart::GanttChart(int capacity) : capacity_(capacity) {
+  if (capacity <= 0) throw std::invalid_argument("GanttChart capacity must be > 0");
+}
+
+void GanttChart::reserve(double start, double end, int procs) {
+  if (end <= start || procs <= 0) return;
+  deltas_[start] += procs;
+  deltas_[end] -= procs;
+  if (deltas_[start] == 0) deltas_.erase(start);
+  if (auto it = deltas_.find(end); it != deltas_.end() && it->second == 0) {
+    deltas_.erase(it);
+  }
+}
+
+void GanttChart::release(double start, double end, int procs) {
+  if (end <= start || procs <= 0) return;
+  deltas_[start] -= procs;
+  deltas_[end] += procs;
+  if (deltas_[start] == 0) deltas_.erase(start);
+  if (auto it = deltas_.find(end); it != deltas_.end() && it->second == 0) {
+    deltas_.erase(it);
+  }
+}
+
+int GanttChart::committed_at(double t) const {
+  int level = baseline_;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    level += delta;
+  }
+  return level;
+}
+
+int GanttChart::peak_committed(double from, double to) const {
+  int level = committed_at(from);
+  int peak = level;
+  for (const auto& [time, delta] : deltas_) {
+    if (time <= from) continue;
+    if (time >= to) break;
+    level += delta;
+    peak = std::max(peak, level);
+  }
+  return peak;
+}
+
+double GanttChart::average_committed(double from, double to) const {
+  if (to <= from) return static_cast<double>(committed_at(from));
+  double area = 0.0;
+  double cursor = from;
+  int level = committed_at(from);
+  for (const auto& [time, delta] : deltas_) {
+    if (time <= from) continue;
+    if (time >= to) break;
+    area += level * (time - cursor);
+    cursor = time;
+    level += delta;
+  }
+  area += level * (to - cursor);
+  return area / (to - from);
+}
+
+double GanttChart::earliest_fit(double after, double duration, int procs,
+                                double horizon) const {
+  if (procs > capacity_) return horizon;
+  if (duration < 0.0) duration = 0.0;
+
+  // Single sweep over the level profile: O(events). `candidate` is the
+  // earliest possible start given everything seen so far; a segment whose
+  // level exceeds the limit pushes it to the segment's end; once a feasible
+  // stretch of at least `duration` follows `candidate`, it wins.
+  const int limit = capacity_ - procs;
+  double candidate = after;
+  int level = baseline_;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > candidate) {
+      if (level > limit) {
+        candidate = time;  // blocked until this boundary
+        if (candidate >= horizon) return horizon;
+      } else if (candidate + duration <= time) {
+        return candidate;  // whole window fits before the next change
+      }
+    }
+    level += delta;
+  }
+  // Tail segment: level holds forever after the last event.
+  if (level > limit) return horizon;
+  return candidate < horizon ? candidate : horizon;
+}
+
+void GanttChart::compact(double t) {
+  auto it = deltas_.begin();
+  while (it != deltas_.end() && it->first <= t) {
+    baseline_ += it->second;
+    it = deltas_.erase(it);
+  }
+}
+
+}  // namespace faucets::cluster

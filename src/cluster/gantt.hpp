@@ -1,0 +1,53 @@
+// Processor-time Gantt chart.
+//
+// §4.1: "The strategy must find time windows for the job in its
+// processor-time Gantt chart before the job's deadline." This profile
+// tracks committed processors over future time; the payoff scheduler uses
+// it for admission, backfill uses it for reservations, and bid generators
+// use its average to project utilization up to a deadline (§5.2).
+#pragma once
+
+#include <map>
+
+namespace faucets::cluster {
+
+class GanttChart {
+ public:
+  explicit GanttChart(int capacity);
+
+  /// Commit `procs` processors over [start, end).
+  void reserve(double start, double end, int procs);
+
+  /// Undo a prior reserve with identical arguments.
+  void release(double start, double end, int procs);
+
+  /// Processors committed at time t.
+  [[nodiscard]] int committed_at(double t) const;
+
+  /// Peak commitment over [from, to).
+  [[nodiscard]] int peak_committed(double from, double to) const;
+
+  /// Time-weighted average commitment over [from, to).
+  [[nodiscard]] double average_committed(double from, double to) const;
+
+  /// Earliest start >= `after` such that `procs` extra processors are free
+  /// for the whole window [start, start + duration). Searches event
+  /// boundaries up to `horizon`; returns `horizon` if none fits (callers
+  /// treat that as "cannot schedule").
+  [[nodiscard]] double earliest_fit(double after, double duration, int procs,
+                                    double horizon) const;
+
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return deltas_.empty(); }
+
+  /// Drop events at or before `t` (they can no longer affect queries),
+  /// folding them into the baseline. Keeps long simulations O(live events).
+  void compact(double t);
+
+ private:
+  int capacity_;
+  int baseline_ = 0;                // commitment carried from compacted past
+  std::map<double, int> deltas_;    // time -> change in committed procs
+};
+
+}  // namespace faucets::cluster

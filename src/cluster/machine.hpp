@@ -1,0 +1,41 @@
+// Static description of a Compute Server's hardware and hosted software.
+// This is the information the Faucets Central Server's directory stores for
+// filtering (§2, §5.1): processor count, memory, CPU type/speed, and the
+// exported "Known Applications".
+#pragma once
+
+#include <string>
+
+#include "src/qos/contract.hpp"
+#include "src/qos/resources.hpp"
+
+namespace faucets::cluster {
+
+struct MachineSpec {
+  std::string name = "cluster";
+  int total_procs = 64;
+  double memory_per_proc_mb = 2048.0;
+
+  /// Relative CPU speed; 1.0 is the reference machine the contract's work
+  /// figure assumes. A 1.5 machine finishes the same work 1.5x faster.
+  double speed_factor = 1.0;
+
+  /// Normalized cost per CPU-second; a bid multiplier scales this (§5.2:
+  /// "the bid is converted to Dollar amount by multiplying the CPU-seconds
+  /// needed for the job with a normalized cost and the multiplier").
+  double cost_per_cpu_second = 0.0008;
+
+  /// Software the server exports: OS, registered applications, libraries.
+  qos::SoftwareEnvironment provides{.application = "",
+                                    .operating_system = "linux",
+                                    .libraries = {"charm++", "ampi", "mpi"}};
+
+  /// Static-filter check (§5.1): can this machine ever run the contract?
+  [[nodiscard]] bool can_ever_run(const qos::QosContract& contract) const {
+    if (contract.min_procs > total_procs) return false;
+    if (contract.resources.memory_per_proc_mb > memory_per_proc_mb) return false;
+    return contract.environment.satisfied_by(provides);
+  }
+};
+
+}  // namespace faucets::cluster

@@ -1,0 +1,287 @@
+#include "src/cluster/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/util/logging.hpp"
+
+namespace faucets::cluster {
+
+namespace {
+constexpr double kInf = 1e300;
+/// Relative tolerance for "the job is done".
+constexpr double kDoneTolerance = 1e-6;
+}  // namespace
+
+ClusterManager::ClusterManager(sim::Engine& engine, MachineSpec machine,
+                               std::unique_ptr<sched::Strategy> strategy,
+                               job::AdaptiveCosts costs, ClusterId id)
+    : engine_(&engine),
+      machine_(std::move(machine)),
+      strategy_(std::move(strategy)),
+      costs_(costs),
+      id_(id),
+      metrics_(machine_.total_procs) {
+  if (!strategy_) throw std::invalid_argument("ClusterManager needs a strategy");
+  metrics_.record_busy(engine_->now(), 0);
+}
+
+sched::SchedulerContext ClusterManager::context() const {
+  sched::SchedulerContext ctx;
+  ctx.now = engine_->now();
+  ctx.machine = &machine_;
+  ctx.running.reserve(running_.size());
+  for (JobId id : running_) ctx.running.push_back(jobs_.at(id).get());
+  ctx.queued.reserve(queued_.size());
+  for (JobId id : queued_) ctx.queued.push_back(jobs_.at(id).get());
+  return ctx;
+}
+
+sched::AdmissionDecision ClusterManager::query(const qos::QosContract& contract) const {
+  if (!contract.valid()) return sched::AdmissionDecision::rejected("invalid contract");
+  if (!machine_.can_ever_run(contract)) {
+    return sched::AdmissionDecision::rejected("machine cannot run this contract");
+  }
+  return strategy_->admit(context(), contract);
+}
+
+void ClusterManager::trace_event(const std::string& detail) {
+  if (trace_ != nullptr) {
+    trace_->record(engine_->now(), EntityId{id_.value()}, "job", detail);
+  }
+}
+
+std::optional<JobId> ClusterManager::submit(UserId owner,
+                                            const qos::QosContract& contract) {
+  const auto decision = query(contract);
+  if (!decision.accept) {
+    metrics_.on_rejected();
+    trace_event("reject: " + decision.reason);
+    FAUCETS_DEBUG("cm") << machine_.name << " rejected job: " << decision.reason;
+    return std::nullopt;
+  }
+  const JobId id = job_ids_.next();
+  trace_event("accept job " + std::to_string(id.value()));
+  auto j = std::make_unique<job::Job>(id, owner, contract, engine_->now());
+  j->mark_queued();
+  jobs_.emplace(id, std::move(j));
+  queued_.push_back(id);
+  reschedule();
+  return id;
+}
+
+void ClusterManager::advance_all() {
+  const double now = engine_->now();
+  for (JobId id : running_) jobs_.at(id)->advance_to(now);
+}
+
+void ClusterManager::apply_allocations(const std::vector<sched::Allocation>& allocations) {
+  const double now = engine_->now();
+
+  // Apply shrinks and vacates first so capacity is never exceeded, then
+  // expansions and starts.
+  auto apply_one = [&](const sched::Allocation& a) {
+    auto it = jobs_.find(a.job);
+    if (it == jobs_.end()) return;
+    job::Job& j = *it->second;
+    const int target =
+        a.procs == 0
+            ? 0
+            : std::clamp(a.procs, j.contract().min_procs, j.contract().max_procs);
+    if (target == j.procs()) return;
+
+    const bool was_running = j.procs() > 0;
+    if (!was_running && target > 0) {
+      if (j.start_time() < 0.0) {
+        j.start(now, target, machine_.speed_factor, costs_);
+        trace_event("start job " + std::to_string(a.job.value()) + " procs=" +
+                    std::to_string(target));
+      } else {
+        j.reallocate(now, target);
+        trace_event("resume job " + std::to_string(a.job.value()) + " procs=" +
+                    std::to_string(target));
+      }
+      std::erase(queued_, a.job);
+      running_.push_back(a.job);
+      // Keep running_ in submit order for deterministic contexts.
+      std::sort(running_.begin(), running_.end());
+    } else if (was_running && target == 0) {
+      j.reallocate(now, 0);
+      std::erase(running_, a.job);
+      queued_.push_back(a.job);
+      std::sort(queued_.begin(), queued_.end());
+      trace_event("vacate job " + std::to_string(a.job.value()));
+    } else if (was_running) {
+      const bool shrink = target < j.procs();
+      j.reallocate(now, target);
+      trace_event((shrink ? "shrink job " : "expand job ") +
+                  std::to_string(a.job.value()) + " procs=" +
+                  std::to_string(target));
+    }
+  };
+
+  for (const auto& a : allocations) {
+    const auto it = jobs_.find(a.job);
+    if (it == jobs_.end()) continue;
+    if (a.procs < it->second->procs()) apply_one(a);
+  }
+  for (const auto& a : allocations) {
+    const auto it = jobs_.find(a.job);
+    if (it == jobs_.end()) continue;
+    if (a.procs > it->second->procs()) apply_one(a);
+  }
+
+  const int busy = busy_procs();
+  if (busy > machine_.total_procs) {
+    throw std::logic_error("strategy over-committed the machine: " +
+                           std::to_string(busy) + " > " +
+                           std::to_string(machine_.total_procs));
+  }
+  metrics_.record_busy(now, busy);
+}
+
+void ClusterManager::reschedule() {
+  if (rescheduling_) return;  // strategies may trigger nested updates
+  rescheduling_ = true;
+  advance_all();
+  const auto allocations = strategy_->schedule(context());
+  apply_allocations(allocations);
+  rescheduling_ = false;
+  arm_completion_timer();
+}
+
+void ClusterManager::arm_completion_timer() {
+  completion_timer_.cancel();
+  double next = kInf;
+  for (JobId id : running_) {
+    // Phase boundaries also wake the scheduler: the paper notes the
+    // scheduler benefits from knowing when a job's performance parameters
+    // shift between phases (§2.1).
+    next = std::min(next, jobs_.at(id)->next_event_time(engine_->now()));
+  }
+  if (next >= kInf) return;
+  completion_timer_ = engine_->schedule_at(next, [this] { handle_completions(); });
+}
+
+void ClusterManager::handle_completions() {
+  advance_all();
+  const double now = engine_->now();
+  std::vector<JobId> done;
+  for (JobId id : running_) {
+    job::Job& j = *jobs_.at(id);
+    if (j.remaining_work() <= kDoneTolerance * std::max(1.0, j.total_work())) {
+      done.push_back(id);
+    }
+  }
+  for (JobId id : done) {
+    job::Job& j = *jobs_.at(id);
+    j.complete(now);
+    std::erase(running_, id);
+    metrics_.on_completed(j);
+    trace_event("complete job " + std::to_string(id.value()));
+    FAUCETS_DEBUG("cm") << machine_.name << " completed job " << id;
+    if (on_complete_) on_complete_(j);
+  }
+  metrics_.record_busy(now, busy_procs());
+  reschedule();
+}
+
+std::optional<ClusterManager::Evicted> ClusterManager::evict_job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  job::Job& j = *it->second;
+  if (j.state() == job::JobState::kCompleted ||
+      j.state() == job::JobState::kFailed) {
+    return std::nullopt;
+  }
+  const double now = engine_->now();
+  if (j.state() == job::JobState::kRunning) {
+    j.checkpoint(now);
+  }
+  Evicted out;
+  out.job = id;
+  out.owner = j.owner();
+  out.contract = j.contract();
+  out.completed_work = j.total_work() - j.remaining_work();
+  std::erase(running_, id);
+  std::erase(queued_, id);
+  jobs_.erase(it);
+  trace_event("evict job " + std::to_string(id.value()));
+  metrics_.record_busy(now, busy_procs());
+  reschedule();
+  return out;
+}
+
+std::vector<ClusterManager::Evicted> ClusterManager::evict_all() {
+  std::vector<JobId> ids;
+  ids.reserve(running_.size() + queued_.size());
+  ids.insert(ids.end(), running_.begin(), running_.end());
+  ids.insert(ids.end(), queued_.begin(), queued_.end());
+  std::vector<Evicted> out;
+  for (JobId id : ids) {
+    if (auto e = evict_job(id)) out.push_back(std::move(*e));
+  }
+  completion_timer_.cancel();
+  return out;
+}
+
+void ClusterManager::halt() {
+  completion_timer_.cancel();
+  const double now = engine_->now();
+  for (JobId id : running_) jobs_.at(id)->mark_failed(now);
+  for (JobId id : queued_) jobs_.at(id)->mark_failed(now);
+  for (std::size_t i = 0; i < running_.size() + queued_.size(); ++i) {
+    metrics_.on_failed();
+  }
+  running_.clear();
+  queued_.clear();
+  metrics_.record_busy(now, 0);
+  on_complete_ = nullptr;
+}
+
+int ClusterManager::busy_procs() const noexcept {
+  int n = 0;
+  for (JobId id : running_) n += jobs_.at(id)->procs();
+  return n;
+}
+
+double ClusterManager::projected_utilization(double from, double to) const {
+  if (to <= from || machine_.total_procs <= 0) return 0.0;
+  double proc_seconds = 0.0;
+  for (JobId id : running_) {
+    const job::Job& j = *jobs_.at(id);
+    const double finish = std::min(j.projected_finish(from), to);
+    if (finish > from) proc_seconds += j.procs() * (finish - from);
+  }
+  // Queued jobs will occupy at least min_procs for their minimal runtime.
+  for (JobId id : queued_) {
+    const job::Job& j = *jobs_.at(id);
+    const double runtime = j.time_to_finish_on(j.contract().min_procs);
+    const double span = std::min(runtime, to - from);
+    if (span > 0.0 && runtime < kInf) proc_seconds += j.contract().min_procs * span;
+  }
+  const double capacity = static_cast<double>(machine_.total_procs) * (to - from);
+  return std::min(1.0, proc_seconds / capacity);
+}
+
+const job::Job* ClusterManager::find_job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const job::Job*> ClusterManager::running_jobs() const {
+  std::vector<const job::Job*> out;
+  out.reserve(running_.size());
+  for (JobId id : running_) out.push_back(jobs_.at(id).get());
+  return out;
+}
+
+std::vector<const job::Job*> ClusterManager::queued_jobs() const {
+  std::vector<const job::Job*> out;
+  out.reserve(queued_.size());
+  for (JobId id : queued_) out.push_back(jobs_.at(id).get());
+  return out;
+}
+
+}  // namespace faucets::cluster

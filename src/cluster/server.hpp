@@ -1,0 +1,127 @@
+// ClusterManager: the "Adaptive Queueing System aka Scheduler aka Cluster
+// Manager (CM)" of the paper's component list (§2). It owns the jobs on one
+// Compute Server, consults a pluggable scheduling strategy, and drives job
+// progress through the discrete-event engine.
+//
+// The CM is usable standalone (scheduler experiments E1-E4) and behind a
+// FaucetsDaemon in the full market (E5-E8).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/machine.hpp"
+#include "src/job/job.hpp"
+#include "src/sched/metrics.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/trace.hpp"
+#include "src/util/ids.hpp"
+
+namespace faucets::cluster {
+
+class ClusterManager {
+ public:
+  ClusterManager(sim::Engine& engine, MachineSpec machine,
+                 std::unique_ptr<sched::Strategy> strategy,
+                 job::AdaptiveCosts costs = {}, ClusterId id = ClusterId{0});
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  // --- submission ---------------------------------------------------------
+  /// Non-committing admission query; backs bid generation. The CM queries
+  /// its database of running/scheduled jobs to decide (§2).
+  [[nodiscard]] sched::AdmissionDecision query(const qos::QosContract& contract) const;
+
+  /// Submit a job now. Returns its id if admitted, nullopt if refused.
+  std::optional<JobId> submit(UserId owner, const qos::QosContract& contract);
+
+  /// Invoked with every job that completes (the daemon uses this to notify
+  /// the client and AppSpector).
+  void set_completion_callback(std::function<void(const job::Job&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  // --- checkpoint / eviction (§3, §4.1) ------------------------------------
+  /// What survives an eviction: enough to resubmit the job elsewhere.
+  struct Evicted {
+    JobId job;
+    UserId owner;
+    qos::QosContract contract;
+    double completed_work = 0.0;  // processor-seconds already done
+  };
+
+  /// Checkpoint one job and remove it from this Compute Server. Returns
+  /// nullopt if the job is unknown or already finished.
+  std::optional<Evicted> evict_job(JobId id);
+
+  /// Drain the machine: checkpoint every running job and drop the queue.
+  /// Used when a Compute Server is taken down (§3: "when the machine is
+  /// about to be taken down, checkpointing the job and moving it to
+  /// another machine").
+  std::vector<Evicted> evict_all();
+
+  /// Hard failure: every live job is lost with no checkpoint and no
+  /// callback. The machine stops executing (its event timer is cancelled).
+  void halt();
+
+  // --- state for bidding and monitoring ------------------------------------
+  [[nodiscard]] const MachineSpec& machine() const noexcept { return machine_; }
+  [[nodiscard]] ClusterId id() const noexcept { return id_; }
+  [[nodiscard]] int busy_procs() const noexcept;
+  [[nodiscard]] std::size_t running_count() const noexcept { return running_.size(); }
+  [[nodiscard]] std::size_t queued_count() const noexcept { return queued_.size(); }
+
+  /// Fraction of capacity committed on average between `from` and `to`,
+  /// projected from the current jobs — the signal the paper's
+  /// utilization-interpolated bid generator consumes (§5.2).
+  [[nodiscard]] double projected_utilization(double from, double to) const;
+
+  [[nodiscard]] const job::Job* find_job(JobId id) const;
+  [[nodiscard]] std::vector<const job::Job*> running_jobs() const;
+  [[nodiscard]] std::vector<const job::Job*> queued_jobs() const;
+
+  [[nodiscard]] sched::MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const sched::MetricsCollector& metrics() const noexcept { return metrics_; }
+
+  /// Close the metrics window (call once when the experiment ends).
+  void finish_metrics() { metrics_.finish(engine_->now()); }
+
+  [[nodiscard]] const sched::Strategy& strategy() const noexcept { return *strategy_; }
+
+  /// Attach a trace recorder; every job lifecycle event is logged to it
+  /// (category "job"). The caller keeps ownership; pass nullptr to detach.
+  void set_trace(sim::TraceRecorder* trace) noexcept { trace_ = trace; }
+
+ private:
+  void reschedule();
+  void apply_allocations(const std::vector<sched::Allocation>& allocations);
+  void arm_completion_timer();
+  void handle_completions();
+  [[nodiscard]] sched::SchedulerContext context() const;
+  void advance_all();
+
+  sim::Engine* engine_;
+  MachineSpec machine_;
+  std::unique_ptr<sched::Strategy> strategy_;
+  job::AdaptiveCosts costs_;
+  ClusterId id_;
+
+  IdGenerator<JobId> job_ids_;
+  std::unordered_map<JobId, std::unique_ptr<job::Job>> jobs_;
+  std::vector<JobId> running_;  // submit order
+  std::vector<JobId> queued_;   // submit order
+  sched::MetricsCollector metrics_;
+  sim::EventHandle completion_timer_;
+  std::function<void(const job::Job&)> on_complete_;
+  sim::TraceRecorder* trace_ = nullptr;
+  bool rescheduling_ = false;
+
+  void trace_event(const std::string& detail);
+};
+
+}  // namespace faucets::cluster

@@ -1,0 +1,41 @@
+#include "src/core/experiment.hpp"
+
+#include "src/sim/engine.hpp"
+
+namespace faucets::core {
+
+ClusterRunResult run_cluster_experiment(
+    const cluster::MachineSpec& machine,
+    const std::function<std::unique_ptr<sched::Strategy>()>& strategy,
+    const std::vector<job::JobRequest>& requests, job::AdaptiveCosts costs) {
+  sim::Engine engine;
+  cluster::ClusterManager cm{engine, machine, strategy(), costs};
+
+  for (const auto& req : requests) {
+    engine.schedule_at(req.submit_time, [&cm, &req] {
+      cm.submit(UserId{req.user_index}, req.contract);
+    });
+  }
+  engine.run();
+  cm.finish_metrics();
+
+  ClusterRunResult out;
+  const auto& m = cm.metrics();
+  out.utilization = m.utilization();
+  out.completed = m.completed();
+  out.rejected = m.rejected();
+  out.mean_response = m.response_times().mean();
+  out.p95_response = m.response_times().percentile(95.0);
+  out.mean_bounded_slowdown = m.slowdowns().mean();
+  out.total_payoff = m.total_payoff();
+  out.deadline_misses = m.deadline_misses();
+  out.makespan = engine.now();
+  out.work_completed = m.work_completed();
+  out.reconfigs_per_job =
+      m.completed() == 0 ? 0.0
+                         : static_cast<double>(m.total_reconfigs()) /
+                               static_cast<double>(m.completed());
+  return out;
+}
+
+}  // namespace faucets::core

@@ -1,0 +1,39 @@
+// Experiment helpers shared by the benchmark harnesses: single-cluster
+// scheduler runs (E1-E4, no market) and common factories.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/server.hpp"
+#include "src/job/workload.hpp"
+#include "src/sched/scheduler.hpp"
+
+namespace faucets::core {
+
+/// Result of driving one workload through one Cluster Manager directly
+/// (no market): the scheduler-comparison experiments.
+struct ClusterRunResult {
+  double utilization = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double mean_response = 0.0;
+  double p95_response = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  double total_payoff = 0.0;
+  std::uint64_t deadline_misses = 0;
+  double makespan = 0.0;
+  double work_completed = 0.0;
+  double reconfigs_per_job = 0.0;
+};
+
+/// Submit `requests` to a fresh ClusterManager running `strategy` on
+/// `machine`, run to quiescence, and report. Rejected jobs simply vanish
+/// (single-cluster world: nowhere else to go).
+[[nodiscard]] ClusterRunResult run_cluster_experiment(
+    const cluster::MachineSpec& machine,
+    const std::function<std::unique_ptr<sched::Strategy>()>& strategy,
+    const std::vector<job::JobRequest>& requests, job::AdaptiveCosts costs = {});
+
+}  // namespace faucets::core

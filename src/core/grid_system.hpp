@@ -1,0 +1,134 @@
+// Top-level public API: assemble a whole Faucets grid — Central Server,
+// AppSpector, one Faucets Daemon + Cluster Manager per Compute Server,
+// one client per user — run a workload through the market, and collect
+// grid-wide metrics. This is the entry point examples and the market
+// benchmarks use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/server.hpp"
+#include "src/faucets/appspector.hpp"
+#include "src/faucets/broker.hpp"
+#include "src/faucets/central.hpp"
+#include "src/faucets/client.hpp"
+#include "src/faucets/daemon.hpp"
+#include "src/job/workload.hpp"
+#include "src/market/bidgen.hpp"
+#include "src/market/evaluation.hpp"
+#include "src/sim/network.hpp"
+
+namespace faucets::core {
+
+using StrategyFactory = std::function<std::unique_ptr<sched::Strategy>()>;
+using BidGeneratorFactory = std::function<std::unique_ptr<market::BidGenerator>()>;
+using EvaluatorFactory = std::function<std::unique_ptr<market::BidEvaluator>()>;
+
+/// One Compute Server to stand up.
+struct ClusterSetup {
+  cluster::MachineSpec machine;
+  StrategyFactory strategy;
+  BidGeneratorFactory bid_generator;
+  job::AdaptiveCosts costs{};
+  double barter_credits = 0.0;  // opening balance in barter mode
+};
+
+struct GridConfig {
+  CentralServerConfig central{};
+  sim::NetworkConfig network{};
+  DaemonConfig daemon{};
+  EvaluatorFactory evaluator;       // defaults to least-cost
+  bool clients_prefer_home = false; // §5.5.3 home-cluster-first submission
+  double user_initial_funds = 1e6;
+  /// Client babysitting watchdog margin (seconds past the promised
+  /// completion before a silent job is restarted); negative disables.
+  double client_watchdog_margin = -1.0;
+  /// Brokered submission (§5.3): clients hand each job to a broker agent
+  /// colocated with the Central Server instead of broadcasting
+  /// request-for-bids themselves. `criteria` is the user-specific
+  /// selection rule the agent applies.
+  bool brokered_submission = false;
+  proto::SelectionCriteria broker_criteria = proto::SelectionCriteria::kLeastCost;
+};
+
+/// Per-cluster results after a run.
+struct ClusterReport {
+  std::string name;
+  ClusterId id;
+  double utilization = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double revenue = 0.0;
+  double payoff_earned = 0.0;
+  std::uint64_t bids_issued = 0;
+  std::uint64_t bids_declined = 0;
+  std::uint64_t awards_confirmed = 0;
+  std::uint64_t awards_refused = 0;
+  double barter_balance = 0.0;
+};
+
+struct GridReport {
+  std::vector<ClusterReport> clusters;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_unplaced = 0;
+  double total_spent = 0.0;
+  double total_client_payoff = 0.0;
+  double mean_award_latency = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t network_bytes = 0;
+  std::uint64_t migrations = 0;         // checkpoint moves between servers
+  std::uint64_t watchdog_restarts = 0;  // from-scratch restarts after crashes
+  double makespan = 0.0;
+
+  [[nodiscard]] double grid_utilization_weighted() const;
+};
+
+/// Owns every entity of one simulated grid.
+class GridSystem {
+ public:
+  GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
+             std::size_t user_count);
+  ~GridSystem();
+  GridSystem(const GridSystem&) = delete;
+  GridSystem& operator=(const GridSystem&) = delete;
+
+  /// Distribute the requests to the per-user clients and run the discrete
+  /// event simulation until quiescent (or `until`).
+  GridReport run(std::vector<job::JobRequest> requests,
+                 double until = sim::Engine::kForever);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  [[nodiscard]] CentralServer& central() noexcept { return *central_; }
+  [[nodiscard]] AppSpector& appspector() noexcept { return *appspector_; }
+  [[nodiscard]] BrokerAgent* broker() noexcept { return broker_.get(); }
+  [[nodiscard]] FaucetsDaemon& daemon(std::size_t i) { return *daemons_.at(i); }
+  [[nodiscard]] FaucetsClient& client(std::size_t i) { return *clients_.at(i); }
+  [[nodiscard]] std::size_t cluster_count() const noexcept { return daemons_.size(); }
+  [[nodiscard]] std::size_t client_count() const noexcept { return clients_.size(); }
+
+  /// Take cluster `i` down gracefully at simulated time `when`: running
+  /// jobs checkpoint and migrate (§3). Pass `graceful = false` for a crash
+  /// with no eviction notices (clients need the watchdog to recover).
+  void schedule_cluster_shutdown(std::size_t i, double when, bool graceful = true);
+
+  /// Build the report from current state (run() calls this at the end).
+  [[nodiscard]] GridReport report() const;
+
+ private:
+  GridConfig config_;
+  sim::Engine engine_;
+  sim::Network network_;
+  std::unique_ptr<CentralServer> central_;
+  std::unique_ptr<AppSpector> appspector_;
+  std::unique_ptr<BrokerAgent> broker_;
+  std::vector<std::unique_ptr<FaucetsDaemon>> daemons_;
+  std::vector<std::unique_ptr<FaucetsClient>> clients_;
+  std::uint64_t jobs_submitted_ = 0;
+};
+
+}  // namespace faucets::core

@@ -1,0 +1,196 @@
+#include "src/core/scenario.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sched/backfill.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sched/fcfs.hpp"
+#include "src/sched/payoff_sched.hpp"
+#include "src/sched/priority_sched.hpp"
+#include "src/util/table.hpp"
+
+namespace faucets::core {
+
+StrategyFactory strategy_factory(const std::string& name) {
+  if (name == "fcfs") {
+    return [] { return std::make_unique<sched::FcfsStrategy>(); };
+  }
+  if (name == "backfill") {
+    return [] { return std::make_unique<sched::BackfillStrategy>(); };
+  }
+  if (name == "equipartition") {
+    return [] { return std::make_unique<sched::EquipartitionStrategy>(); };
+  }
+  if (name == "payoff") {
+    return [] { return std::make_unique<sched::PayoffStrategy>(); };
+  }
+  if (name == "priority") {
+    return [] { return std::make_unique<sched::PriorityStrategy>(); };
+  }
+  throw std::invalid_argument(
+      "unknown strategy '" + name +
+      "' (expected fcfs|backfill|equipartition|payoff|priority)");
+}
+
+BidGeneratorFactory bidgen_factory(const std::string& name) {
+  if (name == "baseline") {
+    return [] { return std::make_unique<market::BaselineBidGenerator>(); };
+  }
+  if (name == "utilization") {
+    return [] { return std::make_unique<market::UtilizationBidGenerator>(); };
+  }
+  if (name == "market") {
+    return [] { return std::make_unique<market::MarketAwareBidGenerator>(); };
+  }
+  if (name == "futures") {
+    return [] { return std::make_unique<market::FuturesBidGenerator>(); };
+  }
+  throw std::invalid_argument("unknown bidgen '" + name +
+                              "' (expected baseline|utilization|market|futures)");
+}
+
+EvaluatorFactory evaluator_factory(const std::string& name) {
+  if (name == "least-cost") {
+    return [] { return std::make_unique<market::LeastCostEvaluator>(); };
+  }
+  if (name == "earliest-completion") {
+    return [] { return std::make_unique<market::EarliestCompletionEvaluator>(); };
+  }
+  if (name == "surplus") {
+    return [] { return std::make_unique<market::SurplusEvaluator>(); };
+  }
+  throw std::invalid_argument(
+      "unknown evaluator '" + name +
+      "' (expected least-cost|earliest-completion|surplus)");
+}
+
+namespace {
+
+BillingMode billing_mode(const std::string& name) {
+  if (name == "dollars") return BillingMode::kDollars;
+  if (name == "su") return BillingMode::kServiceUnits;
+  if (name == "barter") return BillingMode::kBarter;
+  throw std::invalid_argument("unknown billing '" + name +
+                              "' (expected dollars|su|barter)");
+}
+
+}  // namespace
+
+Scenario Scenario::parse(const ConfigFile& config) {
+  Scenario out;
+
+  const ConfigSection* grid = config.section("grid");
+  if (grid != nullptr) {
+    out.grid.central.billing = billing_mode(grid->get_string("billing", "dollars"));
+    out.grid.clients_prefer_home = grid->get_bool("prefer_home", false);
+    out.grid.brokered_submission = grid->get_bool("brokered", false);
+    out.grid.client_watchdog_margin = grid->get_double("watchdog", -1.0);
+    out.grid.central.price_band = grid->get_double("price_band", 0.0);
+    out.grid.evaluator =
+        evaluator_factory(grid->get_string("evaluator", "least-cost"));
+    out.seed = static_cast<std::uint64_t>(grid->get_int("seed", 42));
+  } else {
+    out.grid.evaluator = evaluator_factory("least-cost");
+  }
+
+  const auto cluster_sections = config.sections("cluster");
+  if (cluster_sections.empty()) {
+    throw std::invalid_argument("scenario needs at least one [cluster] section");
+  }
+  int index = 0;
+  for (const auto* section : cluster_sections) {
+    ClusterSetup setup;
+    setup.machine.name = section->get_string("name", "cluster" + std::to_string(index));
+    setup.machine.total_procs = static_cast<int>(section->get_int("procs", 128));
+    if (setup.machine.total_procs <= 0) {
+      throw std::invalid_argument("cluster '" + setup.machine.name +
+                                  "': procs must be positive");
+    }
+    setup.machine.cost_per_cpu_second = section->get_double("cost", 0.0008);
+    setup.machine.speed_factor = section->get_double("speed", 1.0);
+    setup.machine.memory_per_proc_mb = section->get_double("mem_mb", 4096.0);
+    setup.strategy = strategy_factory(section->get_string("strategy", "payoff"));
+    setup.bid_generator = bidgen_factory(section->get_string("bidgen", "baseline"));
+    setup.barter_credits = section->get_double("credits", 0.0);
+    out.clusters.push_back(std::move(setup));
+    ++index;
+  }
+
+  const ConfigSection* wl = config.section("workload");
+  std::size_t users = 8;
+  if (grid != nullptr) {
+    users = static_cast<std::size_t>(grid->get_int("users", 8));
+  }
+  out.workload.user_count = users;
+  out.workload.cluster_count = out.clusters.size();
+  if (wl != nullptr) {
+    out.workload.job_count = static_cast<std::size_t>(wl->get_int("jobs", 200));
+    out.workload.rigid_fraction = wl->get_double("rigid_fraction", 0.0);
+    out.workload.deadline_fraction = wl->get_double("deadline_fraction", 1.0);
+    out.workload.min_procs_lo = static_cast<int>(wl->get_int("min_procs_lo", 4));
+    out.workload.min_procs_hi = static_cast<int>(wl->get_int("min_procs_hi", 32));
+  }
+  // Clamp jobs to the smallest machine? No — clamp their processor demand
+  // to the largest machine so everything is placeable somewhere.
+  int largest = 0;
+  for (const auto& c : out.clusters) largest = std::max(largest, c.machine.total_procs);
+  out.workload.procs_cap = largest;
+  out.workload.min_procs_hi = std::min(out.workload.min_procs_hi, largest);
+  out.workload.min_procs_lo =
+      std::min(out.workload.min_procs_lo, out.workload.min_procs_hi);
+
+  const double load = wl != nullptr ? wl->get_double("load", 0.8) : 0.8;
+  int total = 0;
+  for (const auto& c : out.clusters) total += c.machine.total_procs;
+  job::WorkloadGenerator::calibrate_load(out.workload, load, total);
+  return out;
+}
+
+Scenario Scenario::parse_string(const std::string& text) {
+  return parse(ConfigFile::parse_string(text));
+}
+
+int Scenario::total_procs() const {
+  int total = 0;
+  for (const auto& c : clusters) total += c.machine.total_procs;
+  return total;
+}
+
+GridReport Scenario::run() {
+  GridSystem system{grid, clusters, workload.user_count};
+  auto requests = job::WorkloadGenerator{workload, seed}.generate();
+  return system.run(std::move(requests));
+}
+
+void print_report(std::ostream& os, const GridReport& report) {
+  os << "jobs: " << report.jobs_submitted << " submitted, "
+     << report.jobs_completed << " completed, " << report.jobs_unplaced
+     << " unplaced";
+  if (report.migrations > 0) os << ", " << report.migrations << " migrated";
+  if (report.watchdog_restarts > 0) {
+    os << ", " << report.watchdog_restarts << " watchdog restarts";
+  }
+  os << "\nmakespan " << report.makespan / 3600.0 << " h, " << report.messages
+     << " messages, mean time-to-award " << report.mean_award_latency << " s\n"
+     << "clients spent $" << report.total_spent << " for payoff value $"
+     << report.total_client_payoff << "\n\n";
+
+  Table table{{"cluster", "utilization", "jobs", "revenue($)", "bids",
+               "awards", "refused", "barter"}};
+  for (const auto& c : report.clusters) {
+    table.row()
+        .cell(c.name)
+        .cell(c.utilization, 3)
+        .cell(c.completed)
+        .cell(c.revenue, 2)
+        .cell(c.bids_issued)
+        .cell(c.awards_confirmed)
+        .cell(c.awards_refused)
+        .cell(c.barter_balance, 1);
+  }
+  table.print(os);
+}
+
+}  // namespace faucets::core

@@ -1,0 +1,65 @@
+// Scenario files: describe a whole grid experiment — clusters, billing,
+// workload — in a small INI file and run it. This is the scripting surface
+// the command-line client of §2 would drive.
+//
+//   [grid]
+//   billing = dollars        # dollars | su | barter
+//   users = 8
+//   brokered = false
+//   evaluator = least-cost   # least-cost | earliest-completion | surplus
+//   watchdog = -1            # seconds; negative disables
+//   prefer_home = false
+//   price_band = 0           # §5.5.1 regulation; <=1 disables
+//   seed = 42
+//
+//   [cluster]                # one block per Compute Server
+//   name = turing
+//   procs = 512
+//   cost = 0.0008            # $/cpu-second
+//   speed = 1.0
+//   strategy = payoff        # fcfs | backfill | equipartition | payoff | priority
+//   bidgen = utilization     # baseline | utilization | market | futures
+//   credits = 0              # barter opening balance
+//
+//   [workload]
+//   jobs = 200
+//   load = 0.8               # offered fraction of total grid capacity
+//   rigid_fraction = 0.0
+//   deadline_fraction = 1.0
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/grid_system.hpp"
+#include "src/util/config.hpp"
+
+namespace faucets::core {
+
+struct Scenario {
+  GridConfig grid;
+  std::vector<ClusterSetup> clusters;
+  job::WorkloadParams workload;
+  std::uint64_t seed = 42;
+
+  /// Parse and validate. Throws std::invalid_argument with a useful
+  /// message on unknown strategy/bidgen/billing names or missing sections.
+  static Scenario parse(const ConfigFile& config);
+  static Scenario parse_string(const std::string& text);
+
+  /// Build the grid, generate the workload, run to completion.
+  [[nodiscard]] GridReport run();
+
+  /// Total processors across all clusters (used for load calibration).
+  [[nodiscard]] int total_procs() const;
+};
+
+/// Name registries, exposed for the CLI's error messages and for tests.
+[[nodiscard]] StrategyFactory strategy_factory(const std::string& name);
+[[nodiscard]] BidGeneratorFactory bidgen_factory(const std::string& name);
+[[nodiscard]] EvaluatorFactory evaluator_factory(const std::string& name);
+
+/// Render a GridReport as the human-readable summary the CLI prints.
+void print_report(std::ostream& os, const GridReport& report);
+
+}  // namespace faucets::core

@@ -1,0 +1,61 @@
+#include "src/faucets/accounting.hpp"
+
+namespace faucets {
+
+void BarterLedger::open_account(ClusterId cluster, double initial_credits) {
+  balances_.emplace(cluster, initial_credits);
+}
+
+double BarterLedger::balance(ClusterId cluster) const {
+  auto it = balances_.find(cluster);
+  return it == balances_.end() ? 0.0 : it->second;
+}
+
+bool BarterLedger::can_spend(ClusterId home, double credits) const {
+  auto it = balances_.find(home);
+  if (it == balances_.end()) return false;
+  return it->second - credits >= -debt_limit_;
+}
+
+bool BarterLedger::transfer(ClusterId home, ClusterId executor, double credits) {
+  if (credits < 0.0) return false;
+  if (home == executor) return has_account(home);
+  auto home_it = balances_.find(home);
+  auto exec_it = balances_.find(executor);
+  if (home_it == balances_.end() || exec_it == balances_.end()) return false;
+  if (home_it->second - credits < -debt_limit_) return false;
+  home_it->second -= credits;
+  exec_it->second += credits;
+  log_.push_back(Transfer{clock_ != nullptr ? *clock_ : 0.0, home, executor, credits});
+  return true;
+}
+
+double BarterLedger::total_credits() const {
+  double sum = 0.0;
+  for (const auto& [id, bal] : balances_) sum += bal;
+  return sum;
+}
+
+void UserAccounts::open_account(UserId user, double initial_funds) {
+  funds_.emplace(user, initial_funds);
+}
+
+double UserAccounts::balance(UserId user) const {
+  auto it = funds_.find(user);
+  return it == funds_.end() ? 0.0 : it->second;
+}
+
+bool UserAccounts::charge(UserId user, double amount) {
+  auto it = funds_.find(user);
+  if (it == funds_.end()) return false;
+  it->second -= amount;
+  total_charged_ += amount;
+  return true;
+}
+
+void UserAccounts::deposit(UserId user, double amount) {
+  auto it = funds_.find(user);
+  if (it != funds_.end()) it->second += amount;
+}
+
+}  // namespace faucets

@@ -1,0 +1,70 @@
+#include "src/faucets/auth.hpp"
+
+namespace faucets {
+
+std::uint64_t UserDatabase::digest(std::uint64_t salt, std::string_view password) noexcept {
+  std::uint64_t h = 14695981039346656037ULL ^ salt;
+  for (char c : password) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  // Two extra mixing rounds over the salt bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (salt >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::optional<UserId> UserDatabase::add_user(const std::string& username,
+                                             std::string_view password) {
+  if (username.empty() || users_.contains(username)) return std::nullopt;
+  Account account;
+  account.id = ids_.next();
+  account.salt = rng_.next();
+  account.password_digest = digest(account.salt, password);
+  users_.emplace(username, account);
+  return account.id;
+}
+
+std::optional<UserId> UserDatabase::verify(const std::string& username,
+                                           std::string_view password) const {
+  auto it = users_.find(username);
+  if (it == users_.end()) return std::nullopt;
+  if (digest(it->second.salt, password) != it->second.password_digest) {
+    return std::nullopt;
+  }
+  return it->second.id;
+}
+
+bool UserDatabase::change_password(const std::string& username,
+                                   std::string_view old_password,
+                                   std::string_view new_password) {
+  if (!verify(username, old_password)) return false;
+  auto& account = users_.at(username);
+  account.salt = rng_.next();
+  account.password_digest = digest(account.salt, new_password);
+  return true;
+}
+
+std::optional<UserId> UserDatabase::find(const std::string& username) const {
+  auto it = users_.find(username);
+  if (it == users_.end()) return std::nullopt;
+  return it->second.id;
+}
+
+SessionId SessionManager::open(UserId user) {
+  const SessionId id = ids_.next();
+  sessions_.emplace(id, user);
+  return id;
+}
+
+void SessionManager::close(SessionId session) { sessions_.erase(session); }
+
+std::optional<UserId> SessionManager::lookup(SessionId session) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace faucets

@@ -1,0 +1,70 @@
+// User authentication (§2.2): "The client authenticates itself to the
+// Faucets Server through a userid, password pair. So every user should
+// obtain an account from the Faucets system." Daemons hold no account data
+// and verify users against the Central Server.
+//
+// Passwords are stored salted and hashed (FNV-1a based — this is a
+// simulation substrate, not a production credential store; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/util/ids.hpp"
+#include "src/util/rng.hpp"
+
+namespace faucets {
+
+class UserDatabase {
+ public:
+  explicit UserDatabase(std::uint64_t salt_seed = 0xfacade5a17ULL) : rng_(salt_seed) {}
+
+  /// Create an account. Fails (nullopt) when the name is taken or empty.
+  std::optional<UserId> add_user(const std::string& username,
+                                 std::string_view password);
+
+  /// Check credentials; returns the user's id on success.
+  [[nodiscard]] std::optional<UserId> verify(const std::string& username,
+                                             std::string_view password) const;
+
+  /// Change password, authenticated by the old one.
+  bool change_password(const std::string& username, std::string_view old_password,
+                       std::string_view new_password);
+
+  [[nodiscard]] std::optional<UserId> find(const std::string& username) const;
+  [[nodiscard]] std::size_t size() const noexcept { return users_.size(); }
+
+  /// Salted FNV-1a digest, exposed for tests.
+  [[nodiscard]] static std::uint64_t digest(std::uint64_t salt, std::string_view password) noexcept;
+
+ private:
+  struct Account {
+    UserId id;
+    std::uint64_t salt;
+    std::uint64_t password_digest;
+  };
+
+  std::unordered_map<std::string, Account> users_;
+  IdGenerator<UserId> ids_;
+  Rng rng_;
+};
+
+/// Short-lived session tokens the client embeds in each message after
+/// login. (The paper notes GSI single sign-on as the future replacement for
+/// repeated verification round trips.)
+class SessionManager {
+ public:
+  SessionId open(UserId user);
+  void close(SessionId session);
+  [[nodiscard]] std::optional<UserId> lookup(SessionId session) const;
+  [[nodiscard]] std::size_t active() const noexcept { return sessions_.size(); }
+
+ private:
+  std::unordered_map<SessionId, UserId> sessions_;
+  IdGenerator<SessionId> ids_;
+};
+
+}  // namespace faucets

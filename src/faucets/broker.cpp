@@ -1,0 +1,172 @@
+#include "src/faucets/broker.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace faucets {
+
+BrokerAgent::BrokerAgent(sim::Engine& engine, sim::Network& network,
+                         EntityId central, BrokerConfig config)
+    : sim::Entity("broker", engine),
+      network_(&network),
+      central_(central),
+      config_(config) {
+  network.attach(*this);
+}
+
+std::unique_ptr<market::BidEvaluator> BrokerAgent::evaluator_for(
+    proto::SelectionCriteria criteria) {
+  switch (criteria) {
+    case proto::SelectionCriteria::kLeastCost:
+      return std::make_unique<market::LeastCostEvaluator>();
+    case proto::SelectionCriteria::kEarliestCompletion:
+      return std::make_unique<market::EarliestCompletionEvaluator>();
+    case proto::SelectionCriteria::kSurplus:
+      return std::make_unique<market::SurplusEvaluator>();
+  }
+  return std::make_unique<market::LeastCostEvaluator>();
+}
+
+void BrokerAgent::on_message(const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const proto::SubmitJobRequest*>(&msg)) {
+    handle_submit(*m);
+  } else if (const auto* m2 = dynamic_cast<const proto::DirectoryReply*>(&msg)) {
+    handle_directory(*m2);
+  } else if (const auto* m3 = dynamic_cast<const proto::BidReply*>(&msg)) {
+    handle_bid(*m3);
+  } else if (const auto* m4 = dynamic_cast<const proto::AwardAck*>(&msg)) {
+    handle_award_ack(*m4);
+  }
+}
+
+void BrokerAgent::handle_submit(const proto::SubmitJobRequest& msg) {
+  ++submissions_;
+  const RequestId id = ids_.next();
+  Pending pending;
+  pending.client = msg.from;
+  pending.client_request = msg.request;
+  pending.user = msg.user;
+  pending.username = msg.username;
+  pending.password = msg.password;
+  pending.criteria = msg.criteria;
+  pending.contract = msg.contract;
+  pending_.emplace(id, std::move(pending));
+
+  auto dir = std::make_unique<proto::DirectoryRequest>();
+  dir->request = id;
+  dir->session = msg.session;
+  dir->contract = msg.contract;
+  network_->send(*this, central_, std::move(dir));
+}
+
+void BrokerAgent::handle_directory(const proto::DirectoryReply& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (msg.servers.empty()) {
+    fail(msg.request, "no matching servers");
+    return;
+  }
+  pending.expected_bids = msg.servers.size();
+  for (const auto& server : msg.servers) {
+    auto rfb = std::make_unique<proto::RequestForBids>();
+    rfb->request = msg.request;
+    rfb->username = pending.username;
+    rfb->password = pending.password;
+    rfb->contract = pending.contract;
+    network_->send(*this, server.daemon, std::move(rfb));
+  }
+  pending.timeout = engine().schedule_after(
+      config_.bid_timeout, [this, id = msg.request] { evaluate(id); });
+}
+
+void BrokerAgent::handle_bid(const proto::BidReply& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.evaluated) return;
+  pending.bids.push_back(msg.bid);
+  if (pending.bids.size() >= pending.expected_bids) evaluate(msg.request);
+}
+
+void BrokerAgent::evaluate(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.evaluated = true;
+  pending.timeout.cancel();
+
+  std::vector<market::Bid> candidates = pending.bids;
+  for (auto& b : candidates) {
+    if (!b.declined &&
+        std::find(pending.refused.begin(), pending.refused.end(), b.id) !=
+            pending.refused.end()) {
+      b.declined = true;
+    }
+  }
+
+  const auto evaluator = evaluator_for(pending.criteria);
+  const auto choice = evaluator->select(candidates, pending.contract, now());
+  if (!choice) {
+    fail(id, pending.bids.empty() ? "no bids" : "all bids refused or nonviable");
+    return;
+  }
+
+  const market::Bid& winner = candidates[*choice];
+  pending.promised_completion = winner.promised_completion;
+  auto award = std::make_unique<proto::AwardJob>();
+  award->request = id;  // broker-side id: AwardAck correlates back to us
+  award->bid = winner.id;
+  award->username = pending.username;
+  award->password = pending.password;
+  award->user = pending.user;
+  award->notify = pending.client;              // notices bypass the broker
+  award->notify_request = pending.client_request;
+  award->contract = pending.contract;
+  network_->send(*this, winner.daemon, std::move(award));
+}
+
+void BrokerAgent::handle_award_ack(const proto::AwardAck& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+
+  if (!msg.accepted) {
+    // Two-phase retry on the next-best bid.
+    for (const auto& b : pending.bids) {
+      if (!b.declined && b.daemon == msg.from) pending.refused.push_back(b.id);
+    }
+    evaluate(msg.request);
+    return;
+  }
+
+  ++placed_;
+  auto reply = std::make_unique<proto::SubmitJobReply>();
+  reply->request = pending.client_request;
+  reply->placed = true;
+  reply->daemon = msg.from;
+  reply->job = msg.job;
+  reply->price = msg.price;
+  reply->promised_completion = pending.promised_completion;
+  reply->bids_considered = pending.bids.size();
+  for (const auto& b : pending.bids) {
+    if (b.daemon == msg.from) reply->cluster = b.cluster;
+  }
+  network_->send(*this, pending.client, std::move(reply));
+  pending_.erase(it);
+}
+
+void BrokerAgent::fail(RequestId id, std::string reason) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  ++failed_;
+  auto reply = std::make_unique<proto::SubmitJobReply>();
+  reply->request = it->second.client_request;
+  reply->placed = false;
+  reply->reason = std::move(reason);
+  network_->send(*this, it->second.client, std::move(reply));
+  pending_.erase(it);
+}
+
+}  // namespace faucets

@@ -1,0 +1,75 @@
+// Broker agent: the scalable asynchronous bid evaluation of §5.3.
+//
+// "We envisage a system in which each Compute Server as well as client is
+// represented by several agent processes running on the distributed faucets
+// framework. [...] The client agents simply specify user-specific selection
+// criteria to evaluation." A BrokerAgent runs next to the Central Server,
+// takes one SubmitJobRequest per job, performs the directory lookup, the
+// request-for-bids fan-out, the evaluation under the client's criteria, and
+// the two-phase award — so the client exchanges O(1) messages per job
+// instead of O(#servers).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/faucets/protocol.hpp"
+#include "src/market/evaluation.hpp"
+#include "src/sim/network.hpp"
+
+namespace faucets {
+
+struct BrokerConfig {
+  /// How long to wait for bids before evaluating with what arrived.
+  double bid_timeout = 10.0;
+};
+
+class BrokerAgent final : public sim::Entity {
+ public:
+  BrokerAgent(sim::Engine& engine, sim::Network& network, EntityId central,
+              BrokerConfig config = {});
+
+  void on_message(const sim::Message& msg) override;
+
+  [[nodiscard]] std::uint64_t submissions() const noexcept { return submissions_; }
+  [[nodiscard]] std::uint64_t placed() const noexcept { return placed_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+
+ private:
+  struct Pending {
+    EntityId client;
+    RequestId client_request;
+    UserId user;
+    std::string username;
+    std::string password;
+    proto::SelectionCriteria criteria = proto::SelectionCriteria::kLeastCost;
+    qos::QosContract contract;
+    std::vector<market::Bid> bids;
+    std::size_t expected_bids = 0;
+    bool evaluated = false;
+    double promised_completion = 0.0;
+    sim::EventHandle timeout;
+    std::vector<BidId> refused;
+  };
+
+  void handle_submit(const proto::SubmitJobRequest& msg);
+  void handle_directory(const proto::DirectoryReply& msg);
+  void handle_bid(const proto::BidReply& msg);
+  void handle_award_ack(const proto::AwardAck& msg);
+  void evaluate(RequestId id);
+  void fail(RequestId id, std::string reason);
+
+  [[nodiscard]] static std::unique_ptr<market::BidEvaluator> evaluator_for(
+      proto::SelectionCriteria criteria);
+
+  sim::Network* network_;
+  EntityId central_;
+  BrokerConfig config_;
+  IdGenerator<RequestId> ids_;
+  std::unordered_map<RequestId, Pending> pending_;
+  std::uint64_t submissions_ = 0;
+  std::uint64_t placed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace faucets

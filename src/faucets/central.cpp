@@ -1,0 +1,250 @@
+#include "src/faucets/central.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace faucets {
+
+CentralServer::CentralServer(sim::Engine& engine, sim::Network& network,
+                             CentralServerConfig config)
+    : sim::Entity("faucets-server", engine), network_(&network), config_(config) {
+  network.attach(*this);
+  ledger_.set_debt_limit(config_.barter_debt_limit);
+  ledger_.set_clock(&now_cache_);
+  if (config_.poll_interval > 0.0) {
+    poll_timer_ = this->engine().schedule_after(config_.poll_interval,
+                                                [this] { poll_daemons(); });
+  }
+}
+
+std::optional<UserId> CentralServer::register_user(const std::string& username,
+                                                   const std::string& password,
+                                                   ClusterId home_cluster) {
+  auto id = users_.add_user(username, password);
+  if (id && home_cluster.valid()) home_clusters_.emplace(*id, home_cluster);
+  if (id) accounts_.open_account(*id, 0.0);
+  return id;
+}
+
+void CentralServer::open_barter_account(ClusterId cluster, double credits) {
+  ledger_.open_account(cluster, credits);
+}
+
+std::optional<ClusterId> CentralServer::home_cluster_of(UserId user) const {
+  auto it = home_clusters_.find(user);
+  if (it == home_clusters_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<proto::ServerInfo> CentralServer::filter_servers(
+    const qos::QosContract& contract, UserId user) const {
+  std::vector<proto::ServerInfo> out;
+  const auto home = home_cluster_of(user);
+
+  for (const auto& [cluster, entry] : directory_) {
+    if (!entry.alive) continue;
+    // Static properties (§5.1): size, memory, software environment.
+    if (!entry.machine.can_ever_run(contract)) continue;
+    // Known-applications policy (§2.2).
+    if (!application_known(contract.environment.application)) continue;
+    // Dynamic properties: recent queue depth.
+    if (config_.dynamic_queue_limit >= 0 &&
+        entry.queued_jobs > static_cast<std::size_t>(config_.dynamic_queue_limit)) {
+      continue;
+    }
+    // Barter mode (§5.5.3): foreign clusters are only offered when the home
+    // cluster can pay for the run with credits.
+    if (config_.billing == BillingMode::kBarter && home.has_value() &&
+        cluster != *home) {
+      const double est_credits = contract.total_work() *
+                                 entry.machine.cost_per_cpu_second /
+                                 std::max(entry.machine.speed_factor, 1e-9);
+      if (!ledger_.can_spend(*home, est_credits)) continue;
+    }
+    proto::ServerInfo info;
+    info.cluster = cluster;
+    info.daemon = entry.daemon;
+    info.name = entry.machine.name;
+    info.total_procs = entry.machine.total_procs;
+    info.memory_per_proc_mb = entry.machine.memory_per_proc_mb;
+    info.speed_factor = entry.machine.speed_factor;
+    out.push_back(std::move(info));
+  }
+
+  // Deterministic order; in barter mode the home cluster goes first ("the
+  // system tries to submit the job to the user's Home Cluster").
+  std::sort(out.begin(), out.end(),
+            [&](const proto::ServerInfo& a, const proto::ServerInfo& b) {
+              if (home.has_value()) {
+                const bool ah = a.cluster == *home;
+                const bool bh = b.cluster == *home;
+                if (ah != bh) return ah;
+              }
+              return a.cluster < b.cluster;
+            });
+  return out;
+}
+
+void CentralServer::on_message(const sim::Message& msg) {
+  now_cache_ = now();
+  if (const auto* m = dynamic_cast<const proto::LoginRequest*>(&msg)) {
+    handle_login(*m);
+  } else if (const auto* m2 = dynamic_cast<const proto::DirectoryRequest*>(&msg)) {
+    handle_directory(*m2);
+  } else if (const auto* m3 = dynamic_cast<const proto::RegisterDaemon*>(&msg)) {
+    handle_register(*m3);
+  } else if (const auto* m4 = dynamic_cast<const proto::PollReply*>(&msg)) {
+    handle_poll_reply(*m4);
+  } else if (const auto* m5 = dynamic_cast<const proto::AuthVerifyRequest*>(&msg)) {
+    handle_auth_verify(*m5);
+  } else if (const auto* m6 = dynamic_cast<const proto::ContractSettled*>(&msg)) {
+    handle_settled(*m6);
+  } else if (const auto* m7 = dynamic_cast<const proto::PeerDirectoryRequest*>(&msg)) {
+    handle_peer_directory(*m7);
+  } else if (const auto* m8 = dynamic_cast<const proto::PeerDirectoryReply*>(&msg)) {
+    handle_peer_reply(*m8);
+  }
+}
+
+void CentralServer::handle_login(const proto::LoginRequest& msg) {
+  auto reply = std::make_unique<proto::LoginReply>();
+  const auto user = users_.verify(msg.username, msg.password);
+  reply->ok = user.has_value();
+  if (user) {
+    reply->user = *user;
+    reply->session = sessions_.open(*user);
+  }
+  FAUCETS_DEBUG("fs") << "login " << msg.username << (reply->ok ? " ok" : " DENIED");
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void CentralServer::handle_directory(const proto::DirectoryRequest& msg) {
+  const auto user = sessions_.lookup(msg.session);
+  std::vector<proto::ServerInfo> local;
+  if (user) local = filter_servers(msg.contract, *user);
+
+  if (peers_.empty() || !user) {
+    auto reply = std::make_unique<proto::DirectoryReply>();
+    reply->request = msg.request;
+    reply->servers = std::move(local);
+    if (config_.price_band > 1.0) {
+      if (const auto normal = price_history_.average_unit_price(now())) {
+        reply->normal_unit_price = *normal;
+        reply->price_band = config_.price_band;
+      }
+    }
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  // Federated (§5.1): gather the peers' matching servers, then answer.
+  const RequestId id = federated_ids_.next();
+  FederatedQuery query;
+  query.client = msg.from;
+  query.client_request = msg.request;
+  query.servers = std::move(local);
+  query.outstanding = peers_.size();
+  query.timeout =
+      engine().schedule_after(1.0, [this, id] { finish_federated(id); });
+  federated_.emplace(id, std::move(query));
+  for (EntityId peer : peers_) {
+    auto fwd = std::make_unique<proto::PeerDirectoryRequest>();
+    fwd->request = id;
+    fwd->contract = msg.contract;
+    network_->send(*this, peer, std::move(fwd));
+  }
+}
+
+void CentralServer::handle_peer_directory(const proto::PeerDirectoryRequest& msg) {
+  auto reply = std::make_unique<proto::PeerDirectoryReply>();
+  reply->request = msg.request;
+  // No user context across regions: static + dynamic filtering only.
+  reply->servers = filter_servers(msg.contract, UserId{});
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void CentralServer::handle_peer_reply(const proto::PeerDirectoryReply& msg) {
+  auto it = federated_.find(msg.request);
+  if (it == federated_.end()) return;
+  FederatedQuery& query = it->second;
+  query.servers.insert(query.servers.end(), msg.servers.begin(),
+                       msg.servers.end());
+  if (query.outstanding > 0) --query.outstanding;
+  if (query.outstanding == 0) finish_federated(msg.request);
+}
+
+void CentralServer::finish_federated(RequestId id) {
+  auto it = federated_.find(id);
+  if (it == federated_.end()) return;
+  FederatedQuery& query = it->second;
+  query.timeout.cancel();
+  auto reply = std::make_unique<proto::DirectoryReply>();
+  reply->request = query.client_request;
+  reply->servers = std::move(query.servers);
+  if (config_.price_band > 1.0) {
+    if (const auto normal = price_history_.average_unit_price(now())) {
+      reply->normal_unit_price = *normal;
+      reply->price_band = config_.price_band;
+    }
+  }
+  network_->send(*this, query.client, std::move(reply));
+  federated_.erase(it);
+}
+
+void CentralServer::handle_register(const proto::RegisterDaemon& msg) {
+  DirectoryEntry entry;
+  entry.daemon = msg.from;
+  entry.machine = msg.machine;
+  directory_[msg.cluster] = std::move(entry);
+  auto ack = std::make_unique<proto::RegisterAck>();
+  ack->ok = true;
+  FAUCETS_DEBUG("fs") << "registered cluster " << msg.cluster << " ("
+                      << msg.machine.name << ")";
+  network_->send(*this, msg.from, std::move(ack));
+}
+
+void CentralServer::handle_poll_reply(const proto::PollReply& msg) {
+  auto it = directory_.find(msg.cluster);
+  if (it == directory_.end()) return;
+  it->second.busy_procs = msg.busy_procs;
+  it->second.queued_jobs = msg.queued_jobs;
+  it->second.missed_polls = 0;
+  it->second.alive = true;
+}
+
+void CentralServer::handle_auth_verify(const proto::AuthVerifyRequest& msg) {
+  auto reply = std::make_unique<proto::AuthVerifyReply>();
+  reply->request = msg.request;
+  const auto user = users_.verify(msg.username, msg.password);
+  reply->ok = user.has_value();
+  if (user) reply->user = *user;
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void CentralServer::handle_settled(const proto::ContractSettled& msg) {
+  price_history_.record(msg.record);
+  switch (config_.billing) {
+    case BillingMode::kDollars:
+    case BillingMode::kServiceUnits:
+      accounts_.charge(msg.user, msg.record.price);
+      break;
+    case BillingMode::kBarter: {
+      const auto home = home_cluster_of(msg.user);
+      if (home) ledger_.transfer(*home, msg.record.cluster, msg.record.price);
+      break;
+    }
+  }
+}
+
+void CentralServer::poll_daemons() {
+  for (auto& [cluster, entry] : directory_) {
+    ++entry.missed_polls;
+    if (entry.missed_polls > config_.max_missed_polls) entry.alive = false;
+    network_->send(*this, entry.daemon, std::make_unique<proto::PollRequest>());
+  }
+  poll_timer_ =
+      engine().schedule_after(config_.poll_interval, [this] { poll_daemons(); });
+}
+
+}  // namespace faucets

@@ -1,0 +1,136 @@
+// The Faucets Central Server (FS) — the heart of the system (§2).
+//
+// It maintains the directory of available Compute Servers (refreshed by
+// periodically polling the daemons), the list of registered applications,
+// authenticates users, answers filtered directory queries (§5.1), keeps the
+// contract price history (§5.2.1) and, in barter mode, the credit ledger
+// (§5.5.3).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/faucets/accounting.hpp"
+#include "src/faucets/auth.hpp"
+#include "src/faucets/protocol.hpp"
+#include "src/market/price_history.hpp"
+#include "src/sim/network.hpp"
+
+namespace faucets {
+
+struct CentralServerConfig {
+  BillingMode billing = BillingMode::kDollars;
+  double poll_interval = 60.0;  // seconds between daemon polls; 0 disables
+  /// Directory entries whose daemon missed this many polls are considered
+  /// down and excluded.
+  int max_missed_polls = 3;
+  /// Dynamic filter (§5.1): exclude servers with more than this many queued
+  /// jobs at last poll. Negative disables the filter.
+  int dynamic_queue_limit = -1;
+  /// Barter mode: how deep a home cluster may go into debt.
+  double barter_debt_limit = 0.0;
+  /// Market regulation (§5.5.1): bids priced outside
+  /// [normal/price_band, normal*price_band] are rejected by clients.
+  /// <= 1 disables regulation.
+  double price_band = 0.0;
+};
+
+class CentralServer final : public sim::Entity {
+ public:
+  CentralServer(sim::Engine& engine, sim::Network& network,
+                CentralServerConfig config = {});
+
+  // --- administration (out of band, like the real system's admin tools) ---
+  /// Create a user account; `home_cluster` matters in barter mode.
+  std::optional<UserId> register_user(const std::string& username,
+                                      const std::string& password,
+                                      ClusterId home_cluster = ClusterId{});
+
+  /// Register an application name as known/trusted grid-wide (§2.2's
+  /// "Known Applications" scheme).
+  void register_application(const std::string& name) { applications_.insert(name); }
+  /// An empty registry means no Known-Applications policy is in force;
+  /// once any application is registered, unknown names are filtered out.
+  [[nodiscard]] bool application_known(const std::string& name) const {
+    return name.empty() || applications_.empty() || applications_.contains(name);
+  }
+
+  /// Open a barter account for a cluster with an opening credit.
+  void open_barter_account(ClusterId cluster, double credits);
+
+  /// Federate with another regional Central Server (§5.1): directory
+  /// queries from local clients also cover the peer's Compute Servers.
+  /// Symmetric federation requires both sides to add each other.
+  void add_peer(EntityId peer) { peers_.push_back(peer); }
+  [[nodiscard]] std::size_t peer_count() const noexcept { return peers_.size(); }
+
+  // --- queries used by tests/benchmarks -----------------------------------
+  [[nodiscard]] std::size_t directory_size() const noexcept { return directory_.size(); }
+  [[nodiscard]] const market::PriceHistory& price_history() const noexcept {
+    return price_history_;
+  }
+  [[nodiscard]] BarterLedger& barter_ledger() noexcept { return ledger_; }
+  [[nodiscard]] const BarterLedger& barter_ledger() const noexcept { return ledger_; }
+  [[nodiscard]] UserAccounts& user_accounts() noexcept { return accounts_; }
+  [[nodiscard]] const CentralServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::optional<ClusterId> home_cluster_of(UserId user) const;
+
+  /// The filtering core (§5.1), exposed for unit tests: which directory
+  /// entries could serve `contract` for `user`?
+  [[nodiscard]] std::vector<proto::ServerInfo> filter_servers(
+      const qos::QosContract& contract, UserId user) const;
+
+  void on_message(const sim::Message& msg) override;
+
+ private:
+  struct DirectoryEntry {
+    EntityId daemon;
+    cluster::MachineSpec machine;
+    int busy_procs = 0;
+    std::size_t queued_jobs = 0;
+    int missed_polls = 0;
+    bool alive = true;
+  };
+
+  struct FederatedQuery {
+    EntityId client;
+    RequestId client_request;
+    std::vector<proto::ServerInfo> servers;
+    std::size_t outstanding = 0;
+    sim::EventHandle timeout;
+  };
+
+  void handle_login(const proto::LoginRequest& msg);
+  void handle_directory(const proto::DirectoryRequest& msg);
+  void handle_peer_directory(const proto::PeerDirectoryRequest& msg);
+  void handle_peer_reply(const proto::PeerDirectoryReply& msg);
+  void finish_federated(RequestId id);
+  void handle_register(const proto::RegisterDaemon& msg);
+  void handle_poll_reply(const proto::PollReply& msg);
+  void handle_auth_verify(const proto::AuthVerifyRequest& msg);
+  void handle_settled(const proto::ContractSettled& msg);
+  void poll_daemons();
+
+  sim::Network* network_;
+  CentralServerConfig config_;
+
+  UserDatabase users_;
+  SessionManager sessions_;
+  std::unordered_map<UserId, ClusterId> home_clusters_;
+  std::unordered_set<std::string> applications_;
+  std::unordered_map<ClusterId, DirectoryEntry> directory_;
+  market::PriceHistory price_history_;
+  BarterLedger ledger_;
+  UserAccounts accounts_;
+  sim::EventHandle poll_timer_;
+  double now_cache_ = 0.0;  // clock source for the ledger log
+  std::vector<EntityId> peers_;
+  IdGenerator<RequestId> federated_ids_;
+  std::unordered_map<RequestId, FederatedQuery> federated_;
+};
+
+}  // namespace faucets

@@ -1,0 +1,362 @@
+#include "src/faucets/client.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace faucets {
+
+FaucetsClient::FaucetsClient(sim::Engine& engine, sim::Network& network,
+                             EntityId central,
+                             std::unique_ptr<market::BidEvaluator> evaluator,
+                             ClientConfig config)
+    : sim::Entity("fc-" + config.username, engine),
+      network_(&network),
+      central_(central),
+      evaluator_(std::move(evaluator)),
+      config_(std::move(config)) {
+  network.attach(*this);
+}
+
+void FaucetsClient::login() {
+  if (login_sent_) return;
+  login_sent_ = true;
+  auto msg = std::make_unique<proto::LoginRequest>();
+  msg->username = config_.username;
+  msg->password = config_.password;
+  network_->send(*this, central_, std::move(msg));
+}
+
+void FaucetsClient::run_workload(std::vector<job::JobRequest> requests) {
+  login();
+  for (auto& req : requests) {
+    engine().schedule_at(req.submit_time, [this, contract = std::move(req.contract)] {
+      submit(contract);
+    });
+  }
+}
+
+void FaucetsClient::submit_now(const qos::QosContract& contract) {
+  login();
+  submit(contract);
+}
+
+void FaucetsClient::submit(const qos::QosContract& contract) {
+  if (!session_) {
+    login();
+    pre_login_queue_.push_back(contract);
+    return;
+  }
+  const RequestId request = request_ids_.next();
+  PendingJob pending;
+  pending.outcome_index = outcomes_.size();
+  pending.contract = contract;
+  pending_.emplace(request, std::move(pending));
+
+  SubmissionOutcome outcome;
+  outcome.submit_time = now();
+  outcomes_.push_back(outcome);
+
+  if (config_.broker.has_value()) {
+    send_brokered(request);
+    return;
+  }
+  auto msg = std::make_unique<proto::DirectoryRequest>();
+  msg->request = request;
+  msg->session = *session_;
+  msg->contract = contract;
+  network_->send(*this, central_, std::move(msg));
+}
+
+void FaucetsClient::on_message(const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const proto::LoginReply*>(&msg)) {
+    handle_login(*m);
+  } else if (const auto* m2 = dynamic_cast<const proto::DirectoryReply*>(&msg)) {
+    handle_directory(*m2);
+  } else if (const auto* m3 = dynamic_cast<const proto::BidReply*>(&msg)) {
+    handle_bid(*m3);
+  } else if (const auto* m4 = dynamic_cast<const proto::AwardAck*>(&msg)) {
+    handle_award_ack(*m4);
+  } else if (const auto* m5 = dynamic_cast<const proto::JobCompleteNotice*>(&msg)) {
+    handle_complete(*m5);
+  } else if (const auto* m6 = dynamic_cast<const proto::JobEvicted*>(&msg)) {
+    handle_evicted(*m6);
+  } else if (const auto* m7 = dynamic_cast<const proto::SubmitJobReply*>(&msg)) {
+    handle_submit_reply(*m7);
+  }
+}
+
+void FaucetsClient::resubmit(RequestId request) {
+  auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+  pending.bids.clear();
+  pending.expected_bids = 0;
+  pending.evaluated = false;
+  pending.refused.clear();
+  pending.timeout.cancel();
+  pending.watchdog.cancel();
+  outcomes_[pending.outcome_index].status = SubmissionOutcome::Status::kPending;
+
+  if (config_.broker.has_value()) {
+    send_brokered(request);
+    return;
+  }
+  auto msg = std::make_unique<proto::DirectoryRequest>();
+  msg->request = request;
+  msg->session = *session_;
+  msg->contract = pending.contract;
+  network_->send(*this, central_, std::move(msg));
+}
+
+void FaucetsClient::handle_evicted(const proto::JobEvicted& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+  // Resume from the checkpoint: only the remaining work goes back to the
+  // market. Deadlines stay absolute — lost time is lost.
+  pending.contract = pending.contract.reduced_by(msg.completed_work);
+  ++migrations_;
+  FAUCETS_INFO("fc") << config_.username << ": job evicted, resubmitting "
+                     << pending.contract.total_work() << " remaining work";
+  resubmit(msg.request);
+}
+
+void FaucetsClient::handle_login(const proto::LoginReply& msg) {
+  if (!msg.ok) {
+    FAUCETS_WARN("fc") << config_.username << ": login denied";
+    return;
+  }
+  session_ = msg.session;
+  user_ = msg.user;
+  while (!pre_login_queue_.empty()) {
+    auto contract = std::move(pre_login_queue_.front());
+    pre_login_queue_.pop_front();
+    submit(contract);
+  }
+}
+
+void FaucetsClient::handle_directory(const proto::DirectoryReply& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+  pending.normal_unit_price = msg.normal_unit_price;
+  pending.price_band = msg.price_band;
+
+  if (msg.servers.empty()) {
+    finish_request(msg.request, SubmissionOutcome::Status::kNoServers);
+    return;
+  }
+
+  // Broadcast the request-for-bids to every matching daemon (§5.1's current
+  // implementation).
+  pending.expected_bids = msg.servers.size();
+  for (const auto& server : msg.servers) {
+    auto rfb = std::make_unique<proto::RequestForBids>();
+    rfb->request = msg.request;
+    rfb->username = config_.username;
+    rfb->password = config_.password;
+    rfb->contract = pending.contract;
+    network_->send(*this, server.daemon, std::move(rfb));
+  }
+  pending.timeout = engine().schedule_after(
+      config_.bid_timeout, [this, request = msg.request] { evaluate(request); });
+}
+
+void FaucetsClient::handle_bid(const proto::BidReply& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+  if (pending.evaluated) return;  // late bid after timeout evaluation
+  pending.bids.push_back(msg.bid);
+  if (pending.bids.size() >= pending.expected_bids) evaluate(msg.request);
+}
+
+void FaucetsClient::evaluate(RequestId request) {
+  auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+  pending.evaluated = true;
+  pending.timeout.cancel();
+  outcomes_[pending.outcome_index].bids_received =
+      static_cast<std::size_t>(std::count_if(
+          pending.bids.begin(), pending.bids.end(),
+          [](const market::Bid& b) { return !b.declined; }));
+
+  // Mask out bids already refused at commit time, and bids outside the
+  // regulated price band (§5.5.1) when regulation is in force.
+  std::vector<market::Bid> candidates = pending.bids;
+  const double work = pending.contract.total_work();
+  for (auto& b : candidates) {
+    if (b.declined) continue;
+    if (std::find(pending.refused.begin(), pending.refused.end(), b.id) !=
+        pending.refused.end()) {
+      b.declined = true;
+      continue;
+    }
+    if (pending.price_band > 1.0 && pending.normal_unit_price > 0.0 && work > 0.0) {
+      const double unit = b.price / work;
+      if (unit > pending.normal_unit_price * pending.price_band ||
+          unit < pending.normal_unit_price / pending.price_band) {
+        b.declined = true;
+        ++regulated_out_;
+      }
+    }
+  }
+
+  std::optional<std::size_t> choice;
+  if (config_.home_cluster) {
+    // Home-cluster preference (§5.5.3): any viable home bid wins outright.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!candidates[i].declined && candidates[i].cluster == *config_.home_cluster) {
+        std::vector<market::Bid> only_home{candidates[i]};
+        if (evaluator_->select(only_home, pending.contract, now())) choice = i;
+        break;
+      }
+    }
+  }
+  if (!choice) choice = evaluator_->select(candidates, pending.contract, now());
+
+  if (!choice) {
+    finish_request(request, pending.bids.empty()
+                                ? SubmissionOutcome::Status::kNoBids
+                                : SubmissionOutcome::Status::kAllRefused);
+    return;
+  }
+
+  const market::Bid& winner = candidates[*choice];
+  pending.promised_completion = winner.promised_completion;
+  auto award = std::make_unique<proto::AwardJob>();
+  award->request = request;
+  award->bid = winner.id;
+  award->username = config_.username;
+  award->password = config_.password;
+  award->user = user_;
+  award->contract = pending.contract;
+  outcomes_[pending.outcome_index].cluster = winner.cluster;
+  outcomes_[pending.outcome_index].price = winner.price;
+  network_->send(*this, winner.daemon, std::move(award));
+}
+
+void FaucetsClient::handle_award_ack(const proto::AwardAck& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+
+  if (!msg.accepted) {
+    // Two-phase retry: mark every bid from the refusing cluster as dead
+    // and re-evaluate the rest.
+    for (const auto& b : pending.bids) {
+      if (!b.declined && b.cluster == outcomes_[pending.outcome_index].cluster) {
+        pending.refused.push_back(b.id);
+      }
+    }
+    evaluate(msg.request);
+    return;
+  }
+
+  on_placed(msg.request, msg.price, outcomes_[pending.outcome_index].cluster,
+            msg.from, msg.job, pending.promised_completion);
+}
+
+void FaucetsClient::arm_watchdog(RequestId request, double promised_completion) {
+  if (config_.watchdog_margin < 0.0) return;
+  auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  // Promises are estimates, not contracts: allow twice the promised
+  // runtime before declaring the job lost, plus the fixed margin.
+  const double promised_run = std::max(promised_completion - now(), 0.0);
+  const double deadline = now() + 2.0 * promised_run + config_.watchdog_margin;
+  it->second.watchdog = engine().schedule_at(deadline, [this, request] {
+    auto wit = pending_.find(request);
+    if (wit == pending_.end()) return;
+    if (outcomes_[wit->second.outcome_index].status !=
+        SubmissionOutcome::Status::kPlaced) {
+      return;
+    }
+    ++watchdog_restarts_;
+    FAUCETS_WARN("fc") << config_.username
+                       << ": watchdog fired, restarting lost job";
+    resubmit(request);
+  });
+}
+
+void FaucetsClient::on_placed(RequestId request, double price, ClusterId cluster,
+                              EntityId daemon, JobId job,
+                              double promised_completion) {
+  auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+
+  SubmissionOutcome& outcome = outcomes_[pending.outcome_index];
+  outcome.status = SubmissionOutcome::Status::kPlaced;
+  outcome.award_time = now();
+  outcome.price = price;
+  outcome.cluster = cluster;
+  award_latency_.add(outcome.award_time - outcome.submit_time);
+
+  arm_watchdog(request, promised_completion);
+
+  // Upload input files to the chosen daemon.
+  auto upload = std::make_unique<proto::UploadFiles>();
+  upload->request = request;
+  upload->job = job;
+  upload->megabytes = pending.contract.resources.input_mb > 0.0
+                          ? pending.contract.resources.input_mb
+                          : config_.default_input_mb;
+  network_->send(*this, daemon, std::move(upload));
+}
+
+void FaucetsClient::send_brokered(RequestId request) {
+  auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  auto msg = std::make_unique<proto::SubmitJobRequest>();
+  msg->request = request;
+  msg->session = *session_;
+  msg->username = config_.username;
+  msg->password = config_.password;
+  msg->user = user_;
+  msg->criteria = config_.criteria;
+  msg->contract = it->second.contract;
+  network_->send(*this, *config_.broker, std::move(msg));
+}
+
+void FaucetsClient::handle_submit_reply(const proto::SubmitJobReply& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  if (!msg.placed) {
+    finish_request(msg.request, msg.reason == "no matching servers"
+                                    ? SubmissionOutcome::Status::kNoServers
+                                    : SubmissionOutcome::Status::kNoBids);
+    return;
+  }
+  outcomes_[it->second.outcome_index].bids_received = msg.bids_considered;
+  on_placed(msg.request, msg.price, msg.cluster, msg.daemon, msg.job,
+            msg.promised_completion);
+}
+
+void FaucetsClient::handle_complete(const proto::JobCompleteNotice& msg) {
+  auto it = pending_.find(msg.request);
+  if (it == pending_.end()) return;
+  PendingJob& pending = it->second;
+  pending.watchdog.cancel();
+  SubmissionOutcome& outcome = outcomes_[pending.outcome_index];
+  outcome.status = SubmissionOutcome::Status::kCompleted;
+  outcome.finish_time = msg.finish_time;
+  outcome.payoff = pending.contract.payoff.value_at(msg.finish_time);
+  total_spent_ += msg.price_charged;
+  total_payoff_ += outcome.payoff;
+  ++completed_;
+  pending_.erase(it);
+}
+
+void FaucetsClient::finish_request(RequestId request,
+                                   SubmissionOutcome::Status status) {
+  auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  outcomes_[it->second.outcome_index].status = status;
+  ++unplaced_;
+  pending_.erase(it);
+}
+
+}  // namespace faucets

@@ -1,0 +1,154 @@
+// The Faucets Client (FC) — §2: authenticates with the Central Server,
+// requests the list of matching Compute Servers, solicits bids from each
+// daemon, selects a bid with its evaluator, awards the job (with retry to
+// the next-best bid if the daemon refuses at commit time), uploads input
+// files, and tracks completion notices.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/faucets/protocol.hpp"
+#include "src/job/workload.hpp"
+#include "src/market/evaluation.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/stats.hpp"
+
+namespace faucets {
+
+struct ClientConfig {
+  std::string username;
+  std::string password;
+  /// How long to wait for bids before evaluating with what arrived.
+  double bid_timeout = 10.0;
+  /// Barter/home-cluster preference (§5.5.3): take a viable bid from the
+  /// home cluster before comparing prices elsewhere.
+  std::optional<ClusterId> home_cluster;
+  /// Input upload size if the contract does not specify one.
+  double default_input_mb = 8.0;
+  /// Babysitting watchdog (§1, §3): if a placed job's promised completion
+  /// passes by this margin without a completion notice, assume the server
+  /// died and resubmit from scratch. Negative disables the watchdog.
+  double watchdog_margin = -1.0;
+  /// Brokered submission (§5.3): when set, the client sends one
+  /// SubmitJobRequest to this broker agent instead of broadcasting
+  /// request-for-bids itself. `criteria` replaces the local evaluator.
+  std::optional<EntityId> broker;
+  proto::SelectionCriteria criteria = proto::SelectionCriteria::kLeastCost;
+};
+
+/// Outcome of one submission, for experiment bookkeeping.
+struct SubmissionOutcome {
+  enum class Status { kPending, kPlaced, kNoServers, kNoBids, kAllRefused, kCompleted };
+  Status status = Status::kPending;
+  ClusterId cluster;
+  double price = 0.0;
+  double submit_time = 0.0;
+  double award_time = 0.0;    // when the contract was confirmed
+  double finish_time = 0.0;
+  double payoff = 0.0;        // value_at(finish) from the client's payoff fn
+  std::size_t bids_received = 0;
+};
+
+class FaucetsClient final : public sim::Entity {
+ public:
+  FaucetsClient(sim::Engine& engine, sim::Network& network, EntityId central,
+                std::unique_ptr<market::BidEvaluator> evaluator, ClientConfig config);
+
+  /// Log in and schedule the submission of every request at its time.
+  void run_workload(std::vector<job::JobRequest> requests);
+
+  /// Submit one contract right away (used by examples and tests).
+  void submit_now(const qos::QosContract& contract);
+
+  // --- results -------------------------------------------------------------
+  [[nodiscard]] const std::vector<SubmissionOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] bool logged_in() const noexcept { return session_.has_value(); }
+  /// True when no submission is still in flight (bidding, running, or
+  /// waiting for login).
+  [[nodiscard]] bool idle() const noexcept {
+    return pending_.empty() && pre_login_queue_.empty();
+  }
+  [[nodiscard]] std::size_t submissions() const noexcept { return outcomes_.size(); }
+  [[nodiscard]] double total_spent() const noexcept { return total_spent_; }
+  [[nodiscard]] double total_payoff() const noexcept { return total_payoff_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t unplaced() const noexcept { return unplaced_; }
+  /// Seconds from submission to confirmed award (E7's time-to-award).
+  [[nodiscard]] const Samples& award_latency() const noexcept { return award_latency_; }
+  /// Jobs moved to another Compute Server after an eviction notice.
+  [[nodiscard]] std::uint64_t migrations() const noexcept { return migrations_; }
+  /// Jobs restarted from scratch by the watchdog after a silent crash.
+  [[nodiscard]] std::uint64_t watchdog_restarts() const noexcept {
+    return watchdog_restarts_;
+  }
+  /// Bids discarded by market regulation (§5.5.1).
+  [[nodiscard]] std::uint64_t regulated_out() const noexcept { return regulated_out_; }
+
+  void on_message(const sim::Message& msg) override;
+
+ private:
+  struct PendingJob {
+    std::size_t outcome_index = 0;
+    qos::QosContract contract;
+    std::vector<market::Bid> bids;
+    std::size_t expected_bids = 0;
+    bool evaluated = false;
+    sim::EventHandle timeout;
+    sim::EventHandle watchdog;
+    double promised_completion = 0.0;
+    double normal_unit_price = 0.0;  // regulation band from the directory
+    double price_band = 0.0;
+    std::vector<BidId> refused;  // bids whose award was refused (two-phase)
+  };
+
+  void login();
+  void submit(const qos::QosContract& contract);
+  void handle_login(const proto::LoginReply& msg);
+  void handle_directory(const proto::DirectoryReply& msg);
+  void handle_bid(const proto::BidReply& msg);
+  void handle_award_ack(const proto::AwardAck& msg);
+  void handle_complete(const proto::JobCompleteNotice& msg);
+  void handle_evicted(const proto::JobEvicted& msg);
+  void handle_submit_reply(const proto::SubmitJobReply& msg);
+  void send_brokered(RequestId request);
+  void arm_watchdog(RequestId request, double promised_completion);
+  void on_placed(RequestId request, double price, ClusterId cluster,
+                 EntityId daemon, JobId job, double promised_completion);
+  void evaluate(RequestId request);
+  void finish_request(RequestId request, SubmissionOutcome::Status status);
+  /// Restart the bid/award cycle for a request already in pending_.
+  void resubmit(RequestId request);
+
+  sim::Network* network_;
+  EntityId central_;
+  std::unique_ptr<market::BidEvaluator> evaluator_;
+  ClientConfig config_;
+
+  std::optional<SessionId> session_;
+  UserId user_;
+  bool login_sent_ = false;
+  std::deque<qos::QosContract> pre_login_queue_;
+
+  IdGenerator<RequestId> request_ids_;
+  std::unordered_map<RequestId, PendingJob> pending_;
+  std::unordered_map<JobId, RequestId> placed_;  // running jobs by daemon JobId
+
+  std::vector<SubmissionOutcome> outcomes_;
+  Samples award_latency_;
+  double total_spent_ = 0.0;
+  double total_payoff_ = 0.0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t unplaced_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t watchdog_restarts_ = 0;
+  std::uint64_t regulated_out_ = 0;
+};
+
+}  // namespace faucets

@@ -1,0 +1,281 @@
+#include "src/faucets/daemon.hpp"
+
+#include <algorithm>
+
+#include "src/util/logging.hpp"
+
+namespace faucets {
+
+FaucetsDaemon::FaucetsDaemon(sim::Engine& engine, sim::Network& network,
+                             ClusterId cluster,
+                             std::unique_ptr<cluster::ClusterManager> cm,
+                             std::unique_ptr<market::BidGenerator> bidgen,
+                             EntityId central_server, EntityId appspector,
+                             DaemonConfig config)
+    : sim::Entity("fd-" + cm->machine().name, engine),
+      cluster_(cluster),
+      network_(&network),
+      cm_(std::move(cm)),
+      bidgen_(std::move(bidgen)),
+      central_(central_server),
+      appspector_(appspector),
+      config_(config) {
+  network.attach(*this);
+  // Namespace bid ids by cluster so they are unique grid-wide.
+  bid_ids_.reset(cluster_.value() << 32);
+  cm_->set_completion_callback([this](const job::Job& j) { on_job_complete(j); });
+  if (config_.monitor_interval > 0.0) {
+    monitor_timer_ = this->engine().schedule_after(config_.monitor_interval,
+                                                   [this] { push_monitor_updates(); });
+  }
+}
+
+void FaucetsDaemon::register_with_central() {
+  auto msg = std::make_unique<proto::RegisterDaemon>();
+  msg->cluster = cluster_;
+  msg->machine = cm_->machine();
+  network_->send(*this, central_, std::move(msg));
+}
+
+void FaucetsDaemon::drain_and_shutdown() {
+  const auto evicted = cm_->evict_all();
+  for (const auto& e : evicted) {
+    auto it = running_.find(e.job);
+    if (it == running_.end()) continue;  // locally submitted job, no client
+    auto notice = std::make_unique<proto::JobEvicted>();
+    notice->job = e.job;
+    notice->request = it->second.request;
+    notice->completed_work = e.completed_work;
+    notice->checkpoint_mb = e.contract.resources.total_memory_for(e.contract.min_procs) /
+                            1024.0;  // rough checkpoint image size
+    network_->send(*this, it->second.client, std::move(notice));
+    running_.erase(it);
+  }
+  monitor_timer_.cancel();
+  network_->detach(id());
+}
+
+void FaucetsDaemon::crash() {
+  cm_->halt();
+  running_.clear();
+  monitor_timer_.cancel();
+  network_->detach(id());
+}
+
+void FaucetsDaemon::on_message(const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const proto::RequestForBids*>(&msg)) {
+    handle_rfb(*m);
+  } else if (const auto* m2 = dynamic_cast<const proto::AuthVerifyReply*>(&msg)) {
+    handle_auth_reply(*m2);
+  } else if (const auto* m3 = dynamic_cast<const proto::AwardJob*>(&msg)) {
+    handle_award(*m3);
+  } else if (const auto* m4 = dynamic_cast<const proto::UploadFiles*>(&msg)) {
+    handle_upload(*m4);
+  } else if (const auto* m5 = dynamic_cast<const proto::PollRequest*>(&msg)) {
+    handle_poll(*m5);
+  }
+  // RegisterAck needs no action.
+}
+
+void FaucetsDaemon::handle_rfb(const proto::RequestForBids& msg) {
+  PendingRfb rfb{msg.from, msg.request, msg.contract};
+  // §2.2: the FD holds no account data; verify with the Central Server —
+  // unless a cached verification exists (the single-sign-on optimization).
+  if (config_.cache_auth && auth_cache_.contains(msg.username)) {
+    answer_rfb(rfb);
+    return;
+  }
+  const RequestId auth_id = auth_request_ids_.next();
+  pending_auth_.emplace(auth_id, std::move(rfb));
+  auto verify = std::make_unique<proto::AuthVerifyRequest>();
+  verify->request = auth_id;
+  verify->username = msg.username;
+  verify->password = msg.password;
+  // Remember the username so a success can populate the cache.
+  auth_usernames_[auth_id] = msg.username;
+  network_->send(*this, central_, std::move(verify));
+}
+
+void FaucetsDaemon::handle_auth_reply(const proto::AuthVerifyReply& msg) {
+  auto it = pending_auth_.find(msg.request);
+  if (it == pending_auth_.end()) return;
+  const PendingRfb rfb = std::move(it->second);
+  pending_auth_.erase(it);
+  auto name_it = auth_usernames_.find(msg.request);
+  if (!msg.ok) {
+    if (name_it != auth_usernames_.end()) auth_usernames_.erase(name_it);
+    auto reply = std::make_unique<proto::BidReply>();
+    reply->request = rfb.request;
+    reply->bid = market::Bid::decline(cluster_, id());
+    ++bids_declined_;
+    network_->send(*this, rfb.client, std::move(reply));
+    return;
+  }
+  if (config_.cache_auth && name_it != auth_usernames_.end()) {
+    auth_cache_.emplace(name_it->second, msg.user);
+  }
+  if (name_it != auth_usernames_.end()) auth_usernames_.erase(name_it);
+  answer_rfb(rfb);
+}
+
+void FaucetsDaemon::answer_rfb(const PendingRfb& rfb) {
+  const auto admission = cm_->query(rfb.contract);
+  market::BidContext ctx;
+  ctx.now = now();
+  ctx.cm = cm_.get();
+  ctx.contract = &rfb.contract;
+  ctx.admission = &admission;
+  ctx.grid_history = grid_history_;
+
+  auto reply = std::make_unique<proto::BidReply>();
+  reply->request = rfb.request;
+  const auto multiplier = admission.accept ? bidgen_->multiplier(ctx) : std::nullopt;
+  if (!multiplier) {
+    reply->bid = market::Bid::decline(cluster_, id());
+    ++bids_declined_;
+  } else {
+    const BidId bid_id = bid_ids_.next();
+    reply->bid = market::make_bid(bid_id, *cm_, id(), rfb.contract, admission,
+                                  *multiplier, now(), config_.bid_validity);
+    issued_bids_.emplace(
+        bid_id, IssuedBid{rfb.contract, reply->bid.price, reply->bid.expires_at});
+    ++bids_issued_;
+  }
+  network_->send(*this, rfb.client, std::move(reply));
+}
+
+void FaucetsDaemon::handle_award(const proto::AwardJob& msg) {
+  auto reply = std::make_unique<proto::AwardAck>();
+  reply->request = msg.request;
+
+  auto bid_it = issued_bids_.find(msg.bid);
+  if (bid_it == issued_bids_.end() || bid_it->second.expires_at < now()) {
+    reply->accepted = false;
+    reply->reason = "bid unknown or expired";
+    ++awards_refused_;
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  // Two-phase commit (§5.3): re-check admission — a more lucrative job may
+  // have arrived since the bid was issued.
+  const UserId user = msg.user;
+  const auto job_id = cm_->submit(user, bid_it->second.contract);
+  if (!job_id) {
+    reply->accepted = false;
+    reply->reason = "cluster state changed since bid";
+    ++awards_refused_;
+    issued_bids_.erase(bid_it);
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  reply->accepted = true;
+  reply->job = *job_id;
+  reply->price = bid_it->second.price;
+  ++awards_confirmed_;
+  // Notices go to the client itself even when a broker placed the award.
+  const EntityId notify = msg.notify.valid() ? msg.notify : msg.from;
+  const RequestId notify_request =
+      msg.notify_request.valid() ? msg.notify_request : msg.request;
+  running_.emplace(*job_id,
+                   RunningJob{notify, notify_request, user, bid_it->second.price});
+  issued_bids_.erase(bid_it);
+
+  // Register the job with AppSpector ("Once the job starts, the FD
+  // registers the running job with the AppSpector Server").
+  if (appspector_.valid()) {
+    auto reg = std::make_unique<proto::RegisterJobMonitor>();
+    reg->job = *job_id;
+    reg->cluster = cluster_;
+    reg->user = user;
+    reg->application = msg.contract.environment.application;
+    network_->send(*this, appspector_, std::move(reg));
+  }
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void FaucetsDaemon::handle_upload(const proto::UploadFiles& msg) {
+  // Input staging: by the time this message is delivered the bandwidth
+  // model has already charged the transfer time. Nothing further to do —
+  // the CM holds the job. A status push tells AppSpector the job is live.
+  if (!appspector_.valid()) return;
+  const job::Job* j = cm_->find_job(msg.job);
+  if (j == nullptr) return;
+  auto update = std::make_unique<proto::JobStatusUpdate>();
+  update->job = msg.job;
+  update->cluster = cluster_;
+  update->state = std::string(job::to_string(j->state()));
+  update->procs = j->procs();
+  update->progress = j->progress_at(now());
+  network_->send(*this, appspector_, std::move(update));
+}
+
+void FaucetsDaemon::handle_poll(const proto::PollRequest& msg) {
+  auto reply = std::make_unique<proto::PollReply>();
+  reply->cluster = cluster_;
+  reply->busy_procs = cm_->busy_procs();
+  reply->total_procs = cm_->machine().total_procs;
+  reply->queued_jobs = cm_->queued_count();
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void FaucetsDaemon::on_job_complete(const job::Job& job) {
+  auto it = running_.find(job.id());
+  if (it == running_.end()) return;  // locally submitted job (no market)
+  const RunningJob info = it->second;
+  running_.erase(it);
+
+  revenue_ += info.price;
+
+  // Notify the client (output files travel with the notice).
+  auto notice = std::make_unique<proto::JobCompleteNotice>();
+  notice->job = job.id();
+  notice->request = info.request;
+  notice->finish_time = job.finish_time();
+  notice->price_charged = info.price;
+  notice->output_mb = job.contract().resources.output_mb;
+  network_->send(*this, info.client, std::move(notice));
+
+  // Tell AppSpector.
+  if (appspector_.valid()) {
+    auto update = std::make_unique<proto::JobStatusUpdate>();
+    update->job = job.id();
+    update->cluster = cluster_;
+    update->state = "completed";
+    update->procs = 0;
+    update->progress = 1.0;
+    network_->send(*this, appspector_, std::move(update));
+  }
+
+  // Report the settled contract to the Central Server (price history +
+  // billing / bartering).
+  auto settled = std::make_unique<proto::ContractSettled>();
+  settled->record.time = now();
+  settled->record.cluster = cluster_;
+  settled->record.procs = job.contract().min_procs;
+  settled->record.work = job.total_work();
+  settled->record.price = info.price;
+  settled->user = info.user;
+  network_->send(*this, central_, std::move(settled));
+}
+
+void FaucetsDaemon::push_monitor_updates() {
+  if (appspector_.valid()) {
+    for (const auto* j : cm_->running_jobs()) {
+      auto update = std::make_unique<proto::JobStatusUpdate>();
+      update->job = j->id();
+      update->cluster = cluster_;
+      update->state = std::string(job::to_string(j->state()));
+      update->procs = j->procs();
+      update->progress = j->progress_at(now());
+      update->utilization = static_cast<double>(cm_->busy_procs()) /
+                            std::max(1, cm_->machine().total_procs);
+      network_->send(*this, appspector_, std::move(update));
+    }
+  }
+  monitor_timer_ = engine().schedule_after(config_.monitor_interval,
+                                           [this] { push_monitor_updates(); });
+}
+
+}  // namespace faucets

@@ -1,0 +1,304 @@
+// Wire protocol of the Faucets system (§2): the messages exchanged between
+// Faucets Client (FC), Central Server (FS), Faucets Daemons (FD) and the
+// AppSpector (AS). In the real system these travel over TCP; here they ride
+// the simulated network, with sizes approximating the real payloads so the
+// bandwidth model is meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/machine.hpp"
+#include "src/market/bid.hpp"
+#include "src/market/price_history.hpp"
+#include "src/qos/contract.hpp"
+#include "src/sim/entity.hpp"
+
+namespace faucets::proto {
+
+// ---------------------------------------------------------------- FC <-> FS
+
+struct LoginRequest final : sim::Message {
+  std::string username;
+  std::string password;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "LOGIN"; }
+};
+
+struct LoginReply final : sim::Message {
+  bool ok = false;
+  SessionId session;
+  UserId user;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "LOGIN_ACK"; }
+};
+
+/// One directory row: enough for the client to contact the daemon and for
+/// static filtering to have already happened server-side.
+struct ServerInfo {
+  ClusterId cluster;
+  EntityId daemon;
+  std::string name;
+  int total_procs = 0;
+  double memory_per_proc_mb = 0.0;
+  double speed_factor = 1.0;
+};
+
+struct DirectoryRequest final : sim::Message {
+  RequestId request;
+  SessionId session;
+  qos::QosContract contract;  // the FS filters servers against it (§5.1)
+  [[nodiscard]] std::string_view kind() const noexcept override { return "DIR_REQ"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
+};
+
+struct DirectoryReply final : sim::Message {
+  RequestId request;
+  std::vector<ServerInfo> servers;
+  /// Market regulation (§5.5.1): the recent "normal" unit price and the
+  /// allowed band around it. band <= 0 means no regulation in force.
+  double normal_unit_price = 0.0;
+  double price_band = 0.0;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "DIR_ACK"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return 128 + servers.size() * 96;
+  }
+};
+
+// ---------------------------------------------------------------- FC <-> FD
+
+struct RequestForBids final : sim::Message {
+  RequestId request;
+  std::string username;  // §2.2: credentials embedded in every message
+  std::string password;
+  qos::QosContract contract;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "RFB"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
+};
+
+struct BidReply final : sim::Message {
+  RequestId request;
+  market::Bid bid;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "BID"; }
+};
+
+struct AwardJob final : sim::Message {
+  RequestId request;
+  BidId bid;
+  std::string username;
+  std::string password;
+  UserId user;  // identity established at login; FD verified it at bid time
+  /// When a broker agent awards on a client's behalf (§5.3), `notify` is
+  /// the client entity that receives completion/eviction notices and
+  /// `notify_request` the id those notices must carry. Invalid = the
+  /// sender itself (direct submission).
+  EntityId notify;
+  RequestId notify_request;
+  qos::QosContract contract;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "AWARD"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
+};
+
+/// Second phase of the award (§5.3): the daemon either confirms — becoming
+/// contractually bound — or refuses because its state changed since the bid.
+struct AwardAck final : sim::Message {
+  RequestId request;
+  bool accepted = false;
+  JobId job;          // valid when accepted
+  double price = 0.0; // final contract price
+  std::string reason; // when refused
+  [[nodiscard]] std::string_view kind() const noexcept override { return "AWARD_ACK"; }
+};
+
+/// Input file upload FC -> FD ("the client uploads the input files to the
+/// chosen FD and the FD takes over the job"). Size drives the bandwidth
+/// model.
+struct UploadFiles final : sim::Message {
+  RequestId request;
+  JobId job;
+  double megabytes = 0.0;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "UPLOAD"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return static_cast<std::size_t>(megabytes * 1e6) + 256;
+  }
+};
+
+/// The Compute Server is going down (§3): the job was checkpointed and the
+/// client must move it to another machine. `completed_work` lets the client
+/// resubmit only the remainder.
+struct JobEvicted final : sim::Message {
+  JobId job;
+  RequestId request;
+  double completed_work = 0.0;
+  double checkpoint_mb = 0.0;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "EVICTED"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return static_cast<std::size_t>(checkpoint_mb * 1e6) + 256;
+  }
+};
+
+struct JobCompleteNotice final : sim::Message {
+  JobId job;
+  RequestId request;
+  double finish_time = 0.0;
+  double price_charged = 0.0;
+  double output_mb = 0.0;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "JOB_DONE"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return static_cast<std::size_t>(output_mb * 1e6) + 256;
+  }
+};
+
+// ------------------------------------------------------------ FC <-> Broker
+
+/// User-specific selection criteria a client agent applies on the client's
+/// behalf (§5.3: "The client agents simply specify user-specific selection
+/// criteria to evaluation").
+enum class SelectionCriteria { kLeastCost, kEarliestCompletion, kSurplus };
+
+/// One-shot submission through a broker agent: the broker performs the
+/// directory lookup, the request-for-bids fan-out, the evaluation, and the
+/// two-phase award, shielding the client from the flood of bids (§5.3).
+struct SubmitJobRequest final : sim::Message {
+  RequestId request;  // client-side id; echoed in the reply and notices
+  SessionId session;
+  std::string username;
+  std::string password;
+  UserId user;
+  SelectionCriteria criteria = SelectionCriteria::kLeastCost;
+  qos::QosContract contract;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "SUBMIT"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1280; }
+};
+
+struct SubmitJobReply final : sim::Message {
+  RequestId request;
+  bool placed = false;
+  ClusterId cluster;
+  EntityId daemon;  // for the input upload
+  JobId job;
+  double price = 0.0;
+  double promised_completion = 0.0;
+  std::size_t bids_considered = 0;
+  std::string reason;  // when not placed
+  [[nodiscard]] std::string_view kind() const noexcept override { return "SUBMIT_ACK"; }
+};
+
+// ---------------------------------------------------------------- FS <-> FS
+
+/// Federation (§5.1 future work: "the broadcast itself will be handled by
+/// a distributed Faucets system"). A regional Central Server answers its
+/// own clients from its own directory plus what its peer regions report.
+/// Peers filter on static/dynamic properties only; user-specific rules
+/// (home cluster, barter credits) apply in the user's home region.
+struct PeerDirectoryRequest final : sim::Message {
+  RequestId request;
+  qos::QosContract contract;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "PEER_DIR"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
+};
+
+struct PeerDirectoryReply final : sim::Message {
+  RequestId request;
+  std::vector<ServerInfo> servers;
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "PEER_DIR_ACK";
+  }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return 128 + servers.size() * 96;
+  }
+};
+
+// ---------------------------------------------------------------- FD <-> FS
+
+struct RegisterDaemon final : sim::Message {
+  ClusterId cluster;
+  cluster::MachineSpec machine;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "REGISTER"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 512; }
+};
+
+struct RegisterAck final : sim::Message {
+  bool ok = false;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "REGISTER_ACK"; }
+};
+
+/// FS polls FDs periodically to refresh the directory's dynamic state (§2).
+struct PollRequest final : sim::Message {
+  [[nodiscard]] std::string_view kind() const noexcept override { return "POLL"; }
+};
+
+struct PollReply final : sim::Message {
+  ClusterId cluster;
+  int busy_procs = 0;
+  int total_procs = 0;
+  std::size_t queued_jobs = 0;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "POLL_ACK"; }
+};
+
+/// §2.2: the FD has no account data; it verifies each client's credentials
+/// with the Central Server.
+struct AuthVerifyRequest final : sim::Message {
+  RequestId request;
+  std::string username;
+  std::string password;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "AUTH_REQ"; }
+};
+
+struct AuthVerifyReply final : sim::Message {
+  RequestId request;
+  bool ok = false;
+  UserId user;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "AUTH_ACK"; }
+};
+
+/// Settled-contract report feeding the price history (§5.2.1) and, in
+/// barter mode, the credit ledger (§5.5.3).
+struct ContractSettled final : sim::Message {
+  market::ContractRecord record;
+  UserId user;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "SETTLED"; }
+};
+
+// ---------------------------------------------------------------- FD <-> AS
+
+struct RegisterJobMonitor final : sim::Message {
+  JobId job;
+  ClusterId cluster;
+  UserId user;
+  std::string application;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "AS_REG"; }
+};
+
+struct JobStatusUpdate final : sim::Message {
+  JobId job;
+  ClusterId cluster;
+  std::string state;       // running / completed / ...
+  int procs = 0;
+  double progress = 0.0;   // fraction of work done
+  double utilization = 0.0;  // cluster-level utilization for the generic pane
+  std::string display;     // application-specific display line
+  [[nodiscard]] std::string_view kind() const noexcept override { return "AS_UPDATE"; }
+};
+
+// ---------------------------------------------------------------- FC <-> AS
+
+struct WatchJob final : sim::Message {
+  JobId job;
+  ClusterId cluster;
+  SessionId session;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "WATCH"; }
+};
+
+struct WatchReply final : sim::Message {
+  JobId job;
+  bool known = false;
+  std::string state;
+  int procs = 0;
+  double progress = 0.0;
+  std::vector<std::string> display_buffer;  // buffered output for late joiners
+  [[nodiscard]] std::string_view kind() const noexcept override { return "WATCH_ACK"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return 256 + display_buffer.size() * 80;
+  }
+};
+
+}  // namespace faucets::proto

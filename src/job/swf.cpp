@@ -1,0 +1,105 @@
+#include "src/job/swf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace faucets::job {
+
+namespace {
+
+// SWF field indices (0-based) per the Parallel Workloads Archive spec.
+constexpr std::size_t kSubmitTime = 1;
+constexpr std::size_t kRunTime = 3;
+constexpr std::size_t kAllocatedProcs = 4;
+constexpr std::size_t kRequestedProcs = 7;
+constexpr std::size_t kRequestedTime = 8;
+constexpr std::size_t kUserId = 11;
+constexpr std::size_t kFieldCount = 18;
+
+}  // namespace
+
+std::vector<JobRequest> load_swf(std::istream& in, const SwfOptions& options) {
+  std::vector<JobRequest> out;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto comment = line.find(';');
+    if (comment != std::string::npos) line.erase(comment);
+
+    std::istringstream fields{line};
+    std::vector<double> value;
+    double v = 0.0;
+    while (fields >> v) value.push_back(v);
+    if (value.empty()) continue;  // blank or pure comment
+    if (value.size() < kFieldCount) {
+      throw std::invalid_argument("swf line " + std::to_string(line_number) +
+                                  ": expected 18 fields, got " +
+                                  std::to_string(value.size()));
+    }
+
+    const double submit = value[kSubmitTime];
+    // Prefer the request over the allocation (the request is what a user
+    // would submit to the grid); fall back per SWF's -1 convention.
+    double procs = value[kRequestedProcs];
+    if (procs <= 0.0) procs = value[kAllocatedProcs];
+    double runtime = value[kRequestedTime];
+    if (runtime <= 0.0) runtime = value[kRunTime];
+    if (procs <= 0.0 || runtime <= 0.0 || submit < 0.0) continue;  // unusable
+
+    int p = static_cast<int>(std::lround(procs));
+    if (options.procs_cap > 0) p = std::min(p, options.procs_cap);
+    const double work = static_cast<double>(p) * runtime;
+
+    int min_procs = p;
+    int max_procs = p;
+    if (options.malleability > 0.0) {
+      min_procs = std::max(1, static_cast<int>(std::floor(
+                                  p / (1.0 + options.malleability))));
+      max_procs = std::max(min_procs, static_cast<int>(std::ceil(
+                                          p * (1.0 + options.malleability))));
+      if (options.procs_cap > 0) {
+        max_procs = std::min(max_procs, options.procs_cap);
+        min_procs = std::min(min_procs, max_procs);
+      }
+    }
+
+    JobRequest req;
+    req.submit_time = submit;
+    req.contract = qos::make_contract(min_procs, max_procs, work, 0.95, 0.8);
+    const double payoff = options.price_per_work * work;
+    if (options.deadline_tightness > 0.0) {
+      const double soft = submit + runtime * options.deadline_tightness;
+      const double hard = submit + runtime * options.deadline_tightness *
+                                       options.hard_stretch;
+      req.contract.payoff =
+          qos::PayoffFunction::deadline(soft, hard, payoff, payoff * 0.5,
+                                        payoff * 0.25);
+    } else {
+      req.contract.payoff = qos::PayoffFunction::flat(payoff);
+    }
+
+    const double user = value[kUserId];
+    req.user_index = user > 0.0 ? static_cast<std::size_t>(user) : 0;
+    req.home_cluster =
+        req.user_index % std::max<std::size_t>(1, options.cluster_count);
+    out.push_back(std::move(req));
+
+    if (options.max_jobs > 0 && out.size() >= options.max_jobs) break;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const JobRequest& a, const JobRequest& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  return out;
+}
+
+std::vector<JobRequest> load_swf_string(const std::string& text,
+                                        const SwfOptions& options) {
+  std::istringstream stream{text};
+  return load_swf(stream, options);
+}
+
+}  // namespace faucets::job

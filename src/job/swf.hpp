@@ -1,0 +1,53 @@
+// Standard Workload Format (SWF) reader.
+//
+// §5.4 runs the simulation "over patterns of job submissions under study";
+// besides the synthetic generator, real supercomputer logs in the
+// community-standard SWF (one line per job, 18 whitespace-separated
+// fields, ';' comments — the Parallel Workloads Archive format) can be
+// replayed. SWF jobs are rigid; the options below optionally widen each
+// job into a malleable range and attach deadline payoffs so the adaptive
+// and market machinery has something to work with.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/job/workload.hpp"
+
+namespace faucets::job {
+
+struct SwfOptions {
+  /// Stop after this many jobs (0 = all).
+  std::size_t max_jobs = 0;
+
+  /// Widen each job's processor request into a malleable range:
+  /// min = procs / (1 + malleability), max = procs * (1 + malleability).
+  /// 0 keeps jobs rigid, as recorded.
+  double malleability = 0.0;
+
+  /// Attach a deadline payoff: soft deadline = submit + runtime *
+  /// tightness (0 = flat payoff of price * work).
+  double deadline_tightness = 0.0;
+  double hard_stretch = 2.0;
+
+  /// Dollar value per processor-second of work.
+  double price_per_work = 0.001;
+
+  /// Clamp processor requests (e.g. to the largest machine). 0 = no clamp.
+  int procs_cap = 0;
+
+  /// Number of home clusters to spread users over.
+  std::size_t cluster_count = 1;
+};
+
+/// Parse an SWF stream. Skips comment/empty lines and jobs with missing
+/// size or runtime (negative fields per the SWF convention). Throws
+/// std::invalid_argument on structurally malformed lines.
+[[nodiscard]] std::vector<JobRequest> load_swf(std::istream& in,
+                                               const SwfOptions& options = {});
+
+[[nodiscard]] std::vector<JobRequest> load_swf_string(const std::string& text,
+                                                      const SwfOptions& options = {});
+
+}  // namespace faucets::job

@@ -1,0 +1,103 @@
+#include "src/job/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faucets::job {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+double WorkloadGenerator::mean_work(const WorkloadParams& params) noexcept {
+  // Mean of lognormal(mu, sigma) = exp(mu + sigma^2 / 2).
+  return std::exp(params.work_log_mu +
+                  params.work_log_sigma * params.work_log_sigma / 2.0);
+}
+
+void WorkloadGenerator::calibrate_load(WorkloadParams& params, double load,
+                                       int total_procs) {
+  const double mw = mean_work(params);
+  params.mean_interarrival = mw / (load * static_cast<double>(total_procs));
+}
+
+std::vector<JobRequest> WorkloadGenerator::generate() {
+  std::vector<JobRequest> out;
+  out.reserve(params_.job_count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < params_.job_count; ++i) {
+    t += rng_.exponential(params_.mean_interarrival);
+
+    JobRequest req;
+    req.submit_time = t;
+    req.user_index = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(params_.user_count) - 1));
+    req.home_cluster = req.user_index % std::max<std::size_t>(1, params_.cluster_count);
+
+    const double work = rng_.lognormal(params_.work_log_mu, params_.work_log_sigma);
+    const int min_procs = static_cast<int>(
+        rng_.uniform_int(params_.min_procs_lo, params_.min_procs_hi));
+    int max_procs = min_procs;
+    if (!rng_.bernoulli(params_.rigid_fraction)) {
+      const double expansion = rng_.uniform(params_.expansion_lo, params_.expansion_hi);
+      max_procs = static_cast<int>(std::lround(min_procs * expansion));
+    }
+    max_procs = std::clamp(max_procs, min_procs, params_.procs_cap);
+
+    const double eff_min = rng_.uniform(params_.eff_min_lo, params_.eff_min_hi);
+    const double eff_max = rng_.uniform(params_.eff_max_lo, params_.eff_max_hi);
+
+    qos::QosContract c = qos::make_contract(min_procs, max_procs, work,
+                                            eff_min, std::min(eff_min, eff_max));
+    c.resources.memory_per_proc_mb =
+        rng_.uniform(params_.mem_per_proc_lo, params_.mem_per_proc_hi);
+    c.environment.operating_system = "linux";
+
+    const double runtime_at_max = c.estimated_runtime(max_procs);
+    const double tightness = rng_.uniform(params_.tightness_lo, params_.tightness_hi);
+    const double premium =
+        rng_.uniform(params_.premium_lo, params_.premium_hi) / std::sqrt(tightness);
+    const double payoff = params_.price_per_work * work * premium;
+
+    if (rng_.bernoulli(params_.deadline_fraction)) {
+      const double soft = t + runtime_at_max * tightness;
+      const double hard = t + runtime_at_max * tightness * params_.hard_stretch;
+      c.payoff = qos::PayoffFunction::deadline(soft, hard, payoff, payoff * 0.5,
+                                               payoff * params_.penalty_fraction);
+    } else {
+      c.payoff = qos::PayoffFunction::flat(payoff);
+    }
+
+    req.contract = std::move(c);
+    out.push_back(std::move(req));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const JobRequest& a, const JobRequest& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  return out;
+}
+
+std::vector<JobRequest> fragmentation_scenario(double gap_seconds) {
+  std::vector<JobRequest> out;
+
+  // Job B: long, unimportant, currently sized at 500 but malleable 400..1000.
+  JobRequest b;
+  b.submit_time = 0.0;
+  // Eight hours of work at 500 processors and efficiency ~1.
+  b.contract = qos::make_contract(400, 1000, 500.0 * 8.0 * 3600.0, 0.98, 0.90);
+  b.contract.payoff = qos::PayoffFunction::flat(10.0);
+  out.push_back(b);
+
+  // Job A: urgent and important, needs exactly 600 processors.
+  JobRequest a;
+  a.submit_time = gap_seconds;
+  a.contract = qos::make_contract(600, 600, 600.0 * 1800.0, 0.95, 0.95);
+  const double soft = gap_seconds + 2400.0;  // wants to finish within 40 min
+  a.contract.payoff = qos::PayoffFunction::deadline(soft, soft + 1200.0,
+                                                    1000.0, 400.0, 100.0);
+  out.push_back(a);
+
+  return out;
+}
+
+}  // namespace faucets::job

@@ -1,0 +1,103 @@
+// Synthetic workload generation: the job-submission patterns over which the
+// paper's simulation system (§5.4) runs its experiments.
+#pragma once
+
+#include <vector>
+
+#include "src/qos/contract.hpp"
+#include "src/util/rng.hpp"
+
+namespace faucets::job {
+
+/// A job waiting to be submitted: contract plus submission metadata.
+struct JobRequest {
+  double submit_time = 0.0;
+  qos::QosContract contract;
+  std::size_t user_index = 0;     // which synthetic user submits it
+  std::size_t home_cluster = 0;   // the user's Home Cluster (§5.5.3)
+};
+
+/// Tunable parameters of the generator. Defaults produce a moderately loaded
+/// malleable workload resembling supercomputer trace studies: Poisson
+/// arrivals, lognormal work, power-of-two-ish processor ranges.
+struct WorkloadParams {
+  std::size_t job_count = 200;
+
+  // Arrivals: exponential inter-arrival with this mean (seconds).
+  double mean_interarrival = 120.0;
+
+  // Work per job (processor-seconds at perfect efficiency): lognormal.
+  double work_log_mu = 9.5;     // median ~ 13,360 proc-s
+  double work_log_sigma = 1.0;
+
+  // Malleability: min_procs uniform in [min_procs_lo, min_procs_hi];
+  // max_procs = min_procs * expansion chosen uniformly in
+  // [expansion_lo, expansion_hi]. Set rigid_fraction > 0 for a mix of
+  // traditional jobs (max = min).
+  int min_procs_lo = 4;
+  int min_procs_hi = 32;
+  double expansion_lo = 2.0;
+  double expansion_hi = 8.0;
+  double rigid_fraction = 0.0;
+  int procs_cap = 1 << 20;  // clamp max_procs (e.g. to machine size)
+
+  // Efficiency at the ends of the range.
+  double eff_min_lo = 0.85, eff_min_hi = 1.0;   // at min_procs
+  double eff_max_lo = 0.55, eff_max_hi = 0.9;   // at max_procs
+
+  // Deadlines: soft deadline = submit + runtime_at_max * tightness where
+  // tightness ~ U[tightness_lo, tightness_hi]; hard deadline = soft *
+  // hard_stretch. deadline_fraction of jobs carry deadlines at all.
+  double deadline_fraction = 1.0;
+  double tightness_lo = 1.5;
+  double tightness_hi = 6.0;
+  double hard_stretch = 2.0;
+
+  // Economics: payoff = price_per_work * work * premium where premium ~
+  // U[premium_lo, premium_hi]; tighter deadlines pay more (premium is
+  // divided by tightness). Post-hard-deadline penalty as a fraction of the
+  // payoff.
+  double price_per_work = 0.001;
+  double premium_lo = 0.8;
+  double premium_hi = 2.5;
+  double penalty_fraction = 0.25;
+
+  // Population for market experiments.
+  std::size_t user_count = 16;
+  std::size_t cluster_count = 1;
+
+  // Memory footprint per processor (MB), uniform.
+  double mem_per_proc_lo = 256.0;
+  double mem_per_proc_hi = 2048.0;
+};
+
+/// Deterministic generator: the same seed and params always yield the same
+/// request stream.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadParams params, std::uint64_t seed = 42);
+
+  /// Generate the full stream, sorted by submit time.
+  [[nodiscard]] std::vector<JobRequest> generate();
+
+  /// Scale `mean_interarrival` so the stream offers `load` (fraction of
+  /// capacity) to a machine with `total_procs` processors, given the mean
+  /// work implied by the parameters. load = mean_work / (interarrival *
+  /// total_procs).
+  static void calibrate_load(WorkloadParams& params, double load, int total_procs);
+
+  /// Mean work per job implied by the lognormal parameters.
+  [[nodiscard]] static double mean_work(const WorkloadParams& params) noexcept;
+
+ private:
+  WorkloadParams params_;
+  Rng rng_;
+};
+
+/// The exact internal-fragmentation scenario from §1 of the paper: a
+/// 1000-processor machine, a long unimportant job B occupying 500
+/// processors (malleable 400..1000), and an urgent job A needing 600.
+/// Returns {B, A} with A submitted `gap_seconds` after B.
+[[nodiscard]] std::vector<JobRequest> fragmentation_scenario(double gap_seconds = 600.0);
+
+}  // namespace faucets::job

@@ -1,0 +1,31 @@
+// Bid types exchanged between clients and Compute Servers (§5.2, §5.3).
+#pragma once
+
+#include "src/util/ids.hpp"
+
+namespace faucets::market {
+
+/// A Compute Server's answer to a request-for-bids. The paper: "The bid is
+/// converted to Dollar amount by multiplying the CPU-seconds needed for the
+/// job with a normalized cost and the multiplier returned by the bidding
+/// algorithm."
+struct Bid {
+  BidId id;
+  ClusterId cluster;
+  EntityId daemon;                   // where to send the award
+  bool declined = false;
+  double multiplier = 1.0;           // output of the bid-generation algorithm
+  double price = 0.0;                // multiplier * normalized cost * cpu-seconds
+  double promised_completion = 0.0;  // absolute sim time
+  double expires_at = 0.0;           // bid no longer binding after this
+
+  [[nodiscard]] static Bid decline(ClusterId cluster, EntityId daemon) {
+    Bid b;
+    b.cluster = cluster;
+    b.daemon = daemon;
+    b.declined = true;
+    return b;
+  }
+};
+
+}  // namespace faucets::market

@@ -1,0 +1,60 @@
+#include "src/market/evaluation.hpp"
+
+namespace faucets::market {
+
+std::vector<std::size_t> BidEvaluator::viable(const std::vector<Bid>& bids,
+                                              const qos::QosContract& contract,
+                                              double now) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    const Bid& b = bids[i];
+    if (b.declined) continue;
+    if (b.expires_at > 0.0 && b.expires_at < now) continue;
+    if (contract.payoff.has_deadline() &&
+        b.promised_completion > contract.payoff.hard_deadline()) {
+      continue;  // a promise already past the hard deadline is worthless
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<std::size_t> LeastCostEvaluator::select(const std::vector<Bid>& bids,
+                                                      const qos::QosContract& contract,
+                                                      double now) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i : viable(bids, contract, now)) {
+    if (!best || bids[i].price < bids[*best].price) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> EarliestCompletionEvaluator::select(
+    const std::vector<Bid>& bids, const qos::QosContract& contract,
+    double now) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i : viable(bids, contract, now)) {
+    if (!best || bids[i].promised_completion < bids[*best].promised_completion) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> SurplusEvaluator::select(const std::vector<Bid>& bids,
+                                                    const qos::QosContract& contract,
+                                                    double now) const {
+  std::optional<std::size_t> best;
+  double best_surplus = 0.0;
+  for (std::size_t i : viable(bids, contract, now)) {
+    const double surplus =
+        contract.payoff.value_at(bids[i].promised_completion) - bids[i].price;
+    if (!best || surplus > best_surplus) {
+      best = i;
+      best_surplus = surplus;
+    }
+  }
+  return best;
+}
+
+}  // namespace faucets::market

@@ -1,0 +1,65 @@
+// Client-side bid evaluation (§5.3): "each client receives all the bids and
+// selects one of the Compute Servers for the job based on a simple criteria
+// (such as least cost, or earliest promised completion time)."
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/market/bid.hpp"
+#include "src/qos/contract.hpp"
+
+namespace faucets::market {
+
+class BidEvaluator {
+ public:
+  virtual ~BidEvaluator() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Index of the winning bid among `bids`, or nullopt when no bid is
+  /// acceptable. Declined and expired bids are never selected.
+  [[nodiscard]] virtual std::optional<std::size_t> select(
+      const std::vector<Bid>& bids, const qos::QosContract& contract,
+      double now) const = 0;
+
+ protected:
+  /// Bids that are live (not declined, not expired) and whose promise is
+  /// not already past the hard deadline.
+  [[nodiscard]] static std::vector<std::size_t> viable(const std::vector<Bid>& bids,
+                                                       const qos::QosContract& contract,
+                                                       double now);
+};
+
+/// Cheapest viable bid.
+class LeastCostEvaluator final : public BidEvaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "least-cost"; }
+  [[nodiscard]] std::optional<std::size_t> select(const std::vector<Bid>& bids,
+                                                  const qos::QosContract& contract,
+                                                  double now) const override;
+};
+
+/// Earliest promised completion.
+class EarliestCompletionEvaluator final : public BidEvaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "earliest-completion";
+  }
+  [[nodiscard]] std::optional<std::size_t> select(const std::vector<Bid>& bids,
+                                                  const qos::QosContract& contract,
+                                                  double now) const override;
+};
+
+/// Weighted score: maximizes expected payoff at the promised completion
+/// minus the price — the client's actual surplus.
+class SurplusEvaluator final : public BidEvaluator {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "surplus"; }
+  [[nodiscard]] std::optional<std::size_t> select(const std::vector<Bid>& bids,
+                                                  const qos::QosContract& contract,
+                                                  double now) const override;
+};
+
+}  // namespace faucets::market

@@ -1,0 +1,98 @@
+#include "src/market/price_history.hpp"
+
+#include <algorithm>
+
+namespace faucets::market {
+
+void PriceHistory::record(ContractRecord record) {
+  records_.push_back(record);
+  while (records_.size() > capacity_) records_.pop_front();
+  evict(record.time);
+}
+
+void PriceHistory::evict(double now) {
+  while (!records_.empty() && records_.front().time < now - window_) {
+    records_.pop_front();
+  }
+}
+
+std::optional<double> PriceHistory::average_unit_price(double now) const {
+  OnlineStats stats;
+  for (const auto& r : records_) {
+    if (r.time >= now - window_ && r.work > 0.0) stats.add(r.unit_price());
+  }
+  if (stats.empty()) return std::nullopt;
+  return stats.mean();
+}
+
+std::optional<double> PriceHistory::average_unit_price_for_size(double now,
+                                                                int procs_lo,
+                                                                int procs_hi) const {
+  OnlineStats stats;
+  for (const auto& r : records_) {
+    if (r.time >= now - window_ && r.work > 0.0 && r.procs >= procs_lo &&
+        r.procs <= procs_hi) {
+      stats.add(r.unit_price());
+    }
+  }
+  if (stats.empty()) return std::nullopt;
+  return stats.mean();
+}
+
+std::optional<std::pair<double, double>> PriceHistory::unit_price_trend(
+    double now) const {
+  // Ordinary least squares of unit price against (time - now).
+  double n = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const auto& r : records_) {
+    if (r.time < now - window_ || r.work <= 0.0) continue;
+    const double x = r.time - now;
+    const double y = r.unit_price();
+    n += 1.0;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  if (n < 2.0) return std::nullopt;
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // all at one instant
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;  // value at x = 0, i.e. now
+  return std::make_pair(intercept, slope);
+}
+
+std::optional<double> PriceHistory::forecast_unit_price(double now,
+                                                        double horizon) const {
+  const auto trend = unit_price_trend(now);
+  if (!trend) return std::nullopt;
+  return std::max(0.0, trend->first + trend->second * horizon);
+}
+
+Histogram PriceHistory::unit_price_histogram(double now) const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const auto& r : records_) {
+    if (r.time < now - window_ || r.work <= 0.0) continue;
+    const double p = r.unit_price();
+    if (first) {
+      lo = hi = p;
+      first = false;
+    } else {
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+  }
+  if (first || hi <= lo) hi = lo + 1.0;
+  Histogram h{lo, hi, 8};
+  for (const auto& r : records_) {
+    if (r.time >= now - window_ && r.work > 0.0) h.add(r.unit_price());
+  }
+  return h;
+}
+
+}  // namespace faucets::market

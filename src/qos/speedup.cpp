@@ -1,0 +1,20 @@
+#include "src/qos/speedup.hpp"
+
+namespace faucets::qos {
+
+EfficiencyModel::EfficiencyModel(int min_procs, int max_procs, double eff_min,
+                                 double eff_max)
+    : min_procs_(std::max(1, min_procs)),
+      max_procs_(std::max(std::max(1, min_procs), max_procs)),
+      eff_min_(std::clamp(eff_min, 1e-9, 1.0)),
+      eff_max_(std::clamp(eff_max, 1e-9, 1.0)) {}
+
+double EfficiencyModel::efficiency(int procs) const noexcept {
+  const int p = std::clamp(procs, min_procs_, max_procs_);
+  if (max_procs_ == min_procs_) return eff_min_;
+  const double t = static_cast<double>(p - min_procs_) /
+                   static_cast<double>(max_procs_ - min_procs_);
+  return eff_min_ + t * (eff_max_ - eff_min_);
+}
+
+}  // namespace faucets::qos

@@ -1,0 +1,41 @@
+// EASY backfill: the strongest widely deployed rigid scheduler, included so
+// the adaptive strategies are compared against more than plain FCFS. The
+// queue head gets a reservation at the earliest time enough processors
+// free up; later jobs may jump ahead only if they do not delay that
+// reservation.
+#pragma once
+
+#include "src/sched/scheduler.hpp"
+
+namespace faucets::sched {
+
+class BackfillStrategy final : public Strategy {
+ public:
+  explicit BackfillStrategy(RigidRequest request = RigidRequest::kMedian)
+      : request_(request) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "easy-backfill"; }
+  [[nodiscard]] bool adaptive() const noexcept override { return false; }
+
+  [[nodiscard]] AdmissionDecision admit(const SchedulerContext& ctx,
+                                        const qos::QosContract& contract) override;
+  [[nodiscard]] std::vector<Allocation> schedule(const SchedulerContext& ctx) override;
+
+ private:
+  [[nodiscard]] int request_size(const SchedulerContext& ctx,
+                                 const qos::QosContract& contract) const {
+    return rigid_request_size(contract, request_, ctx.total_procs());
+  }
+
+  /// Shadow time: earliest moment the queue head could start given running
+  /// jobs' projected finishes. Also reports processors spare at that time.
+  struct Shadow {
+    double time = 0.0;
+    int spare = 0;
+  };
+  [[nodiscard]] Shadow shadow_for(const SchedulerContext& ctx, int head_size) const;
+
+  RigidRequest request_;
+};
+
+}  // namespace faucets::sched

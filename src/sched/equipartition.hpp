@@ -1,0 +1,28 @@
+// Adaptive equipartition: the earliest strategy of the malleable-job
+// scheduler [15] the paper cites in §4.1 — "each job gets a proportionate
+// share of available processors, while respecting the specified upper and
+// lower bounds on the number of processors for each job."
+#pragma once
+
+#include "src/sched/scheduler.hpp"
+
+namespace faucets::sched {
+
+class EquipartitionStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "equipartition"; }
+  [[nodiscard]] bool adaptive() const noexcept override { return true; }
+
+  [[nodiscard]] AdmissionDecision admit(const SchedulerContext& ctx,
+                                        const qos::QosContract& contract) override;
+  [[nodiscard]] std::vector<Allocation> schedule(const SchedulerContext& ctx) override;
+
+  /// The water-filling core, exposed for unit tests: given (min, max) per
+  /// job in priority order and a capacity, return per-job allocations
+  /// (0 = cannot run). Guarantees sum <= capacity and each allocation is 0
+  /// or within [min, max].
+  [[nodiscard]] static std::vector<int> equipartition(
+      const std::vector<std::pair<int, int>>& bounds, int capacity);
+};
+
+}  // namespace faucets::sched

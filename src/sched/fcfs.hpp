@@ -1,0 +1,31 @@
+// Rigid first-come-first-served scheduler: the baseline "traditional
+// queuing system" of the paper's comparison. Jobs run at a fixed size and
+// the queue head blocks everything behind it — the source of the internal
+// fragmentation scenario in §1.
+#pragma once
+
+#include "src/sched/scheduler.hpp"
+
+namespace faucets::sched {
+
+class FcfsStrategy final : public Strategy {
+ public:
+  explicit FcfsStrategy(RigidRequest request = RigidRequest::kMedian)
+      : request_(request) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "fcfs"; }
+  [[nodiscard]] bool adaptive() const noexcept override { return false; }
+
+  [[nodiscard]] AdmissionDecision admit(const SchedulerContext& ctx,
+                                        const qos::QosContract& contract) override;
+  [[nodiscard]] std::vector<Allocation> schedule(const SchedulerContext& ctx) override;
+
+  /// Fixed size this strategy would run `contract` at on `ctx.machine`.
+  [[nodiscard]] int request_size(const SchedulerContext& ctx,
+                                 const qos::QosContract& contract) const;
+
+ private:
+  RigidRequest request_;
+};
+
+}  // namespace faucets::sched

@@ -1,0 +1,22 @@
+#include "src/sched/metrics.hpp"
+
+namespace faucets::sched {
+
+void MetricsCollector::on_completed(const job::Job& job) {
+  ++completed_;
+  response_times_.add(job.response_time());
+  wait_times_.add(job.wait_time());
+  slowdowns_.add(job.bounded_slowdown());
+  total_payoff_ += job.earned_payoff();
+  work_completed_ += job.total_work();
+  total_reconfigs_ += static_cast<std::uint64_t>(job.reconfig_count());
+  const auto& payoff = job.contract().payoff;
+  if (payoff.has_deadline() && job.finish_time() > payoff.hard_deadline()) {
+    ++deadline_misses_;
+  }
+}
+
+void MetricsCollector::on_rejected() { ++rejected_; }
+void MetricsCollector::on_failed() { ++failed_; }
+
+}  // namespace faucets::sched

@@ -1,0 +1,59 @@
+// Per-cluster scheduling metrics: the system utility measures §4.1 lists
+// (utilization, response time, profit).
+#pragma once
+
+#include <cstdint>
+
+#include "src/job/job.hpp"
+#include "src/util/stats.hpp"
+
+namespace faucets::sched {
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int total_procs) : total_procs_(total_procs) {}
+
+  /// Record that `busy` processors are in use from `time` on.
+  void record_busy(double time, int busy) {
+    busy_signal_.record(time, static_cast<double>(busy));
+  }
+
+  void on_completed(const job::Job& job);
+  void on_rejected();
+  void on_failed();
+
+  /// Close the observation window.
+  void finish(double end_time) { busy_signal_.finish(end_time); }
+
+  [[nodiscard]] double utilization() const noexcept {
+    return total_procs_ == 0
+               ? 0.0
+               : busy_signal_.time_weighted_mean() / static_cast<double>(total_procs_);
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  [[nodiscard]] double total_payoff() const noexcept { return total_payoff_; }
+  [[nodiscard]] std::uint64_t deadline_misses() const noexcept { return deadline_misses_; }
+  [[nodiscard]] const Samples& response_times() const noexcept { return response_times_; }
+  [[nodiscard]] const Samples& wait_times() const noexcept { return wait_times_; }
+  [[nodiscard]] const Samples& slowdowns() const noexcept { return slowdowns_; }
+  [[nodiscard]] double work_completed() const noexcept { return work_completed_; }
+  [[nodiscard]] std::uint64_t total_reconfigs() const noexcept { return total_reconfigs_; }
+
+ private:
+  int total_procs_;
+  TimeWeightedStats busy_signal_;
+  Samples response_times_;
+  Samples wait_times_;
+  Samples slowdowns_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t total_reconfigs_ = 0;
+  double total_payoff_ = 0.0;
+  double work_completed_ = 0.0;
+};
+
+}  // namespace faucets::sched

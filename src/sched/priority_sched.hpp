@@ -1,0 +1,58 @@
+// Intranet scheduler (§5.5.4): "When a company or a laboratory wishes its
+// Compute Server's resources to be pooled among its users [...] Different
+// jobs may have priorities assigned by management. Pre-emption of low
+// priority jobs may be allowed (with automatic restart from a checkpoint
+// later). Further, some elements of the bartering scheme may be
+// incorporated in order to allow individual departments or users [to get]
+// 'fair usage' from resources, so that high priority jobs do not forever
+// starve a subset of users."
+#pragma once
+
+#include <unordered_map>
+
+#include "src/sched/scheduler.hpp"
+
+namespace faucets::sched {
+
+struct PriorityStrategyParams {
+  /// Allow running jobs to be preempted (vacated to the queue) by higher
+  /// priority arrivals. Off = priorities only order the queue.
+  bool allow_preemption = true;
+
+  /// Fair-usage decay: a user's accumulated processor-seconds divided by
+  /// this constant is subtracted from their jobs' effective priority.
+  /// 0 disables fair usage.
+  double fair_usage_weight = 0.0;
+
+  /// Proc-seconds of "free" usage before fair-usage starts to bite.
+  double fair_usage_grace = 0.0;
+};
+
+class PriorityStrategy final : public Strategy {
+ public:
+  explicit PriorityStrategy(PriorityStrategyParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "priority"; }
+  [[nodiscard]] bool adaptive() const noexcept override { return true; }
+
+  [[nodiscard]] AdmissionDecision admit(const SchedulerContext& ctx,
+                                        const qos::QosContract& contract) override;
+  [[nodiscard]] std::vector<Allocation> schedule(const SchedulerContext& ctx) override;
+
+  /// Effective priority of a job after the fair-usage penalty.
+  [[nodiscard]] double effective_priority(const job::Job& job) const;
+
+  /// Record completed usage (the ClusterManager's completion callback
+  /// forwards here when fair usage is on; tests call it directly).
+  void charge_usage(UserId user, double proc_seconds);
+
+  [[nodiscard]] double usage_of(UserId user) const;
+  [[nodiscard]] std::uint64_t preemptions() const noexcept { return preemptions_; }
+
+ private:
+  PriorityStrategyParams params_;
+  std::unordered_map<UserId, double> usage_;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace faucets::sched

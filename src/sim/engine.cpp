@@ -1,0 +1,40 @@
+#include "src/sim/engine.hpp"
+
+#include <utility>
+
+namespace faucets::sim {
+
+EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), flag});
+  return EventHandle{std::move(flag)};
+}
+
+bool Engine::step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > until) return false;
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    // Copy out before popping: fn may schedule new events and reallocate.
+    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn), top.cancelled};
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (step(until)) ++n;
+  if (!queue_.empty() && queue_.top().time > until && until < kForever) now_ = until;
+  return n;
+}
+
+}  // namespace faucets::sim

@@ -1,0 +1,94 @@
+// Deterministic discrete-event simulation engine.
+//
+// Section 5.4 of the Faucets paper describes a simulation system in which
+// every entity of the grid — clients, Compute Servers, the Faucets Server,
+// schedulers with their bid generators, and applications — is an object, and
+// discrete-event simulation is carried out over job-submission patterns.
+// This engine is that substrate: a single-threaded, deterministic event
+// queue ordered by (time, sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace faucets::sim {
+
+/// Simulated time in seconds since the start of the simulation.
+using SimTime = double;
+
+/// Handle to a scheduled event; allows cancellation (e.g. a server's poll
+/// timer when it deregisters). Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool active() const noexcept { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The event queue. Events scheduled for the same instant fire in the order
+/// they were scheduled, which makes every run bit-reproducible.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now). Scheduling in
+  /// the past is clamped to `now` rather than rejected: entities routinely
+  /// react "immediately".
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay.
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the queue drains or `until` is reached (whichever first).
+  /// Returns the number of events executed.
+  std::uint64_t run(SimTime until = kForever);
+
+  /// Execute at most one pending event. Returns false if the queue is empty
+  /// or the next event lies beyond `until`.
+  bool step(SimTime until = kForever);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  static constexpr SimTime kForever = 1e300;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace faucets::sim

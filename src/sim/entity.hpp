@@ -1,0 +1,68 @@
+// Entity and Message: the object model of the simulated grid.
+//
+// Each component of the Faucets architecture (Central Server, Faucets
+// Daemons, clients, AppSpector) is an Entity registered with the Network.
+// Entities communicate exclusively by messages, mirroring the socket
+// protocol of the real system.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/sim/engine.hpp"
+#include "src/util/ids.hpp"
+
+namespace faucets::sim {
+
+/// Base class for everything sent over the simulated network. Concrete
+/// protocol messages (request-for-bids, bids, awards, ...) derive from this
+/// and are dispatched by type in each entity's on_message.
+struct Message {
+  virtual ~Message() = default;
+
+  /// Human-readable message kind for traces ("RFB", "BID", ...).
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+
+  /// Payload size in bytes, used by the network's bandwidth model. The
+  /// default approximates a small control message.
+  [[nodiscard]] virtual std::size_t size_bytes() const noexcept { return 256; }
+
+  EntityId from;
+  EntityId to;
+  SimTime sent_at = 0.0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+class Network;
+
+/// A simulated process: owns no thread, just reacts to delivered messages
+/// and timers scheduled on the shared Engine.
+class Entity {
+ public:
+  Entity(std::string name, Engine& engine) : name_(std::move(name)), engine_(&engine) {}
+  virtual ~Entity() = default;
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  [[nodiscard]] EntityId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Engine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] SimTime now() const noexcept { return engine_->now(); }
+
+  /// Called by the Network when a message addressed to this entity arrives.
+  virtual void on_message(const Message& msg) = 0;
+
+ protected:
+  [[nodiscard]] Network* network() const noexcept { return network_; }
+
+ private:
+  friend class Network;
+  std::string name_;
+  Engine* engine_;
+  Network* network_ = nullptr;
+  EntityId id_;
+};
+
+}  // namespace faucets::sim

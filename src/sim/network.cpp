@@ -1,0 +1,68 @@
+#include "src/sim/network.hpp"
+
+#include <utility>
+
+namespace faucets::sim {
+
+Network::Network(Engine& engine, NetworkConfig config)
+    : engine_(&engine), config_(config) {}
+
+EntityId Network::attach(Entity& entity) {
+  const EntityId id{next_id_++};
+  entity.id_ = id;
+  entity.network_ = this;
+  entities_.emplace(id, &entity);
+  return id;
+}
+
+void Network::detach(EntityId id) { entities_.erase(id); }
+
+Entity* Network::find(EntityId id) const {
+  auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : it->second;
+}
+
+double Network::delay(EntityId from, EntityId to, std::size_t bytes) const noexcept {
+  double d = from == to ? config_.local_latency : config_.base_latency;
+  if (config_.bandwidth > 0) d += static_cast<double>(bytes) / config_.bandwidth;
+  return d;
+}
+
+void Network::send(const Entity& from, EntityId to, MessagePtr msg) {
+  if (entities_.find(from.id()) == entities_.end()) {
+    // A detached (crashed) entity cannot put anything on the wire.
+    ++messages_dropped_;
+    return;
+  }
+  msg->from = from.id();
+  msg->to = to;
+  msg->sent_at = engine_->now();
+  ++messages_sent_;
+  ++per_entity_traffic_[from.id()];
+  ++per_entity_traffic_[to];
+  bytes_sent_ += msg->size_bytes();
+  const double d = delay(from.id(), to, msg->size_bytes());
+  // Shared ownership lets the lambda stay copyable for std::function.
+  std::shared_ptr<Message> shared{std::move(msg)};
+  engine_->schedule_after(d, [this, to, shared = std::move(shared)]() {
+    Entity* target = find(to);
+    if (target == nullptr) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    target->on_message(*shared);
+  });
+}
+
+std::uint64_t Network::traffic_of(EntityId id) const {
+  auto it = per_entity_traffic_.find(id);
+  return it == per_entity_traffic_.end() ? 0 : it->second;
+}
+
+void Network::reset_counters() noexcept {
+  messages_sent_ = messages_delivered_ = messages_dropped_ = bytes_sent_ = 0;
+  per_entity_traffic_.clear();
+}
+
+}  // namespace faucets::sim

@@ -1,0 +1,70 @@
+// Simulated network: delivers messages between entities with configurable
+// latency and bandwidth, and counts traffic for the scalability experiments
+// (E7 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+#include "src/sim/entity.hpp"
+
+namespace faucets::sim {
+
+/// Latency/bandwidth parameters of the simulated WAN connecting the grid.
+struct NetworkConfig {
+  /// One-way base latency between any two distinct entities, seconds.
+  double base_latency = 0.010;
+  /// Bytes per second for the bandwidth term; 0 disables it.
+  double bandwidth = 1.25e8;  // ~1 Gbit/s
+  /// Latency for an entity messaging itself (local loopback).
+  double local_latency = 1e-6;
+};
+
+/// Registry of entities plus the message-passing fabric. Single instance per
+/// simulation.
+class Network {
+ public:
+  explicit Network(Engine& engine, NetworkConfig config = {});
+
+  /// Register an entity; assigns its EntityId. The caller keeps ownership.
+  EntityId attach(Entity& entity);
+
+  /// Remove an entity (e.g. a Compute Server going down). In-flight messages
+  /// to it are dropped on delivery.
+  void detach(EntityId id);
+
+  /// Send a message; ownership transfers. Fills in from/to/sent_at and
+  /// schedules delivery after the modeled delay.
+  void send(const Entity& from, EntityId to, MessagePtr msg);
+
+  [[nodiscard]] Entity* find(EntityId id) const;
+  /// Messages sent + delivered involving one entity (scalability metric:
+  /// "impractical for each client to deal with a flood of bids", §5.3).
+  [[nodiscard]] std::uint64_t traffic_of(EntityId id) const;
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  /// Delay a payload of `bytes` experiences between `from` and `to`.
+  [[nodiscard]] double delay(EntityId from, EntityId to, std::size_t bytes) const noexcept;
+
+  /// Reset traffic counters (used between benchmark phases).
+  void reset_counters() noexcept;
+
+ private:
+  Engine* engine_;
+  NetworkConfig config_;
+  std::unordered_map<EntityId, Entity*> entities_;
+  std::unordered_map<EntityId, std::uint64_t> per_entity_traffic_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace faucets::sim

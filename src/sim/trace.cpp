@@ -1,0 +1,33 @@
+#include "src/sim/trace.hpp"
+
+#include <utility>
+
+namespace faucets::sim {
+
+void TraceRecorder::record(SimTime time, EntityId entity, std::string category,
+                           std::string detail) {
+  if (records_.size() >= capacity_ && capacity_ > 0) {
+    // Drop the oldest half in one move to keep amortized cost linear.
+    const std::size_t keep = capacity_ / 2;
+    const std::size_t drop = records_.size() - keep;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dropped_ += drop;
+  }
+  records_.push_back(TraceRecord{time, entity, std::move(category), std::move(detail)});
+}
+
+std::vector<TraceRecord> TraceRecorder::filter(const std::string& category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.category == category) out.push_back(r);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() noexcept {
+  records_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace faucets::sim

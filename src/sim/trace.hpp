@@ -1,0 +1,46 @@
+// Event trace recorder. AppSpector builds its buffered per-job displays from
+// these records; tests use them to assert protocol orderings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+#include "src/util/ids.hpp"
+
+namespace faucets::sim {
+
+/// One trace record: what happened, to whom, when.
+struct TraceRecord {
+  SimTime time = 0.0;
+  EntityId entity;
+  std::string category;  // e.g. "job", "bid", "auth"
+  std::string detail;    // free-form description
+};
+
+/// Bounded trace buffer. When `capacity` is exceeded the oldest records are
+/// discarded, mirroring AppSpector's display buffer that keeps recent output
+/// available to late-joining watchers.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void record(SimTime time, EntityId entity, std::string category, std::string detail);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+
+  /// All records in a category, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> filter(const std::string& category) const;
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace faucets::sim

@@ -1,0 +1,124 @@
+#include "src/util/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace faucets {
+
+std::string trim(const std::string& text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r\n");
+  return text.substr(first, last - first + 1);
+}
+
+std::optional<std::string> ConfigSection::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigSection::get_string(const std::string& key,
+                                      const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double ConfigSection::get_double(const std::string& key, double fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(*raw, &used);
+    if (trim(raw->substr(used)).empty()) return value;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("config: [" + name_ + "] " + key +
+                              " is not a number: '" + *raw + "'");
+}
+
+long ConfigSection::get_int(const std::string& key, long fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t used = 0;
+    const long value = std::stol(*raw, &used);
+    if (trim(raw->substr(used)).empty()) return value;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("config: [" + name_ + "] " + key +
+                              " is not an integer: '" + *raw + "'");
+}
+
+bool ConfigSection::get_bool(const std::string& key, bool fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  std::string lower = trim(*raw);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") return true;
+  if (lower == "false" || lower == "no" || lower == "off" || lower == "0") {
+    return false;
+  }
+  throw std::invalid_argument("config: [" + name_ + "] " + key +
+                              " is not a boolean: '" + *raw + "'");
+}
+
+ConfigFile ConfigFile::parse(std::istream& in) {
+  ConfigFile out;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments.
+    for (const char marker : {'#', ';'}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string::npos) line.erase(pos);
+    }
+    const std::string text = trim(line);
+    if (text.empty()) continue;
+
+    if (text.front() == '[') {
+      if (text.back() != ']' || text.size() < 3) {
+        throw std::invalid_argument("config line " + std::to_string(line_number) +
+                                    ": malformed section header '" + text + "'");
+      }
+      out.sections_.emplace_back(trim(text.substr(1, text.size() - 2)));
+      continue;
+    }
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("config line " + std::to_string(line_number) +
+                                  ": expected key = value, got '" + text + "'");
+    }
+    if (out.sections_.empty()) {
+      throw std::invalid_argument("config line " + std::to_string(line_number) +
+                                  ": key outside any section");
+    }
+    out.sections_.back().set(trim(text.substr(0, eq)), trim(text.substr(eq + 1)));
+  }
+  return out;
+}
+
+ConfigFile ConfigFile::parse_string(const std::string& text) {
+  std::istringstream stream{text};
+  return parse(stream);
+}
+
+std::vector<const ConfigSection*> ConfigFile::sections(const std::string& name) const {
+  std::vector<const ConfigSection*> out;
+  for (const auto& s : sections_) {
+    if (s.name() == name) out.push_back(&s);
+  }
+  return out;
+}
+
+const ConfigSection* ConfigFile::section(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace faucets

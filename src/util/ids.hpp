@@ -1,0 +1,80 @@
+// Strongly typed integer identifiers for the entities of the Faucets system.
+//
+// Every subsystem (jobs, clusters, users, bids, simulation entities) gets its
+// own ID type so that a JobId can never be passed where a ClusterId is
+// expected. IDs are value types: trivially copyable, hashable, and ordered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace faucets {
+
+/// CRTP-free tagged identifier. `Tag` is an empty struct that makes each
+/// instantiation a distinct type.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  /// Sentinel value used for "no id assigned yet".
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(underlying_type value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept { return a.value_ == b.value_; }
+  friend constexpr auto operator<=>(Id a, Id b) noexcept { return a.value_ <=> b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+/// Monotonic generator for a given ID type. Not thread-safe by design: the
+/// simulation is single-threaded and deterministic; parallel experiment
+/// sweeps each own their private generators.
+template <typename IdType>
+class IdGenerator {
+ public:
+  [[nodiscard]] IdType next() noexcept { return IdType{next_++}; }
+  void reset(typename IdType::underlying_type start = 0) noexcept { next_ = start; }
+
+ private:
+  typename IdType::underlying_type next_ = 0;
+};
+
+struct JobTag {};
+struct ClusterTag {};
+struct UserTag {};
+struct BidTag {};
+struct EntityTag {};
+struct SessionTag {};
+struct RequestTag {};
+
+using JobId = Id<JobTag>;
+using ClusterId = Id<ClusterTag>;
+using UserId = Id<UserTag>;
+using BidId = Id<BidTag>;
+using EntityId = Id<EntityTag>;
+using SessionId = Id<SessionTag>;
+using RequestId = Id<RequestTag>;
+
+}  // namespace faucets
+
+namespace std {
+template <typename Tag>
+struct hash<faucets::Id<Tag>> {
+  size_t operator()(faucets::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,28 @@
+#include "src/util/logging.hpp"
+
+#include <atomic>
+
+namespace faucets {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+}  // namespace
+
+LogLevel Logging::level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void Logging::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+std::string_view Logging::name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace faucets

@@ -1,0 +1,57 @@
+// Minimal leveled logging. Silent by default so tests and benchmarks stay
+// clean; examples turn it on to narrate what the grid is doing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace faucets {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log configuration.
+class Logging {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept { return level >= Logging::level(); }
+  static std::string_view name(LogLevel level) noexcept;
+};
+
+/// One log statement; flushes the composed line on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level) {
+    stream_ << "[" << Logging::name(level) << "] " << component << ": ";
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (Logging::enabled(level_)) {
+      stream_ << '\n';
+      std::clog << stream_.str();
+    }
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logging::enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace faucets
+
+#define FAUCETS_LOG(level, component)                     \
+  if (!::faucets::Logging::enabled(level)) {              \
+  } else                                                  \
+    ::faucets::LogLine(level, component)
+
+#define FAUCETS_DEBUG(component) FAUCETS_LOG(::faucets::LogLevel::kDebug, component)
+#define FAUCETS_INFO(component) FAUCETS_LOG(::faucets::LogLevel::kInfo, component)
+#define FAUCETS_WARN(component) FAUCETS_LOG(::faucets::LogLevel::kWarn, component)

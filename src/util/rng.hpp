@@ -1,0 +1,126 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// The simulator must produce identical results for identical seeds across
+// platforms, so we implement our own generator (xoshiro256**) and sampling
+// routines instead of relying on the unspecified algorithms behind
+// std::*_distribution.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace faucets {
+
+/// xoshiro256** by Blackman & Vigna: fast, high quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialize state from a single seed via SplitMix64, as recommended
+  /// by the xoshiro authors.
+  void reseed(std::uint64_t seed) noexcept {
+    auto splitmix = [&seed]() noexcept {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = splitmix();
+  }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface so the class also works with <random>.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Lemire's multiply-shift rejection method for unbiased bounded ints.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+      const std::uint64_t threshold = -range % range;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * range;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with the given mean (= 1/rate). Used for Poisson arrivals.
+  [[nodiscard]] double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+  /// Standard normal via Box-Muller (single value; we do not cache the pair
+  /// so the stream stays easy to reason about).
+  [[nodiscard]] double normal() noexcept {
+    const double u1 = 1.0 - uniform();  // (0, 1]
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma. Job work
+  /// sizes in parallel workloads are classically lognormal.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Weibull(shape k, scale lambda): inter-arrival model used in several
+  /// supercomputer trace studies.
+  [[nodiscard]] double weibull(double shape, double scale) noexcept {
+    return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);
+  }
+
+  /// Pareto distribution with given minimum and tail index alpha.
+  [[nodiscard]] double pareto(double minimum, double alpha) noexcept {
+    return minimum / std::pow(1.0 - uniform(), 1.0 / alpha);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace faucets

@@ -1,0 +1,60 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace faucets {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& text = i < cells.size() ? cells[i] : std::string{};
+      os << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i]))
+         << std::left << text;
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    os << (i == 0 ? "|" : "|") << std::string(widths[i] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace faucets

@@ -1,0 +1,36 @@
+// ASCII table writer used by the benchmark harnesses to print the rows each
+// experiment in DESIGN.md defines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace faucets {
+
+/// Collects rows of string cells and renders them with aligned columns.
+/// Numeric helpers format with fixed precision so benchmark output diffs
+/// cleanly between runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+
+  /// Render with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace faucets

@@ -1,0 +1,140 @@
+#include "src/cluster/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace faucets::cluster {
+namespace {
+
+TEST(Allocator, StartsFullyFree) {
+  ContiguousAllocator a{100};
+  EXPECT_EQ(a.free_count(), 100);
+  EXPECT_EQ(a.busy_count(), 0);
+  EXPECT_EQ(a.largest_free_block(), 100);
+  EXPECT_EQ(a.fragmentation(), 0.0);
+}
+
+TEST(Allocator, InvalidSizeThrows) {
+  EXPECT_THROW(ContiguousAllocator{0}, std::invalid_argument);
+  EXPECT_THROW(ContiguousAllocator{-5}, std::invalid_argument);
+}
+
+TEST(Allocator, FirstFitAllocation) {
+  ContiguousAllocator a{100};
+  const auto r = a.allocate(30);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->begin, 0);
+  EXPECT_EQ(r->end, 30);
+  EXPECT_EQ(a.free_count(), 70);
+}
+
+TEST(Allocator, FailsWhenNoHoleBigEnough) {
+  ContiguousAllocator a{100};
+  const auto r1 = a.allocate(40);
+  const auto r2 = a.allocate(30);
+  const auto r3 = a.allocate(30);
+  ASSERT_TRUE(r1 && r2 && r3);
+  a.release(*r2);  // hole of 30 in the middle
+  EXPECT_EQ(a.free_count(), 30);
+  EXPECT_FALSE(a.allocate(31).has_value());  // internal fragmentation
+  EXPECT_TRUE(a.allocate(30).has_value());
+}
+
+TEST(Allocator, ReleaseCoalescesNeighbours) {
+  ContiguousAllocator a{100};
+  const auto r1 = a.allocate(30);
+  const auto r2 = a.allocate(30);
+  const auto r3 = a.allocate(40);
+  ASSERT_TRUE(r1 && r2 && r3);
+  a.release(*r1);
+  a.release(*r3);
+  EXPECT_EQ(a.largest_free_block(), 40);
+  a.release(*r2);  // merges everything back
+  EXPECT_EQ(a.largest_free_block(), 100);
+  EXPECT_EQ(a.free_ranges().size(), 1u);
+  EXPECT_TRUE(a.invariants_hold());
+}
+
+TEST(Allocator, DoubleReleaseThrows) {
+  ContiguousAllocator a{100};
+  const auto r = a.allocate(10);
+  ASSERT_TRUE(r);
+  a.release(*r);
+  EXPECT_THROW(a.release(*r), std::logic_error);
+}
+
+TEST(Allocator, ReleaseOutOfBoundsThrows) {
+  ContiguousAllocator a{10};
+  EXPECT_THROW(a.release(ProcRange{5, 15}), std::out_of_range);
+}
+
+TEST(Allocator, ZeroAllocationSucceedsTrivially) {
+  ContiguousAllocator a{10};
+  const auto r = a.allocate(0);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->size(), 0);
+  EXPECT_EQ(a.free_count(), 10);
+}
+
+TEST(Allocator, ScatteredAllocationSpansHoles) {
+  ContiguousAllocator a{100};
+  const auto r1 = a.allocate(40);
+  const auto r2 = a.allocate(20);
+  const auto r3 = a.allocate(40);
+  ASSERT_TRUE(r1 && r2 && r3);
+  a.release(*r1);
+  a.release(*r3);
+  // 80 free but largest hole is 40: contiguous fails, scattered succeeds.
+  EXPECT_FALSE(a.allocate(60).has_value());
+  const auto pieces = a.allocate_scattered(60);
+  int total = 0;
+  for (const auto& p : pieces) total += p.size();
+  EXPECT_EQ(total, 60);
+  EXPECT_EQ(a.free_count(), 20);
+  for (const auto& p : pieces) a.release(p);
+  EXPECT_EQ(a.free_count(), 80);
+  EXPECT_TRUE(a.invariants_hold());
+}
+
+TEST(Allocator, ScatteredFailsWhenShortOnTotal) {
+  ContiguousAllocator a{10};
+  ASSERT_TRUE(a.allocate(8).has_value());
+  EXPECT_TRUE(a.allocate_scattered(3).empty());
+  EXPECT_EQ(a.free_count(), 2);  // untouched on failure
+}
+
+TEST(Allocator, FragmentationMetric) {
+  ContiguousAllocator a{100};
+  const auto r1 = a.allocate(25);
+  const auto r2 = a.allocate(25);
+  const auto r3 = a.allocate(25);
+  ASSERT_TRUE(r1 && r2 && r3);
+  a.release(*r1);
+  a.release(*r3);  // free: 25 + 25 (hole) + 25 tail -> largest 50 of 75
+  EXPECT_NEAR(a.fragmentation(), 1.0 - 50.0 / 75.0, 1e-12);
+}
+
+TEST(Allocator, RandomizedInvariantProperty) {
+  Rng rng{99};
+  ContiguousAllocator a{256};
+  std::vector<ProcRange> held;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.bernoulli(0.6) || held.empty()) {
+      const int n = static_cast<int>(rng.uniform_int(1, 32));
+      if (auto r = a.allocate(n)) held.push_back(*r);
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      a.release(held[idx]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(a.invariants_hold()) << "step " << step;
+    int held_total = 0;
+    for (const auto& h : held) held_total += h.size();
+    ASSERT_EQ(a.free_count() + held_total, 256);
+  }
+}
+
+}  // namespace
+}  // namespace faucets::cluster

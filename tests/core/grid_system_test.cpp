@@ -1,0 +1,197 @@
+// End-to-end integration: the full Faucets protocol (login -> directory ->
+// request-for-bids -> bid -> award -> upload -> run -> completion notice ->
+// settlement) through the GridSystem facade.
+#include "src/core/grid_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/equipartition.hpp"
+#include "src/sched/payoff_sched.hpp"
+
+namespace faucets::core {
+namespace {
+
+ClusterSetup make_cluster(const std::string& name, int procs,
+                          double cost = 0.0008, double speed = 1.0) {
+  ClusterSetup setup;
+  setup.machine.name = name;
+  setup.machine.total_procs = procs;
+  setup.machine.cost_per_cpu_second = cost;
+  setup.machine.speed_factor = speed;
+  setup.strategy = [] { return std::make_unique<sched::EquipartitionStrategy>(); };
+  setup.bid_generator = [] { return std::make_unique<market::BaselineBidGenerator>(); };
+  setup.costs = job::AdaptiveCosts{.reconfig_seconds = 0.0,
+                                   .checkpoint_seconds = 0.0,
+                                   .restart_seconds = 0.0};
+  return setup;
+}
+
+job::JobRequest simple_request(double t, double work = 6400.0,
+                               std::size_t user = 0) {
+  job::JobRequest req;
+  req.submit_time = t;
+  req.contract = qos::make_contract(4, 64, work, 1.0, 1.0);
+  req.contract.payoff = qos::PayoffFunction::flat(10.0);
+  req.user_index = user;
+  return req;
+}
+
+TEST(GridSystem, RequiresClustersAndUsers) {
+  GridConfig config;
+  EXPECT_THROW(GridSystem(config, {}, 1), std::invalid_argument);
+  EXPECT_THROW(GridSystem(config, {make_cluster("a", 64)}, 0),
+               std::invalid_argument);
+}
+
+TEST(GridSystem, SingleJobFullProtocol) {
+  GridConfig config;
+  std::vector<ClusterSetup> clusters;
+  clusters.push_back(make_cluster("alpha", 64));
+  GridSystem grid{config, std::move(clusters), 1};
+
+  const auto report = grid.run({simple_request(0.0)});
+  EXPECT_EQ(report.jobs_submitted, 1u);
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_EQ(report.jobs_unplaced, 0u);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  EXPECT_EQ(report.clusters[0].completed, 1u);
+  EXPECT_EQ(report.clusters[0].awards_confirmed, 1u);
+  EXPECT_GT(report.clusters[0].revenue, 0.0);
+  EXPECT_GT(report.total_spent, 0.0);
+  EXPECT_DOUBLE_EQ(report.total_spent, report.clusters[0].revenue);
+  EXPECT_GT(report.mean_award_latency, 0.0);
+  EXPECT_LT(report.mean_award_latency, 1.0);
+}
+
+TEST(GridSystem, JobRegisteredWithAppSpector) {
+  GridConfig config;
+  std::vector<ClusterSetup> clusters;
+  clusters.push_back(make_cluster("alpha", 64));
+  GridSystem grid{config, std::move(clusters), 1};
+  (void)grid.run({simple_request(0.0)});
+  EXPECT_EQ(grid.appspector().monitored_jobs(), 1u);
+  const auto* view = grid.appspector().find(ClusterId{0}, JobId{0});
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->state, "completed");
+}
+
+TEST(GridSystem, LeastCostClientPicksCheaperCluster) {
+  GridConfig config;
+  std::vector<ClusterSetup> clusters;
+  clusters.push_back(make_cluster("pricey", 64, /*cost=*/0.01));
+  clusters.push_back(make_cluster("cheap", 64, /*cost=*/0.001));
+  GridSystem grid{config, std::move(clusters), 1};
+
+  const auto report = grid.run({simple_request(0.0)});
+  EXPECT_EQ(report.clusters[1].completed, 1u);
+  EXPECT_EQ(report.clusters[0].completed, 0u);
+}
+
+TEST(GridSystem, EarliestCompletionPrefersFasterMachine) {
+  GridConfig config;
+  config.evaluator = [] {
+    return std::make_unique<market::EarliestCompletionEvaluator>();
+  };
+  std::vector<ClusterSetup> clusters;
+  clusters.push_back(make_cluster("slow", 64, 0.0001, /*speed=*/1.0));
+  clusters.push_back(make_cluster("fast", 64, 0.01, /*speed=*/4.0));
+  GridSystem grid{config, std::move(clusters), 1};
+
+  const auto report = grid.run({simple_request(0.0)});
+  EXPECT_EQ(report.clusters[1].completed, 1u) << "fast machine promises earlier";
+}
+
+TEST(GridSystem, ManyJobsAcrossClustersAllComplete) {
+  GridConfig config;
+  std::vector<ClusterSetup> clusters;
+  for (int i = 0; i < 4; ++i) {
+    clusters.push_back(make_cluster("c" + std::to_string(i), 128));
+  }
+  GridSystem grid{config, std::move(clusters), 8};
+
+  job::WorkloadParams params;
+  params.job_count = 80;
+  params.user_count = 8;
+  params.cluster_count = 4;
+  params.procs_cap = 128;
+  params.min_procs_lo = 2;
+  params.min_procs_hi = 16;
+  job::WorkloadGenerator::calibrate_load(params, 0.5, 4 * 128);
+  const auto report = grid.run(job::WorkloadGenerator{params, 77}.generate());
+
+  EXPECT_EQ(report.jobs_submitted, 80u);
+  EXPECT_EQ(report.jobs_completed + report.jobs_unplaced, 80u);
+  EXPECT_GT(report.jobs_completed, 70u);
+  // Every cluster should have processed some of the load.
+  for (const auto& c : report.clusters) EXPECT_GT(c.bids_issued, 0u);
+  EXPECT_GT(report.messages, 80u * 4u);
+}
+
+TEST(GridSystem, RejectedEverywhereIsUnplaced) {
+  GridConfig config;
+  std::vector<ClusterSetup> clusters;
+  clusters.push_back(make_cluster("tiny", 8));
+  GridSystem grid{config, std::move(clusters), 1};
+
+  job::JobRequest req;
+  req.submit_time = 0.0;
+  req.contract = qos::make_contract(64, 128, 1000.0);  // larger than machine
+  const auto report = grid.run({req});
+  EXPECT_EQ(report.jobs_completed, 0u);
+  EXPECT_EQ(report.jobs_unplaced, 1u);
+}
+
+TEST(GridSystem, BarterCreditsFlowToExecutor) {
+  GridConfig config;
+  config.central.billing = BillingMode::kBarter;
+  config.clients_prefer_home = true;
+  std::vector<ClusterSetup> clusters;
+  auto c0 = make_cluster("home", 64);
+  c0.barter_credits = 1000.0;
+  auto c1 = make_cluster("away", 64);
+  c1.barter_credits = 1000.0;
+  clusters.push_back(std::move(c0));
+  clusters.push_back(std::move(c1));
+  // One user, home cluster 0.
+  GridSystem grid{config, std::move(clusters), 1};
+
+  // Saturate the home cluster so the second job must go away.
+  std::vector<job::JobRequest> reqs;
+  job::JobRequest big;
+  big.submit_time = 0.0;
+  big.contract = qos::make_contract(64, 64, 64.0 * 5000.0, 1.0, 1.0);
+  big.contract.payoff = qos::PayoffFunction::flat(10.0);
+  reqs.push_back(big);
+  job::JobRequest second;
+  second.submit_time = 10.0;
+  second.contract = qos::make_contract(64, 64, 6400.0, 1.0, 1.0);
+  // Earliest-completion matters: prefer_home tries home first, but the
+  // deadline check on the home bid (completion after hard deadline) makes
+  // it non-viable, pushing the job to the away cluster.
+  second.contract.payoff =
+      qos::PayoffFunction::deadline(400.0, 800.0, 100.0, 50.0, 0.0);
+  reqs.push_back(second);
+
+  const auto report = grid.run(std::move(reqs));
+  EXPECT_EQ(report.jobs_completed, 2u);
+  const double home_balance = report.clusters[0].barter_balance;
+  const double away_balance = report.clusters[1].barter_balance;
+  EXPECT_LT(home_balance, 1000.0) << "home cluster paid for the away run";
+  EXPECT_GT(away_balance, 1000.0) << "executor earned credits";
+  EXPECT_NEAR(home_balance + away_balance, 2000.0, 1e-9) << "credits conserved";
+}
+
+TEST(GridSystem, ServiceUnitModeChargesAccounts) {
+  GridConfig config;
+  config.central.billing = BillingMode::kServiceUnits;
+  config.user_initial_funds = 500.0;
+  std::vector<ClusterSetup> clusters;
+  clusters.push_back(make_cluster("su", 64));
+  GridSystem grid{config, std::move(clusters), 1};
+  const auto report = grid.run({simple_request(0.0)});
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_GT(grid.central().user_accounts().total_charged(), 0.0);
+}
+
+}  // namespace
+}  // namespace faucets::core

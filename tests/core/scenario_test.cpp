@@ -1,0 +1,116 @@
+#include "src/core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace faucets::core {
+namespace {
+
+constexpr const char* kMinimal = R"(
+[cluster]
+name = only
+procs = 128
+)";
+
+TEST(Scenario, MinimalDefaults) {
+  auto scenario = Scenario::parse_string(kMinimal);
+  ASSERT_EQ(scenario.clusters.size(), 1u);
+  EXPECT_EQ(scenario.clusters[0].machine.name, "only");
+  EXPECT_EQ(scenario.clusters[0].machine.total_procs, 128);
+  EXPECT_EQ(scenario.total_procs(), 128);
+  EXPECT_EQ(scenario.grid.central.billing, BillingMode::kDollars);
+}
+
+TEST(Scenario, RequiresACluster) {
+  EXPECT_THROW(Scenario::parse_string("[grid]\nusers = 4\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, UnknownNamesRejectedWithHints) {
+  EXPECT_THROW(Scenario::parse_string("[cluster]\nstrategy = magic\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse_string("[cluster]\nbidgen = bogus\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse_string("[grid]\nbilling = euros\n[cluster]\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Scenario::parse_string("[grid]\nevaluator = cheapest\n[cluster]\n"),
+      std::invalid_argument);
+  EXPECT_THROW(Scenario::parse_string("[cluster]\nprocs = -4\n"),
+               std::invalid_argument);
+}
+
+TEST(Scenario, FactoriesProduceNamedObjects) {
+  EXPECT_EQ(strategy_factory("fcfs")()->name(), "fcfs");
+  EXPECT_EQ(strategy_factory("payoff")()->name(), "payoff");
+  EXPECT_EQ(strategy_factory("priority")()->name(), "priority");
+  EXPECT_EQ(bidgen_factory("utilization")()->name(), "utilization");
+  EXPECT_EQ(bidgen_factory("futures")()->name(), "futures");
+  EXPECT_EQ(evaluator_factory("surplus")()->name(), "surplus");
+}
+
+TEST(Scenario, WorkloadCalibratedToLoad) {
+  auto scenario = Scenario::parse_string(R"(
+[cluster]
+procs = 200
+[cluster]
+procs = 300
+[workload]
+jobs = 50
+load = 0.5
+)");
+  const double offered =
+      job::WorkloadGenerator::mean_work(scenario.workload) /
+      (scenario.workload.mean_interarrival * 500.0);
+  EXPECT_NEAR(offered, 0.5, 1e-9);
+  EXPECT_EQ(scenario.workload.procs_cap, 300);
+}
+
+TEST(Scenario, EndToEndRunCompletes) {
+  auto scenario = Scenario::parse_string(R"(
+[grid]
+users = 4
+seed = 7
+[cluster]
+name = a
+procs = 128
+strategy = equipartition
+bidgen = baseline
+[cluster]
+name = b
+procs = 128
+strategy = payoff
+bidgen = utilization
+[workload]
+jobs = 40
+load = 0.5
+)");
+  const auto report = scenario.run();
+  EXPECT_EQ(report.jobs_submitted, 40u);
+  EXPECT_GT(report.jobs_completed, 30u);
+
+  std::ostringstream os;
+  print_report(os, report);
+  EXPECT_NE(os.str().find("jobs: 40 submitted"), std::string::npos);
+  EXPECT_NE(os.str().find("| a"), std::string::npos);
+}
+
+TEST(Scenario, BrokeredFlagHonored) {
+  auto scenario = Scenario::parse_string(R"(
+[grid]
+brokered = true
+users = 2
+[cluster]
+procs = 64
+[workload]
+jobs = 10
+load = 0.4
+)");
+  EXPECT_TRUE(scenario.grid.brokered_submission);
+  const auto report = scenario.run();
+  EXPECT_EQ(report.jobs_completed + report.jobs_unplaced, 10u);
+}
+
+}  // namespace
+}  // namespace faucets::core

@@ -1,0 +1,139 @@
+// AppSpector unit tests (§2): registration, status updates, buffered
+// display data, multiple simultaneous watchers.
+#include <gtest/gtest.h>
+
+#include "src/faucets/appspector.hpp"
+
+namespace faucets {
+namespace {
+
+class WatcherProbe final : public sim::Entity {
+ public:
+  WatcherProbe(sim::Engine& engine, sim::Network& network)
+      : sim::Entity("probe", engine), network_(&network) {
+    network.attach(*this);
+  }
+  void on_message(const sim::Message& msg) override {
+    if (const auto* reply = dynamic_cast<const proto::WatchReply*>(&msg)) {
+      replies.push_back(*reply);
+    }
+  }
+  void watch(EntityId as, ClusterId cluster, JobId job) {
+    auto msg = std::make_unique<proto::WatchJob>();
+    msg->cluster = cluster;
+    msg->job = job;
+    network_->send(*this, as, std::move(msg));
+  }
+  std::vector<proto::WatchReply> replies;
+
+ private:
+  sim::Network* network_;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  sim::Network network{engine};
+  AppSpector as{engine, network, /*buffer=*/4};
+  WatcherProbe probe{engine, network};
+
+  void register_job(ClusterId cluster, JobId job) {
+    auto msg = std::make_unique<proto::RegisterJobMonitor>();
+    msg->cluster = cluster;
+    msg->job = job;
+    msg->user = UserId{1};
+    msg->application = "namd";
+    network.send(probe, as.id(), std::move(msg));
+  }
+
+  void update(ClusterId cluster, JobId job, const std::string& state, int procs,
+              double progress) {
+    auto msg = std::make_unique<proto::JobStatusUpdate>();
+    msg->cluster = cluster;
+    msg->job = job;
+    msg->state = state;
+    msg->procs = procs;
+    msg->progress = progress;
+    network.send(probe, as.id(), std::move(msg));
+  }
+};
+
+TEST(AppSpector, RegistrationCreatesView) {
+  Fixture f;
+  f.register_job(ClusterId{0}, JobId{1});
+  f.engine.run(1.0);
+  EXPECT_EQ(f.as.monitored_jobs(), 1u);
+  const auto* view = f.as.find(ClusterId{0}, JobId{1});
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->application, "namd");
+  EXPECT_EQ(view->state, "registered");
+}
+
+TEST(AppSpector, SameJobIdDifferentClustersAreDistinct) {
+  Fixture f;
+  f.register_job(ClusterId{0}, JobId{1});
+  f.register_job(ClusterId{1}, JobId{1});
+  f.engine.run(1.0);
+  EXPECT_EQ(f.as.monitored_jobs(), 2u);
+}
+
+TEST(AppSpector, UpdatesAccumulateInBoundedBuffer) {
+  Fixture f;
+  f.register_job(ClusterId{0}, JobId{1});
+  for (int i = 0; i < 10; ++i) {
+    f.update(ClusterId{0}, JobId{1}, "running", 32, i * 0.1);
+  }
+  f.engine.run(1.0);
+  const auto* view = f.as.find(ClusterId{0}, JobId{1});
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->updates, 10u);
+  EXPECT_LE(view->display.size(), 4u) << "display buffer is bounded";
+  EXPECT_NEAR(view->progress, 0.9, 1e-9);
+}
+
+TEST(AppSpector, UpdateForUnknownJobIgnored) {
+  Fixture f;
+  f.update(ClusterId{0}, JobId{99}, "running", 8, 0.5);
+  f.engine.run(1.0);
+  EXPECT_EQ(f.as.monitored_jobs(), 0u);
+}
+
+TEST(AppSpector, WatcherGetsBufferedDisplay) {
+  Fixture f;
+  f.register_job(ClusterId{0}, JobId{1});
+  f.update(ClusterId{0}, JobId{1}, "running", 32, 0.25);
+  f.update(ClusterId{0}, JobId{1}, "running", 32, 0.5);
+  f.engine.run(1.0);
+  f.probe.watch(f.as.id(), ClusterId{0}, JobId{1});
+  f.engine.run(2.0);
+  ASSERT_EQ(f.probe.replies.size(), 1u);
+  const auto& reply = f.probe.replies[0];
+  EXPECT_TRUE(reply.known);
+  EXPECT_EQ(reply.state, "running");
+  EXPECT_EQ(reply.display_buffer.size(), 2u);
+  EXPECT_EQ(f.as.watch_requests(), 1u);
+}
+
+TEST(AppSpector, MultipleWatchersServedIndependently) {
+  Fixture f;
+  WatcherProbe second{f.engine, f.network};
+  f.register_job(ClusterId{0}, JobId{1});
+  f.update(ClusterId{0}, JobId{1}, "running", 16, 0.1);
+  f.engine.run(1.0);
+  f.probe.watch(f.as.id(), ClusterId{0}, JobId{1});
+  second.watch(f.as.id(), ClusterId{0}, JobId{1});
+  f.engine.run(2.0);
+  EXPECT_EQ(f.probe.replies.size(), 1u);
+  EXPECT_EQ(second.replies.size(), 1u);
+  EXPECT_EQ(f.as.watch_requests(), 2u);
+}
+
+TEST(AppSpector, WatchUnknownJobRepliesUnknown) {
+  Fixture f;
+  f.probe.watch(f.as.id(), ClusterId{3}, JobId{42});
+  f.engine.run(1.0);
+  ASSERT_EQ(f.probe.replies.size(), 1u);
+  EXPECT_FALSE(f.probe.replies[0].known);
+}
+
+}  // namespace
+}  // namespace faucets

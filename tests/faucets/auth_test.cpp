@@ -1,0 +1,88 @@
+#include "src/faucets/auth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faucets {
+namespace {
+
+TEST(UserDatabase, AddAndVerify) {
+  UserDatabase db;
+  const auto id = db.add_user("alice", "secret");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(db.verify("alice", "secret"), id);
+  EXPECT_FALSE(db.verify("alice", "wrong").has_value());
+  EXPECT_FALSE(db.verify("bob", "secret").has_value());
+}
+
+TEST(UserDatabase, DuplicateNameRejected) {
+  UserDatabase db;
+  ASSERT_TRUE(db.add_user("alice", "a").has_value());
+  EXPECT_FALSE(db.add_user("alice", "b").has_value());
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(UserDatabase, EmptyNameRejected) {
+  UserDatabase db;
+  EXPECT_FALSE(db.add_user("", "pw").has_value());
+}
+
+TEST(UserDatabase, DistinctUsersDistinctIds) {
+  UserDatabase db;
+  const auto a = db.add_user("alice", "a");
+  const auto b = db.add_user("bob", "b");
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+}
+
+TEST(UserDatabase, SaltedDigestsDifferAcrossUsers) {
+  UserDatabase db;
+  // Same password, different salts -> verify still isolates users.
+  ASSERT_TRUE(db.add_user("alice", "shared"));
+  ASSERT_TRUE(db.add_user("bob", "shared"));
+  EXPECT_TRUE(db.verify("alice", "shared").has_value());
+  EXPECT_TRUE(db.verify("bob", "shared").has_value());
+}
+
+TEST(UserDatabase, DigestDependsOnSaltAndPassword) {
+  const auto d1 = UserDatabase::digest(1, "pw");
+  const auto d2 = UserDatabase::digest(2, "pw");
+  const auto d3 = UserDatabase::digest(1, "pw2");
+  EXPECT_NE(d1, d2);
+  EXPECT_NE(d1, d3);
+}
+
+TEST(UserDatabase, ChangePassword) {
+  UserDatabase db;
+  ASSERT_TRUE(db.add_user("alice", "old"));
+  EXPECT_FALSE(db.change_password("alice", "wrong", "new"));
+  EXPECT_TRUE(db.change_password("alice", "old", "new"));
+  EXPECT_FALSE(db.verify("alice", "old").has_value());
+  EXPECT_TRUE(db.verify("alice", "new").has_value());
+}
+
+TEST(UserDatabase, FindByName) {
+  UserDatabase db;
+  const auto id = db.add_user("alice", "pw");
+  EXPECT_EQ(db.find("alice"), id);
+  EXPECT_FALSE(db.find("nobody").has_value());
+}
+
+TEST(Sessions, OpenLookupClose) {
+  SessionManager sm;
+  const SessionId s = sm.open(UserId{42});
+  EXPECT_EQ(sm.lookup(s), UserId{42});
+  EXPECT_EQ(sm.active(), 1u);
+  sm.close(s);
+  EXPECT_FALSE(sm.lookup(s).has_value());
+  EXPECT_EQ(sm.active(), 0u);
+}
+
+TEST(Sessions, DistinctTokens) {
+  SessionManager sm;
+  const SessionId a = sm.open(UserId{1});
+  const SessionId b = sm.open(UserId{1});
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace faucets

@@ -1,0 +1,160 @@
+// Brokered submission (§5.3): the client agent performs directory lookup,
+// RFB fan-out, evaluation, and two-phase award on the client's behalf.
+#include <gtest/gtest.h>
+
+#include "src/core/grid_system.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sched/payoff_sched.hpp"
+
+namespace faucets {
+namespace {
+
+core::ClusterSetup make_cluster(const std::string& name, double cost) {
+  core::ClusterSetup setup;
+  setup.machine.name = name;
+  setup.machine.total_procs = 64;
+  setup.machine.cost_per_cpu_second = cost;
+  setup.strategy = [] { return std::make_unique<sched::EquipartitionStrategy>(); };
+  setup.bid_generator = [] { return std::make_unique<market::BaselineBidGenerator>(); };
+  setup.costs = job::AdaptiveCosts{.reconfig_seconds = 0.0,
+                                   .checkpoint_seconds = 0.0,
+                                   .restart_seconds = 0.0};
+  return setup;
+}
+
+job::JobRequest simple_job(double t = 0.0) {
+  job::JobRequest req;
+  req.submit_time = t;
+  req.contract = qos::make_contract(4, 64, 6400.0, 1.0, 1.0);
+  req.contract.payoff = qos::PayoffFunction::flat(10.0);
+  return req;
+}
+
+TEST(Broker, PlacesJobEndToEnd) {
+  core::GridConfig config;
+  config.brokered_submission = true;
+  std::vector<core::ClusterSetup> clusters;
+  clusters.push_back(make_cluster("a", 0.0008));
+  clusters.push_back(make_cluster("b", 0.0002));
+  core::GridSystem grid{config, std::move(clusters), 1};
+
+  const auto report = grid.run({simple_job()});
+  EXPECT_EQ(report.jobs_completed, 1u);
+  ASSERT_NE(grid.broker(), nullptr);
+  EXPECT_EQ(grid.broker()->submissions(), 1u);
+  EXPECT_EQ(grid.broker()->placed(), 1u);
+  // Least-cost criteria: the cheap cluster wins.
+  EXPECT_EQ(report.clusters[1].completed, 1u);
+  EXPECT_GT(report.total_spent, 0.0);
+}
+
+TEST(Broker, ClientTrafficIsConstantInServerCount) {
+  auto run_with = [](bool brokered, int servers) {
+    core::GridConfig config;
+    config.brokered_submission = brokered;
+    std::vector<core::ClusterSetup> clusters;
+    for (int i = 0; i < servers; ++i) {
+      clusters.push_back(make_cluster("c" + std::to_string(i), 0.0008));
+    }
+    core::GridSystem grid{config, std::move(clusters), 1};
+    (void)grid.run({simple_job()});
+    return grid.network().traffic_of(grid.client(0).id());
+  };
+
+  // Direct mode: client traffic grows with server count (broadcast RFB).
+  const auto direct_4 = run_with(false, 4);
+  const auto direct_16 = run_with(false, 16);
+  EXPECT_GT(direct_16, direct_4 + 8) << "broadcast should scale with servers";
+
+  // Brokered: the client exchanges a constant number of messages.
+  const auto brokered_4 = run_with(true, 4);
+  const auto brokered_16 = run_with(true, 16);
+  EXPECT_EQ(brokered_4, brokered_16);
+  EXPECT_LT(brokered_16, direct_16);
+}
+
+TEST(Broker, CriteriaRespected) {
+  core::GridConfig config;
+  config.brokered_submission = true;
+  config.broker_criteria = proto::SelectionCriteria::kEarliestCompletion;
+  std::vector<core::ClusterSetup> clusters;
+  auto slow = make_cluster("slow", 0.0001);
+  auto fast = make_cluster("fast", 0.01);
+  fast.machine.speed_factor = 4.0;
+  clusters.push_back(std::move(slow));
+  clusters.push_back(std::move(fast));
+  core::GridSystem grid{config, std::move(clusters), 1};
+  const auto report = grid.run({simple_job()});
+  EXPECT_EQ(report.clusters[1].completed, 1u)
+      << "earliest-completion must pick the fast machine despite its price";
+}
+
+TEST(Broker, NoServersReportsFailure) {
+  core::GridConfig config;
+  config.brokered_submission = true;
+  std::vector<core::ClusterSetup> clusters;
+  clusters.push_back(make_cluster("tiny", 0.0008));
+  clusters[0].machine.total_procs = 8;
+  core::GridSystem grid{config, std::move(clusters), 1};
+  job::JobRequest req;
+  req.submit_time = 0.0;
+  req.contract = qos::make_contract(64, 128, 1000.0);
+  const auto report = grid.run({req});
+  EXPECT_EQ(report.jobs_unplaced, 1u);
+  EXPECT_EQ(grid.broker()->failed(), 1u);
+}
+
+TEST(Broker, TwoPhaseRetryGoesToNextBest) {
+  core::GridConfig config;
+  config.brokered_submission = true;
+  std::vector<core::ClusterSetup> clusters;
+  // Payoff strategy with zero lookahead: the second concurrent award to
+  // the cheap cluster is refused at commit time.
+  for (const auto& [name, cost] :
+       {std::pair{"cheap", 0.0001}, std::pair{"fallback", 0.01}}) {
+    auto setup = make_cluster(name, cost);
+    setup.strategy = [] {
+      sched::PayoffStrategyParams p;
+      p.lookahead = 0.0;
+      return std::make_unique<sched::PayoffStrategy>(p);
+    };
+    clusters.push_back(std::move(setup));
+  }
+  core::GridSystem grid{config, std::move(clusters), 2};
+
+  std::vector<job::JobRequest> reqs;
+  for (std::size_t u = 0; u < 2; ++u) {
+    job::JobRequest req;
+    req.submit_time = 0.0;
+    req.contract = qos::make_contract(64, 64, 64.0 * 300.0, 1.0, 1.0);
+    req.contract.payoff = qos::PayoffFunction::flat(100.0);
+    req.user_index = u;
+    reqs.push_back(std::move(req));
+  }
+  const auto report = grid.run(std::move(reqs), 1e6);
+  EXPECT_EQ(report.jobs_completed, 2u);
+  EXPECT_EQ(report.clusters[0].completed, 1u);
+  EXPECT_EQ(report.clusters[1].completed, 1u);
+}
+
+TEST(Broker, EvictionStillReachesClientDirectly) {
+  core::GridConfig config;
+  config.brokered_submission = true;
+  std::vector<core::ClusterSetup> clusters;
+  clusters.push_back(make_cluster("doomed", 0.0001));
+  clusters.push_back(make_cluster("survivor", 0.01));
+  core::GridSystem grid{config, std::move(clusters), 1};
+  grid.schedule_cluster_shutdown(0, 30.0, true);
+
+  job::JobRequest req;
+  req.submit_time = 0.0;
+  req.contract = qos::make_contract(4, 64, 6400.0, 1.0, 1.0);
+  req.contract.payoff = qos::PayoffFunction::flat(10.0);
+  const auto report = grid.run({req}, 1e6);
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_EQ(report.migrations, 1u);
+  EXPECT_EQ(report.clusters[1].completed, 1u);
+}
+
+}  // namespace
+}  // namespace faucets

@@ -1,0 +1,185 @@
+// Central Server unit tests: registration, filtering, polling liveness,
+// authentication round trips.
+#include "src/faucets/central.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/faucets/daemon.hpp"
+#include "src/market/bidgen.hpp"
+#include "src/sched/equipartition.hpp"
+
+namespace faucets {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  sim::Network network{engine};
+  CentralServerConfig config;
+
+  std::unique_ptr<CentralServer> central;
+
+  explicit Fixture(CentralServerConfig cfg = {}) : config(cfg) {
+    central = std::make_unique<CentralServer>(engine, network, config);
+  }
+
+  std::unique_ptr<FaucetsDaemon> add_daemon(ClusterId id, int procs,
+                                            double mem_mb = 4096.0) {
+    cluster::MachineSpec m;
+    m.name = "c" + std::to_string(id.value());
+    m.total_procs = procs;
+    m.memory_per_proc_mb = mem_mb;
+    auto cm = std::make_unique<cluster::ClusterManager>(
+        engine, m, std::make_unique<sched::EquipartitionStrategy>(),
+        job::AdaptiveCosts{}, id);
+    auto d = std::make_unique<FaucetsDaemon>(
+        engine, network, id, std::move(cm),
+        std::make_unique<market::BaselineBidGenerator>(), central->id());
+    d->register_with_central();
+    return d;
+  }
+};
+
+TEST(Central, DaemonRegistrationPopulatesDirectory) {
+  Fixture f;
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  auto d1 = f.add_daemon(ClusterId{1}, 128);
+  f.engine.run(1.0);
+  EXPECT_EQ(f.central->directory_size(), 2u);
+}
+
+TEST(Central, FilterBySize) {
+  Fixture f;
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  auto d1 = f.add_daemon(ClusterId{1}, 512);
+  const auto uid = f.central->register_user("u", "p");
+  ASSERT_TRUE(uid);
+  f.engine.run(1.0);
+
+  const auto big = qos::make_contract(256, 400, 1000.0);
+  const auto servers = f.central->filter_servers(big, *uid);
+  ASSERT_EQ(servers.size(), 1u);
+  EXPECT_EQ(servers[0].cluster, ClusterId{1});
+}
+
+TEST(Central, FilterByMemory) {
+  Fixture f;
+  auto d0 = f.add_daemon(ClusterId{0}, 64, 512.0);
+  auto d1 = f.add_daemon(ClusterId{1}, 64, 8192.0);
+  const auto uid = f.central->register_user("u", "p");
+  f.engine.run(1.0);
+
+  auto c = qos::make_contract(4, 8, 100.0);
+  c.resources.memory_per_proc_mb = 2048.0;
+  const auto servers = f.central->filter_servers(c, *uid);
+  ASSERT_EQ(servers.size(), 1u);
+  EXPECT_EQ(servers[0].cluster, ClusterId{1});
+}
+
+TEST(Central, UnknownApplicationFilteredWhenRegistryUsed) {
+  Fixture f;
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  const auto uid = f.central->register_user("u", "p");
+  f.central->register_application("namd");
+  f.engine.run(1.0);
+
+  auto c = qos::make_contract(4, 8, 100.0);
+  c.environment.application = "namd";
+  EXPECT_EQ(f.central->filter_servers(c, *uid).size(), 1u);
+  c.environment.application = "unknown-app";
+  // The app registry knows nothing about it -> no servers offered...
+  EXPECT_TRUE(f.central->filter_servers(c, *uid).empty());
+  // ...but the empty application (generic job) is always allowed.
+  c.environment.application = "";
+  EXPECT_EQ(f.central->filter_servers(c, *uid).size(), 1u);
+}
+
+TEST(Central, DynamicQueueFilter) {
+  CentralServerConfig cfg;
+  cfg.dynamic_queue_limit = 0;
+  cfg.poll_interval = 10.0;
+  Fixture f{cfg};
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  const auto uid = f.central->register_user("u", "p");
+  f.engine.run(1.0);
+  EXPECT_EQ(f.central
+                ->filter_servers(qos::make_contract(4, 8, 100.0), *uid)
+                .size(),
+            1u);
+  // Saturate the cluster with queued work, then let a poll observe it.
+  for (int i = 0; i < 5; ++i) {
+    (void)d0->cm().submit(UserId{0}, qos::make_contract(64, 64, 1e6, 1.0, 1.0));
+  }
+  f.engine.run(25.0);  // poll at t=10 and t=20 observes the queue
+  EXPECT_TRUE(
+      f.central->filter_servers(qos::make_contract(4, 8, 100.0), *uid).empty());
+}
+
+TEST(Central, MissedPollsMarkServerDown) {
+  CentralServerConfig cfg;
+  cfg.poll_interval = 10.0;
+  cfg.max_missed_polls = 2;
+  Fixture f{cfg};
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  const auto uid = f.central->register_user("u", "p");
+  f.engine.run(1.0);
+
+  // Kill the daemon (detach from the network): polls go unanswered.
+  f.network.detach(d0->id());
+  f.engine.run(100.0);
+  EXPECT_TRUE(
+      f.central->filter_servers(qos::make_contract(4, 8, 100.0), *uid).empty());
+}
+
+TEST(Central, HomeClusterListedFirstInBarterMode) {
+  CentralServerConfig cfg;
+  cfg.billing = BillingMode::kBarter;
+  Fixture f{cfg};
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  auto d1 = f.add_daemon(ClusterId{1}, 64);
+  f.central->open_barter_account(ClusterId{0}, 1000.0);
+  f.central->open_barter_account(ClusterId{1}, 1000.0);
+  const auto uid = f.central->register_user("u", "p", ClusterId{1});
+  f.engine.run(1.0);
+
+  const auto servers =
+      f.central->filter_servers(qos::make_contract(4, 8, 100.0), *uid);
+  ASSERT_EQ(servers.size(), 2u);
+  EXPECT_EQ(servers[0].cluster, ClusterId{1});
+}
+
+TEST(Central, BarterModeHidesForeignClustersWithoutCredits) {
+  CentralServerConfig cfg;
+  cfg.billing = BillingMode::kBarter;
+  Fixture f{cfg};
+  auto d0 = f.add_daemon(ClusterId{0}, 64);
+  auto d1 = f.add_daemon(ClusterId{1}, 64);
+  f.central->open_barter_account(ClusterId{0}, 0.0);  // home is broke
+  f.central->open_barter_account(ClusterId{1}, 1000.0);
+  const auto uid = f.central->register_user("u", "p", ClusterId{0});
+  f.engine.run(1.0);
+
+  const auto servers =
+      f.central->filter_servers(qos::make_contract(4, 8, 1000.0), *uid);
+  ASSERT_EQ(servers.size(), 1u) << "only the home cluster should be offered";
+  EXPECT_EQ(servers[0].cluster, ClusterId{0});
+}
+
+TEST(Central, RegisterUserOpensAccount) {
+  Fixture f;
+  const auto uid = f.central->register_user("u", "p");
+  ASSERT_TRUE(uid);
+  EXPECT_TRUE(f.central->user_accounts().has_account(*uid));
+  EXPECT_FALSE(f.central->register_user("u", "again").has_value());
+}
+
+TEST(Central, HomeClusterLookup) {
+  Fixture f;
+  const auto uid = f.central->register_user("u", "p", ClusterId{3});
+  ASSERT_TRUE(uid);
+  EXPECT_EQ(f.central->home_cluster_of(*uid), ClusterId{3});
+  const auto uid2 = f.central->register_user("v", "p");
+  EXPECT_FALSE(f.central->home_cluster_of(*uid2).has_value());
+}
+
+}  // namespace
+}  // namespace faucets

@@ -1,0 +1,204 @@
+// FaucetsDaemon unit tests: the FD in isolation, driven by a scripted
+// client entity and a real Central Server.
+#include <gtest/gtest.h>
+
+#include "src/faucets/central.hpp"
+#include "src/faucets/daemon.hpp"
+#include "src/sched/equipartition.hpp"
+
+namespace faucets {
+namespace {
+
+/// Scripted counterpart standing in for the Faucets Client.
+class ScriptedClient final : public sim::Entity {
+ public:
+  ScriptedClient(sim::Engine& engine, sim::Network& network)
+      : sim::Entity("scripted", engine), network_(&network) {
+    network.attach(*this);
+  }
+
+  void on_message(const sim::Message& msg) override {
+    if (const auto* bid = dynamic_cast<const proto::BidReply*>(&msg)) {
+      bids.push_back(bid->bid);
+    } else if (const auto* ack = dynamic_cast<const proto::AwardAck*>(&msg)) {
+      acks.push_back(*ack);
+    } else if (const auto* done = dynamic_cast<const proto::JobCompleteNotice*>(&msg)) {
+      completions.push_back(*done);
+    }
+  }
+
+  void request_bid(EntityId daemon, const qos::QosContract& contract,
+                   const std::string& user, const std::string& password) {
+    auto rfb = std::make_unique<proto::RequestForBids>();
+    rfb->request = RequestId{next_request_++};
+    rfb->username = user;
+    rfb->password = password;
+    rfb->contract = contract;
+    network_->send(*this, daemon, std::move(rfb));
+  }
+
+  void award(EntityId daemon, BidId bid, const qos::QosContract& contract,
+             UserId user) {
+    auto msg = std::make_unique<proto::AwardJob>();
+    msg->request = RequestId{777};
+    msg->bid = bid;
+    msg->username = "alice";
+    msg->password = "pw";
+    msg->user = user;
+    msg->contract = contract;
+    network_->send(*this, daemon, std::move(msg));
+  }
+
+  std::vector<market::Bid> bids;
+  std::vector<proto::AwardAck> acks;
+  std::vector<proto::JobCompleteNotice> completions;
+
+ private:
+  sim::Network* network_;
+  std::uint64_t next_request_ = 0;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  sim::Network network{engine};
+  CentralServer central{engine, network, {}};
+  ScriptedClient client{engine, network};
+  std::unique_ptr<FaucetsDaemon> daemon;
+
+  explicit Fixture(DaemonConfig config = {}) {
+    cluster::MachineSpec machine;
+    machine.name = "unit";
+    machine.total_procs = 64;
+    auto cm = std::make_unique<cluster::ClusterManager>(
+        engine, machine, std::make_unique<sched::EquipartitionStrategy>(),
+        job::AdaptiveCosts{.reconfig_seconds = 0.0, .checkpoint_seconds = 0.0,
+                           .restart_seconds = 0.0},
+        ClusterId{0});
+    daemon = std::make_unique<FaucetsDaemon>(
+        engine, network, ClusterId{0}, std::move(cm),
+        std::make_unique<market::BaselineBidGenerator>(), central.id(),
+        EntityId{}, config);
+    daemon->register_with_central();
+    (void)central.register_user("alice", "pw");
+  }
+};
+
+TEST(Daemon, IssuesBidForValidUser) {
+  Fixture f;
+  f.client.request_bid(f.daemon->id(), qos::make_contract(4, 32, 1000.0),
+                       "alice", "pw");
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.bids.size(), 1u);
+  EXPECT_FALSE(f.client.bids[0].declined);
+  EXPECT_DOUBLE_EQ(f.client.bids[0].multiplier, 1.0);
+  EXPECT_EQ(f.daemon->bids_issued(), 1u);
+}
+
+TEST(Daemon, DeclinesBadPassword) {
+  Fixture f;
+  f.client.request_bid(f.daemon->id(), qos::make_contract(4, 32, 1000.0),
+                       "alice", "WRONG");
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.bids.size(), 1u);
+  EXPECT_TRUE(f.client.bids[0].declined);
+  EXPECT_EQ(f.daemon->bids_declined(), 1u);
+}
+
+TEST(Daemon, DeclinesUnknownUser) {
+  Fixture f;
+  f.client.request_bid(f.daemon->id(), qos::make_contract(4, 32, 1000.0),
+                       "mallory", "pw");
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.bids.size(), 1u);
+  EXPECT_TRUE(f.client.bids[0].declined);
+}
+
+TEST(Daemon, DeclinesOversizedJob) {
+  Fixture f;
+  f.client.request_bid(f.daemon->id(), qos::make_contract(128, 256, 1000.0),
+                       "alice", "pw");
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.bids.size(), 1u);
+  EXPECT_TRUE(f.client.bids[0].declined);
+}
+
+TEST(Daemon, AwardOfUnknownBidRefused) {
+  Fixture f;
+  f.client.award(f.daemon->id(), BidId{424242}, qos::make_contract(4, 32, 1000.0),
+                 UserId{0});
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.acks.size(), 1u);
+  EXPECT_FALSE(f.client.acks[0].accepted);
+  EXPECT_EQ(f.daemon->awards_refused(), 1u);
+}
+
+TEST(Daemon, ExpiredBidRefused) {
+  DaemonConfig config;
+  config.bid_validity = 1.0;  // bids die after one second
+  Fixture f{config};
+  const auto contract = qos::make_contract(4, 32, 1000.0);
+  f.client.request_bid(f.daemon->id(), contract, "alice", "pw");
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.bids.size(), 1u);
+  const auto bid = f.client.bids[0];
+  // Award long after expiry.
+  f.engine.schedule_at(100.0, [&] {
+    f.client.award(f.daemon->id(), bid.id, contract, UserId{0});
+  });
+  f.engine.run(105.0);
+  ASSERT_EQ(f.client.acks.size(), 1u);
+  EXPECT_FALSE(f.client.acks[0].accepted);
+  EXPECT_EQ(f.client.acks[0].reason, "bid unknown or expired");
+}
+
+TEST(Daemon, FullAwardRunsJobAndReportsCompletion) {
+  Fixture f;
+  const auto contract = qos::make_contract(4, 64, 6400.0, 1.0, 1.0);
+  f.client.request_bid(f.daemon->id(), contract, "alice", "pw");
+  f.engine.run(5.0);
+  ASSERT_EQ(f.client.bids.size(), 1u);
+  f.client.award(f.daemon->id(), f.client.bids[0].id, contract, UserId{0});
+  f.engine.run(500.0);
+  ASSERT_EQ(f.client.acks.size(), 1u);
+  EXPECT_TRUE(f.client.acks[0].accepted);
+  ASSERT_EQ(f.client.completions.size(), 1u);
+  EXPECT_GT(f.client.completions[0].finish_time, 0.0);
+  EXPECT_DOUBLE_EQ(f.client.completions[0].price_charged, f.client.bids[0].price);
+  EXPECT_DOUBLE_EQ(f.daemon->revenue(), f.client.bids[0].price);
+  // Settled contract reached the Central Server's price history.
+  EXPECT_EQ(f.central.price_history().size(), 1u);
+}
+
+TEST(Daemon, AuthCacheSkipsSecondVerification) {
+  DaemonConfig config;
+  config.cache_auth = true;
+  Fixture f{config};
+  const auto contract = qos::make_contract(4, 32, 1000.0);
+  f.client.request_bid(f.daemon->id(), contract, "alice", "pw");
+  f.engine.run(5.0);
+  const auto msgs_after_first = f.network.messages_sent();
+  f.client.request_bid(f.daemon->id(), contract, "alice", "pw");
+  f.engine.run(10.0);
+  // Second round trip: RFB + bid only (no AuthVerify pair).
+  EXPECT_EQ(f.network.messages_sent() - msgs_after_first, 2u);
+}
+
+TEST(Daemon, PollReportsClusterState) {
+  Fixture f;
+  // Polls are driven by the Central Server's timer (default 60 s); run past
+  // one cycle and check the dynamic filter sees updated numbers.
+  const auto contract = qos::make_contract(64, 64, 64.0 * 1e4, 1.0, 1.0);
+  f.client.request_bid(f.daemon->id(), contract, "alice", "pw");
+  f.engine.run(5.0);
+  f.client.award(f.daemon->id(), f.client.bids[0].id, contract, UserId{0});
+  f.engine.run(70.0);  // one poll cycle after the job started
+  // Directory for a second job of the same size should still include the
+  // cluster (no dynamic limit configured) — this exercises the poll path.
+  const auto uid = f.central.register_user("bob", "pw2");
+  ASSERT_TRUE(uid);
+  EXPECT_EQ(f.central.filter_servers(qos::make_contract(4, 8, 100.0), *uid).size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace faucets

@@ -1,0 +1,133 @@
+// Federated Central Servers (§5.1 future work): regional directories merge
+// so a client sees Compute Servers registered with peer regions. User
+// accounts are assumed replicated across regions (the paper keeps
+// authentication central); peers contribute servers via static/dynamic
+// filtering only.
+#include <gtest/gtest.h>
+
+#include "src/faucets/central.hpp"
+#include "src/faucets/client.hpp"
+#include "src/faucets/daemon.hpp"
+#include "src/market/bidgen.hpp"
+#include "src/sched/equipartition.hpp"
+
+namespace faucets {
+namespace {
+
+struct Region {
+  std::unique_ptr<CentralServer> fs;
+  std::unique_ptr<FaucetsDaemon> daemon;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  sim::Network network{engine};
+  std::vector<Region> regions;
+
+  explicit Fixture(int region_count, int procs = 64) {
+    for (int r = 0; r < region_count; ++r) {
+      Region region;
+      region.fs = std::make_unique<CentralServer>(engine, network, CentralServerConfig{});
+      regions.push_back(std::move(region));
+    }
+    // Full-mesh federation.
+    for (auto& a : regions) {
+      for (auto& b : regions) {
+        if (a.fs.get() != b.fs.get()) a.fs->add_peer(b.fs->id());
+      }
+    }
+    // One cluster per region.
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      cluster::MachineSpec machine;
+      machine.name = "r" + std::to_string(r);
+      machine.total_procs = procs;
+      machine.cost_per_cpu_second = 0.0008 * static_cast<double>(r + 1);
+      auto cm = std::make_unique<cluster::ClusterManager>(
+          engine, machine, std::make_unique<sched::EquipartitionStrategy>(),
+          job::AdaptiveCosts{}, ClusterId{r});
+      regions[r].daemon = std::make_unique<FaucetsDaemon>(
+          engine, network, ClusterId{r}, std::move(cm),
+          std::make_unique<market::BaselineBidGenerator>(), regions[r].fs->id());
+      regions[r].daemon->register_with_central();
+    }
+    // Accounts are replicated to every region (central auth assumption).
+    for (auto& region : regions) {
+      (void)region.fs->register_user("alice", "pw");
+    }
+  }
+};
+
+TEST(Federation, PeerCountTracksMesh) {
+  Fixture f{3};
+  for (const auto& region : f.regions) EXPECT_EQ(region.fs->peer_count(), 2u);
+}
+
+TEST(Federation, ClientSeesAllRegionsServers) {
+  Fixture f{3};
+  ClientConfig cc;
+  cc.username = "alice";
+  cc.password = "pw";
+  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+                       std::make_unique<market::LeastCostEvaluator>(), cc};
+  client.submit_now(qos::make_contract(4, 32, 3200.0, 1.0, 1.0));
+  f.engine.run(500.0);
+  ASSERT_EQ(client.outcomes().size(), 1u);
+  // Bids arrived from every region's daemon.
+  EXPECT_EQ(client.outcomes()[0].bids_received, 3u);
+  EXPECT_EQ(client.completed(), 1u);
+  // Least cost: region 0's cluster is cheapest.
+  EXPECT_EQ(client.outcomes()[0].cluster, ClusterId{0});
+}
+
+TEST(Federation, JobCanLandInForeignRegion) {
+  Fixture f{2};
+  // Saturate region 0's cluster so its bid promises a late completion.
+  auto filler = qos::make_contract(64, 64, 64.0 * 1e5, 1.0, 1.0);
+  ASSERT_TRUE(f.regions[0].daemon->cm().submit(UserId{0}, filler).has_value());
+
+  ClientConfig cc;
+  cc.username = "alice";
+  cc.password = "pw";
+  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+                       std::make_unique<market::EarliestCompletionEvaluator>(), cc};
+  auto contract = qos::make_contract(4, 32, 3200.0, 1.0, 1.0);
+  contract.payoff = qos::PayoffFunction::deadline(2000.0, 4000.0, 50.0, 20.0, 0.0);
+  client.submit_now(contract);
+  f.engine.run(5000.0);
+  EXPECT_EQ(client.completed(), 1u);
+  ASSERT_EQ(client.outcomes().size(), 1u);
+  EXPECT_EQ(client.outcomes()[0].cluster, ClusterId{1})
+      << "the foreign region's idle cluster must win";
+}
+
+TEST(Federation, PeerTimeoutStillAnswersClient) {
+  Fixture f{2};
+  // Kill region 1's FS: the peer query goes unanswered; region 0 must
+  // still answer its client after the federation timeout.
+  f.network.detach(f.regions[1].fs->id());
+  ClientConfig cc;
+  cc.username = "alice";
+  cc.password = "pw";
+  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+                       std::make_unique<market::LeastCostEvaluator>(), cc};
+  client.submit_now(qos::make_contract(4, 32, 3200.0, 1.0, 1.0));
+  f.engine.run(500.0);
+  EXPECT_EQ(client.completed(), 1u);
+  EXPECT_EQ(client.outcomes()[0].bids_received, 1u)
+      << "only the local region's server was offered";
+}
+
+TEST(Federation, NoPeersBehavesAsBefore) {
+  Fixture f{1};
+  ClientConfig cc;
+  cc.username = "alice";
+  cc.password = "pw";
+  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+                       std::make_unique<market::LeastCostEvaluator>(), cc};
+  client.submit_now(qos::make_contract(4, 32, 3200.0, 1.0, 1.0));
+  f.engine.run(500.0);
+  EXPECT_EQ(client.completed(), 1u);
+}
+
+}  // namespace
+}  // namespace faucets

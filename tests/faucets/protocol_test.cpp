@@ -1,0 +1,82 @@
+// Protocol message metadata: kinds are stable (they appear in traces and
+// logs) and size models scale with payloads (they drive the bandwidth
+// model, so getting them wrong skews every timing experiment).
+#include <gtest/gtest.h>
+
+#include "src/faucets/protocol.hpp"
+
+namespace faucets::proto {
+namespace {
+
+TEST(Protocol, KindsAreStable) {
+  EXPECT_EQ(LoginRequest{}.kind(), "LOGIN");
+  EXPECT_EQ(LoginReply{}.kind(), "LOGIN_ACK");
+  EXPECT_EQ(DirectoryRequest{}.kind(), "DIR_REQ");
+  EXPECT_EQ(DirectoryReply{}.kind(), "DIR_ACK");
+  EXPECT_EQ(RequestForBids{}.kind(), "RFB");
+  EXPECT_EQ(BidReply{}.kind(), "BID");
+  EXPECT_EQ(AwardJob{}.kind(), "AWARD");
+  EXPECT_EQ(AwardAck{}.kind(), "AWARD_ACK");
+  EXPECT_EQ(UploadFiles{}.kind(), "UPLOAD");
+  EXPECT_EQ(JobEvicted{}.kind(), "EVICTED");
+  EXPECT_EQ(JobCompleteNotice{}.kind(), "JOB_DONE");
+  EXPECT_EQ(RegisterDaemon{}.kind(), "REGISTER");
+  EXPECT_EQ(PollRequest{}.kind(), "POLL");
+  EXPECT_EQ(PollReply{}.kind(), "POLL_ACK");
+  EXPECT_EQ(AuthVerifyRequest{}.kind(), "AUTH_REQ");
+  EXPECT_EQ(AuthVerifyReply{}.kind(), "AUTH_ACK");
+  EXPECT_EQ(ContractSettled{}.kind(), "SETTLED");
+  EXPECT_EQ(RegisterJobMonitor{}.kind(), "AS_REG");
+  EXPECT_EQ(JobStatusUpdate{}.kind(), "AS_UPDATE");
+  EXPECT_EQ(WatchJob{}.kind(), "WATCH");
+  EXPECT_EQ(WatchReply{}.kind(), "WATCH_ACK");
+  EXPECT_EQ(SubmitJobRequest{}.kind(), "SUBMIT");
+  EXPECT_EQ(SubmitJobReply{}.kind(), "SUBMIT_ACK");
+}
+
+TEST(Protocol, UploadSizeScalesWithMegabytes) {
+  UploadFiles small;
+  small.megabytes = 1.0;
+  UploadFiles big;
+  big.megabytes = 100.0;
+  EXPECT_GT(big.size_bytes(), small.size_bytes());
+  EXPECT_NEAR(static_cast<double>(big.size_bytes()), 100e6, 1e3);
+}
+
+TEST(Protocol, CompletionCarriesOutputBytes) {
+  JobCompleteNotice notice;
+  notice.output_mb = 50.0;
+  EXPECT_NEAR(static_cast<double>(notice.size_bytes()), 50e6, 1e3);
+}
+
+TEST(Protocol, DirectoryReplyScalesWithServerCount) {
+  DirectoryReply empty;
+  DirectoryReply populated;
+  populated.servers.resize(100);
+  EXPECT_GT(populated.size_bytes(), empty.size_bytes() + 100 * 64);
+}
+
+TEST(Protocol, EvictionCarriesCheckpointImage) {
+  JobEvicted evicted;
+  evicted.checkpoint_mb = 256.0;
+  EXPECT_GT(evicted.size_bytes(), static_cast<std::size_t>(2.5e8));
+}
+
+TEST(Protocol, WatchReplyScalesWithBuffer) {
+  WatchReply reply;
+  const auto before = reply.size_bytes();
+  reply.display_buffer.assign(64, "line");
+  EXPECT_GT(reply.size_bytes(), before);
+}
+
+TEST(Protocol, ControlMessagesAreSmall) {
+  // Control-plane messages must stay well under a jumbo frame so the
+  // latency term dominates, as in the real system.
+  EXPECT_LE(PollRequest{}.size_bytes(), 1024u);
+  EXPECT_LE(BidReply{}.size_bytes(), 1024u);
+  EXPECT_LE(AwardAck{}.size_bytes(), 1024u);
+  EXPECT_LE(LoginRequest{}.size_bytes(), 1024u);
+}
+
+}  // namespace
+}  // namespace faucets::proto

@@ -1,0 +1,101 @@
+#include "src/job/swf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faucets::job {
+namespace {
+
+// Three jobs in Parallel-Workloads-Archive SWF: 18 fields each.
+// fields: job submit wait run alloc cpu mem req_procs req_time req_mem
+//         status user group app queue part prev think
+constexpr const char* kSample = R"(; SWF sample
+; UnixStartTime: 0
+1 10 5 3600 64 -1 -1 64 4000 -1 1 3 1 1 1 1 -1 -1
+2 20 0 100 -1 -1 -1 16 200 -1 1 4 1 1 1 1 -1 -1
+3 5 0 50 8 -1 -1 -1 -1 -1 1 5 1 1 1 1 -1 -1
+)";
+
+TEST(Swf, ParsesAndSortsBySubmitTime) {
+  const auto reqs = load_swf_string(kSample);
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_DOUBLE_EQ(reqs[0].submit_time, 5.0);
+  EXPECT_DOUBLE_EQ(reqs[1].submit_time, 10.0);
+  EXPECT_DOUBLE_EQ(reqs[2].submit_time, 20.0);
+}
+
+TEST(Swf, PrefersRequestOverAllocation) {
+  const auto reqs = load_swf_string(kSample);
+  // Job 1: requested 64 procs for 4000 s.
+  EXPECT_EQ(reqs[1].contract.min_procs, 64);
+  EXPECT_EQ(reqs[1].contract.max_procs, 64);
+  EXPECT_DOUBLE_EQ(reqs[1].contract.total_work(), 64.0 * 4000.0);
+  // Job 3: request missing (-1) -> falls back to allocation 8 / runtime 50.
+  EXPECT_EQ(reqs[0].contract.min_procs, 8);
+  EXPECT_DOUBLE_EQ(reqs[0].contract.total_work(), 8.0 * 50.0);
+}
+
+TEST(Swf, UserAndHomeCluster) {
+  SwfOptions options;
+  options.cluster_count = 2;
+  const auto reqs = load_swf_string(kSample, options);
+  EXPECT_EQ(reqs[1].user_index, 3u);
+  EXPECT_EQ(reqs[1].home_cluster, 1u);
+  EXPECT_EQ(reqs[2].user_index, 4u);
+  EXPECT_EQ(reqs[2].home_cluster, 0u);
+}
+
+TEST(Swf, MalleabilityWidensRange) {
+  SwfOptions options;
+  options.malleability = 1.0;  // min = p/2, max = 2p
+  const auto reqs = load_swf_string(kSample, options);
+  EXPECT_EQ(reqs[1].contract.min_procs, 32);
+  EXPECT_EQ(reqs[1].contract.max_procs, 128);
+  EXPECT_TRUE(reqs[1].contract.valid());
+}
+
+TEST(Swf, ProcsCapClamps) {
+  SwfOptions options;
+  options.malleability = 1.0;
+  options.procs_cap = 48;
+  const auto reqs = load_swf_string(kSample, options);
+  EXPECT_LE(reqs[1].contract.max_procs, 48);
+  EXPECT_TRUE(reqs[1].contract.valid());
+}
+
+TEST(Swf, DeadlineOptionsAttachPayoffs) {
+  SwfOptions options;
+  options.deadline_tightness = 2.0;
+  const auto reqs = load_swf_string(kSample, options);
+  for (const auto& req : reqs) {
+    EXPECT_TRUE(req.contract.payoff.has_deadline());
+    EXPECT_GT(req.contract.payoff.soft_deadline(), req.submit_time);
+  }
+  const auto flat = load_swf_string(kSample);
+  EXPECT_FALSE(flat[0].contract.payoff.has_deadline());
+  EXPECT_GT(flat[0].contract.payoff.max_payoff(), 0.0);
+}
+
+TEST(Swf, MaxJobsTruncates) {
+  SwfOptions options;
+  options.max_jobs = 2;
+  EXPECT_EQ(load_swf_string(kSample, options).size(), 2u);
+}
+
+TEST(Swf, SkipsUnusableJobs) {
+  const auto reqs = load_swf_string(
+      "1 10 0 -1 -1 -1 -1 -1 -1 -1 1 1 1 1 1 1 -1 -1\n"  // no size/time
+      "2 -5 0 100 8 -1 -1 8 100 -1 1 1 1 1 1 1 -1 -1\n");  // negative submit
+  EXPECT_TRUE(reqs.empty());
+}
+
+TEST(Swf, MalformedLineThrows) {
+  EXPECT_THROW(load_swf_string("1 2 3\n"), std::invalid_argument);
+}
+
+TEST(Swf, CommentsAndBlanksIgnored) {
+  const auto reqs = load_swf_string("; header only\n\n;;; more\n");
+  EXPECT_TRUE(reqs.empty());
+}
+
+}  // namespace
+}  // namespace faucets::job

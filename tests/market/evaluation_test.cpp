@@ -1,0 +1,99 @@
+#include "src/market/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faucets::market {
+namespace {
+
+Bid bid(std::uint64_t id, double price, double completion, double expires = 1e9) {
+  Bid b;
+  b.id = BidId{id};
+  b.cluster = ClusterId{id};
+  b.price = price;
+  b.promised_completion = completion;
+  b.expires_at = expires;
+  return b;
+}
+
+qos::QosContract contract_with_deadline(double hard) {
+  auto c = qos::make_contract(4, 8, 100.0);
+  c.payoff = qos::PayoffFunction::deadline(hard / 2.0, hard, 100.0, 50.0, 10.0);
+  return c;
+}
+
+TEST(LeastCost, PicksCheapest) {
+  const std::vector<Bid> bids{bid(0, 30.0, 100.0), bid(1, 10.0, 500.0),
+                              bid(2, 20.0, 50.0)};
+  LeastCostEvaluator eval;
+  const auto c = qos::make_contract(4, 8, 100.0);
+  const auto pick = eval.select(bids, c, 0.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(EarliestCompletion, PicksFastest) {
+  const std::vector<Bid> bids{bid(0, 30.0, 100.0), bid(1, 10.0, 500.0),
+                              bid(2, 20.0, 50.0)};
+  EarliestCompletionEvaluator eval;
+  const auto c = qos::make_contract(4, 8, 100.0);
+  const auto pick = eval.select(bids, c, 0.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);
+}
+
+TEST(Evaluators, SkipDeclined) {
+  std::vector<Bid> bids{bid(0, 1.0, 1.0), bid(1, 50.0, 50.0)};
+  bids[0].declined = true;
+  LeastCostEvaluator eval;
+  const auto c = qos::make_contract(4, 8, 100.0);
+  const auto pick = eval.select(bids, c, 0.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Evaluators, SkipExpired) {
+  std::vector<Bid> bids{bid(0, 1.0, 1.0, /*expires=*/5.0), bid(1, 50.0, 50.0)};
+  LeastCostEvaluator eval;
+  const auto c = qos::make_contract(4, 8, 100.0);
+  const auto pick = eval.select(bids, c, /*now=*/10.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Evaluators, SkipPromisesPastHardDeadline) {
+  const std::vector<Bid> bids{bid(0, 1.0, 2000.0), bid(1, 50.0, 500.0)};
+  LeastCostEvaluator eval;
+  const auto c = contract_with_deadline(1000.0);
+  const auto pick = eval.select(bids, c, 0.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Evaluators, NoneViableReturnsNullopt) {
+  std::vector<Bid> bids{bid(0, 1.0, 2000.0)};
+  bids.push_back(Bid::decline(ClusterId{1}, EntityId{1}));
+  LeastCostEvaluator eval;
+  const auto c = contract_with_deadline(1000.0);
+  EXPECT_FALSE(eval.select(bids, c, 0.0).has_value());
+  EXPECT_FALSE(eval.select({}, c, 0.0).has_value());
+}
+
+TEST(Surplus, MaximizesPayoffMinusPrice) {
+  // Bid 0: completes at 400 (full payoff 100) for 60 -> surplus 40.
+  // Bid 1: completes at 750 (payoff 75) for 20 -> surplus 55.
+  const std::vector<Bid> bids{bid(0, 60.0, 400.0), bid(1, 20.0, 750.0)};
+  SurplusEvaluator eval;
+  const auto c = contract_with_deadline(1000.0);
+  const auto pick = eval.select(bids, c, 0.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Surplus, NamesAreStable) {
+  EXPECT_EQ(LeastCostEvaluator{}.name(), "least-cost");
+  EXPECT_EQ(EarliestCompletionEvaluator{}.name(), "earliest-completion");
+  EXPECT_EQ(SurplusEvaluator{}.name(), "surplus");
+}
+
+}  // namespace
+}  // namespace faucets::market

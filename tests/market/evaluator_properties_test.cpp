@@ -1,0 +1,87 @@
+// Evaluator invariants parameterized over every bid evaluator (§5.3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/market/evaluation.hpp"
+#include "src/util/rng.hpp"
+
+namespace faucets::market {
+namespace {
+
+std::unique_ptr<BidEvaluator> make_evaluator(std::size_t index) {
+  switch (index) {
+    case 0: return std::make_unique<LeastCostEvaluator>();
+    case 1: return std::make_unique<EarliestCompletionEvaluator>();
+    default: return std::make_unique<SurplusEvaluator>();
+  }
+}
+
+class EvaluatorProperties : public ::testing::TestWithParam<std::size_t> {};
+
+Bid random_bid(Rng& rng, std::uint64_t id, double now) {
+  Bid b;
+  b.id = BidId{id};
+  b.cluster = ClusterId{id};
+  b.declined = rng.bernoulli(0.2);
+  b.price = rng.uniform(1.0, 100.0);
+  b.promised_completion = now + rng.uniform(10.0, 5000.0);
+  b.expires_at = rng.bernoulli(0.15) ? now - 1.0 : now + 1000.0;
+  return b;
+}
+
+TEST_P(EvaluatorProperties, NeverSelectsDeclinedOrExpired) {
+  auto evaluator = make_evaluator(GetParam());
+  Rng rng{17 + GetParam()};
+  auto contract = qos::make_contract(4, 16, 1000.0);
+  contract.payoff = qos::PayoffFunction::deadline(3000.0, 6000.0, 200.0, 50.0, 0.0);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const double now = rng.uniform(0.0, 100.0);
+    std::vector<Bid> bids;
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(0, 8));
+    for (std::uint64_t i = 0; i < n; ++i) bids.push_back(random_bid(rng, i, now));
+
+    const auto pick = evaluator->select(bids, contract, now);
+    if (!pick.has_value()) continue;
+    const Bid& chosen = bids[*pick];
+    EXPECT_FALSE(chosen.declined);
+    EXPECT_GE(chosen.expires_at, now);
+    EXPECT_LE(chosen.promised_completion, contract.payoff.hard_deadline());
+  }
+}
+
+TEST_P(EvaluatorProperties, SelectsWheneverAViableBidExists) {
+  auto evaluator = make_evaluator(GetParam());
+  auto contract = qos::make_contract(4, 16, 1000.0);  // no deadline
+  std::vector<Bid> bids;
+  bids.push_back(Bid::decline(ClusterId{0}, EntityId{0}));
+  Bid good;
+  good.id = BidId{1};
+  good.cluster = ClusterId{1};
+  good.price = 10.0;
+  good.promised_completion = 100.0;
+  good.expires_at = 1e9;
+  bids.push_back(good);
+  const auto pick = evaluator->select(bids, contract, 0.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST_P(EvaluatorProperties, EmptyInputSelectsNothing) {
+  auto evaluator = make_evaluator(GetParam());
+  const auto contract = qos::make_contract(4, 16, 1000.0);
+  EXPECT_FALSE(evaluator->select({}, contract, 0.0).has_value());
+}
+
+std::string evaluator_case_name(const ::testing::TestParamInfo<std::size_t>& param) {
+  static const char* kNames[] = {"least_cost", "earliest_completion", "surplus"};
+  return kNames[param.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEvaluators, EvaluatorProperties,
+                         ::testing::Values<std::size_t>(0, 1, 2),
+                         evaluator_case_name);
+
+}  // namespace
+}  // namespace faucets::market

@@ -1,0 +1,73 @@
+#include "src/market/price_history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faucets::market {
+namespace {
+
+ContractRecord rec(double time, double work, double price, int procs = 8) {
+  return ContractRecord{time, ClusterId{0}, procs, work, price};
+}
+
+TEST(PriceHistory, EmptyHasNoAverage) {
+  PriceHistory h;
+  EXPECT_FALSE(h.average_unit_price(100.0).has_value());
+}
+
+TEST(PriceHistory, UnitPrice) {
+  EXPECT_DOUBLE_EQ(rec(0.0, 500.0, 5.0).unit_price(), 0.01);
+  EXPECT_DOUBLE_EQ(rec(0.0, 0.0, 5.0).unit_price(), 0.0);
+}
+
+TEST(PriceHistory, AverageOverWindow) {
+  PriceHistory h{100, 1000.0};
+  h.record(rec(0.0, 100.0, 1.0));    // unit 0.01
+  h.record(rec(500.0, 100.0, 3.0));  // unit 0.03
+  const auto avg = h.average_unit_price(600.0);
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_DOUBLE_EQ(*avg, 0.02);
+}
+
+TEST(PriceHistory, OldRecordsFallOutOfWindow) {
+  PriceHistory h{100, 100.0};
+  h.record(rec(0.0, 100.0, 1.0));
+  h.record(rec(500.0, 100.0, 3.0));
+  const auto avg = h.average_unit_price(550.0);
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_DOUBLE_EQ(*avg, 0.03);  // only the recent record counts
+}
+
+TEST(PriceHistory, CapacityBounded) {
+  PriceHistory h{4, 1e9};
+  for (int i = 0; i < 100; ++i) h.record(rec(i, 100.0, 1.0));
+  EXPECT_LE(h.size(), 4u);
+}
+
+TEST(PriceHistory, SizeGrouping) {
+  PriceHistory h{100, 1e6};
+  h.record(rec(0.0, 100.0, 1.0, 4));    // unit 0.01, small job
+  h.record(rec(1.0, 100.0, 10.0, 512));  // unit 0.1, big job
+  const auto small = h.average_unit_price_for_size(10.0, 1, 16);
+  const auto big = h.average_unit_price_for_size(10.0, 100, 1000);
+  ASSERT_TRUE(small && big);
+  EXPECT_DOUBLE_EQ(*small, 0.01);
+  EXPECT_DOUBLE_EQ(*big, 0.1);
+  EXPECT_FALSE(h.average_unit_price_for_size(10.0, 20, 50).has_value());
+}
+
+TEST(PriceHistory, HistogramCoversObservedRange) {
+  PriceHistory h{100, 1e6};
+  for (int i = 1; i <= 8; ++i) h.record(rec(i, 100.0, i));
+  const auto hist = h.unit_price_histogram(10.0);
+  EXPECT_EQ(hist.total(), 8u);
+  EXPECT_EQ(hist.bin_count(), 8u);
+}
+
+TEST(PriceHistory, HistogramEmptyIsSafe) {
+  PriceHistory h;
+  const auto hist = h.unit_price_histogram(0.0);
+  EXPECT_EQ(hist.total(), 0u);
+}
+
+}  // namespace
+}  // namespace faucets::market

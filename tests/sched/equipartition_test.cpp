@@ -1,0 +1,95 @@
+#include "src/sched/equipartition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace faucets::sched {
+namespace {
+
+using Bounds = std::vector<std::pair<int, int>>;
+
+int total(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(Equipartition, EqualSharesWithinBounds) {
+  const auto alloc = EquipartitionStrategy::equipartition(
+      Bounds{{4, 64}, {4, 64}, {4, 64}, {4, 64}}, 64);
+  EXPECT_EQ(alloc, (std::vector<int>{16, 16, 16, 16}));
+}
+
+TEST(Equipartition, RespectsMaxima) {
+  const auto alloc =
+      EquipartitionStrategy::equipartition(Bounds{{1, 8}, {1, 100}}, 64);
+  EXPECT_EQ(alloc[0], 8);
+  EXPECT_EQ(alloc[1], 56);
+}
+
+TEST(Equipartition, RespectsMinimaOrLeavesOut) {
+  // Third job's minimum no longer fits: it gets 0.
+  const auto alloc = EquipartitionStrategy::equipartition(
+      Bounds{{30, 100}, {30, 100}, {30, 100}}, 64);
+  EXPECT_EQ(alloc[0], 32);
+  EXPECT_EQ(alloc[1], 32);
+  EXPECT_EQ(alloc[2], 0);
+}
+
+TEST(Equipartition, NeverExceedsCapacity) {
+  const auto alloc = EquipartitionStrategy::equipartition(
+      Bounds{{10, 20}, {5, 40}, {1, 64}, {8, 8}}, 48);
+  EXPECT_LE(total(alloc), 48);
+}
+
+TEST(Equipartition, SingleJobGetsUpToMax) {
+  const auto alloc = EquipartitionStrategy::equipartition(Bounds{{2, 32}}, 64);
+  EXPECT_EQ(alloc[0], 32);
+}
+
+TEST(Equipartition, EmptyInput) {
+  EXPECT_TRUE(EquipartitionStrategy::equipartition(Bounds{}, 64).empty());
+}
+
+TEST(Equipartition, LeftoverGoesToUnsaturated) {
+  const auto alloc =
+      EquipartitionStrategy::equipartition(Bounds{{4, 6}, {4, 100}}, 64);
+  EXPECT_EQ(alloc[0], 6);
+  EXPECT_EQ(alloc[1], 58);
+  EXPECT_EQ(total(alloc), 64);
+}
+
+TEST(Equipartition, PropertyAllocationsWithinBoundsOrZero) {
+  // Sweep job counts and capacities; every allocation must be 0 or within
+  // the job's bounds, and the total within capacity.
+  for (int cap = 1; cap <= 257; cap += 16) {
+    for (int jobs = 1; jobs <= 9; ++jobs) {
+      Bounds bounds;
+      for (int i = 0; i < jobs; ++i) {
+        const int lo = 1 + (i * 7) % 13;
+        bounds.emplace_back(lo, lo + (i * 11) % 40);
+      }
+      const auto alloc = EquipartitionStrategy::equipartition(bounds, cap);
+      ASSERT_EQ(alloc.size(), bounds.size());
+      int sum = 0;
+      for (std::size_t i = 0; i < alloc.size(); ++i) {
+        if (alloc[i] != 0) {
+          EXPECT_GE(alloc[i], bounds[i].first);
+          EXPECT_LE(alloc[i], bounds[i].second);
+        }
+        sum += alloc[i];
+      }
+      EXPECT_LE(sum, cap);
+    }
+  }
+}
+
+TEST(Equipartition, WorkConservingWhenJobsCanAbsorb) {
+  // If the sum of maxima exceeds capacity and every min fits, the machine
+  // must be fully used.
+  const auto alloc = EquipartitionStrategy::equipartition(
+      Bounds{{2, 40}, {2, 40}, {2, 40}}, 96);
+  EXPECT_EQ(total(alloc), 96);
+}
+
+}  // namespace
+}  // namespace faucets::sched

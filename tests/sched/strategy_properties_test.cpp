@@ -1,0 +1,150 @@
+// Cross-strategy invariants, parameterized over every scheduler and a range
+// of offered loads (TEST_P sweeps). These are the properties any correct
+// Cluster Manager strategy must uphold regardless of policy.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/sched/backfill.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sched/fcfs.hpp"
+#include "src/sched/payoff_sched.hpp"
+#include "src/sched/priority_sched.hpp"
+
+namespace faucets::sched {
+namespace {
+
+using Factory = std::function<std::unique_ptr<Strategy>()>;
+
+struct StrategyCase {
+  std::string name;
+  Factory factory;
+};
+
+std::vector<StrategyCase> all_strategies() {
+  return {
+      {"fcfs", [] { return std::make_unique<FcfsStrategy>(RigidRequest::kMedian); }},
+      {"backfill",
+       [] { return std::make_unique<BackfillStrategy>(RigidRequest::kMedian); }},
+      {"equipartition", [] { return std::make_unique<EquipartitionStrategy>(); }},
+      {"payoff", [] { return std::make_unique<PayoffStrategy>(); }},
+      {"priority", [] { return std::make_unique<PriorityStrategy>(); }},
+  };
+}
+
+class StrategyProperties
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {
+ protected:
+  [[nodiscard]] const StrategyCase& strategy_case() const {
+    return cases_[std::get<0>(GetParam())];
+  }
+  [[nodiscard]] double load() const { return std::get<1>(GetParam()); }
+
+  std::vector<StrategyCase> cases_ = all_strategies();
+};
+
+job::WorkloadParams sweep_params(double load, int procs, std::uint64_t jobs = 120) {
+  job::WorkloadParams params;
+  params.job_count = jobs;
+  params.user_count = 8;
+  params.procs_cap = procs;
+  params.min_procs_lo = 2;
+  params.min_procs_hi = 24;
+  job::WorkloadGenerator::calibrate_load(params, load, procs);
+  return params;
+}
+
+TEST_P(StrategyProperties, AccountingInvariantsHold) {
+  constexpr int kProcs = 256;
+  cluster::MachineSpec machine;
+  machine.total_procs = kProcs;
+  const auto params = sweep_params(load(), kProcs);
+  const auto requests = job::WorkloadGenerator{params, 99}.generate();
+
+  const auto r = core::run_cluster_experiment(machine, strategy_case().factory,
+                                              requests);
+
+  // Conservation: every submitted job either completed or was rejected.
+  EXPECT_EQ(r.completed + r.rejected, requests.size())
+      << strategy_case().name << " lost jobs at load " << load();
+  // Utilization is a fraction.
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  // Completed work equals the work of completed jobs: the machine cannot
+  // have done more proc-seconds than utilization implies (efficiency < 1
+  // means the busy integral exceeds useful work).
+  const double busy_proc_seconds = r.utilization * kProcs * r.makespan;
+  EXPECT_GE(busy_proc_seconds + 1e-6, r.work_completed * 0.999)
+      << strategy_case().name << ": more work done than processor time spent";
+  // Bounded slowdown is at least 1 by definition.
+  if (r.completed > 0) {
+    EXPECT_GE(r.mean_bounded_slowdown, 1.0 - 1e-9);
+  }
+}
+
+TEST_P(StrategyProperties, DeterministicAcrossRuns) {
+  constexpr int kProcs = 128;
+  cluster::MachineSpec machine;
+  machine.total_procs = kProcs;
+  const auto params = sweep_params(load(), kProcs, 60);
+  const auto requests = job::WorkloadGenerator{params, 7}.generate();
+
+  const auto a = core::run_cluster_experiment(machine, strategy_case().factory,
+                                              requests);
+  const auto b = core::run_cluster_experiment(machine, strategy_case().factory,
+                                              requests);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.mean_response, b.mean_response);
+  EXPECT_DOUBLE_EQ(a.total_payoff, b.total_payoff);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+std::string strategy_load_case_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, double>>& param) {
+  static const char* kNames[] = {"fcfs", "backfill", "equipartition", "payoff",
+                                 "priority"};
+  const auto load_pct = static_cast<int>(std::get<1>(param.param) * 100.0 + 0.5);
+  return std::string(kNames[std::get<0>(param.param)]) + "_load" +
+         std::to_string(load_pct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesByLoad, StrategyProperties,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 3, 4),
+                       ::testing::Values(0.4, 0.8, 1.2)),
+    strategy_load_case_name);
+
+// Admission honesty: whatever a strategy promises at admission time, the
+// job must be runnable at all (min_procs within the machine) — rejected
+// contracts must never be silently accepted and vice versa.
+class AdmissionProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdmissionProperties, OversizedAlwaysRejectedFittingAlwaysAnswered) {
+  const auto cases = all_strategies();
+  const auto& c = cases[GetParam()];
+  sim::Engine engine;
+  cluster::MachineSpec machine;
+  machine.total_procs = 64;
+  cluster::ClusterManager cm{engine, machine, c.factory()};
+
+  EXPECT_FALSE(cm.query(qos::make_contract(65, 128, 1000.0)).accept)
+      << c.name << " accepted an impossible job";
+  const auto fitting = cm.query(qos::make_contract(4, 32, 1000.0));
+  if (fitting.accept) {
+    EXPECT_GE(fitting.estimated_completion, engine.now());
+    EXPECT_LT(fitting.estimated_completion, 1e300);
+  }
+}
+
+std::string strategy_case_name(const ::testing::TestParamInfo<std::size_t>& param) {
+  static const char* kNames[] = {"fcfs", "backfill", "equipartition", "payoff",
+                                 "priority"};
+  return kNames[param.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, AdmissionProperties,
+                         ::testing::Values<std::size_t>(0, 1, 2, 3, 4),
+                         strategy_case_name);
+
+}  // namespace
+}  // namespace faucets::sched

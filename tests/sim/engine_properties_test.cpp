@@ -1,0 +1,86 @@
+// Engine ordering properties under randomized schedules: whatever order
+// events are *inserted*, they must *execute* in (time, insertion-seq) order
+// — the root of the whole simulator's determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+#include "src/util/rng.hpp"
+
+namespace faucets::sim {
+namespace {
+
+class EngineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperties, ExecutionOrderIsTimeThenInsertion) {
+  Rng rng{GetParam()};
+  Engine engine;
+  struct Record {
+    double time;
+    std::uint64_t seq;
+  };
+  std::vector<Record> executed;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    engine.schedule_at(t, [&executed, t, i] { executed.push_back({t, i}); });
+  }
+  engine.run();
+  ASSERT_EQ(executed.size(), 500u);
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    const auto& a = executed[i - 1];
+    const auto& b = executed[i];
+    ASSERT_TRUE(a.time < b.time || (a.time == b.time && a.seq < b.seq))
+        << "out of order at " << i;
+  }
+}
+
+TEST_P(EngineProperties, CancellationNeverExecutesAndOthersAllDo) {
+  Rng rng{GetParam() * 7 + 1};
+  Engine engine;
+  std::vector<int> fired(300, 0);
+  std::vector<EventHandle> handles;
+  handles.reserve(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    handles.push_back(engine.schedule_at(rng.uniform(0.0, 50.0),
+                                         [&fired, i] { ++fired[i]; }));
+  }
+  std::vector<bool> cancelled(300, false);
+  for (std::size_t i = 0; i < 300; ++i) {
+    if (rng.bernoulli(0.3)) {
+      handles[i].cancel();
+      cancelled[i] = true;
+    }
+  }
+  engine.run();
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(fired[i], cancelled[i] ? 0 : 1) << "event " << i;
+  }
+}
+
+TEST_P(EngineProperties, TimeNeverGoesBackward) {
+  Rng rng{GetParam() * 13 + 5};
+  Engine engine;
+  double last_seen = -1.0;
+  bool monotone = true;
+  // Nested scheduling from inside events, including "now" events.
+  std::function<void(int)> spawn = [&](int depth) {
+    if (engine.now() < last_seen) monotone = false;
+    last_seen = engine.now();
+    if (depth <= 0) return;
+    engine.schedule_after(rng.uniform(0.0, 5.0), [&, depth] { spawn(depth - 1); });
+    engine.schedule_after(0.0, [&] {
+      if (engine.now() < last_seen) monotone = false;
+    });
+  };
+  engine.schedule_at(0.0, [&] { spawn(40); });
+  engine.run();
+  EXPECT_TRUE(monotone);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperties,
+                         ::testing::Values<std::uint64_t>(3, 17, 99, 2024));
+
+}  // namespace
+}  // namespace faucets::sim

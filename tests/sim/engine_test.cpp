@@ -1,0 +1,128 @@
+#include "src/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace faucets::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5.0, [&, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesRelativeDelay) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_after(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(Engine, PastSchedulingClampsToNow) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_at(2.0, [&] { fired_at = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 10.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  EventHandle h = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireIsSafe) {
+  Engine e;
+  EventHandle h = e.schedule_at(1.0, [] {});
+  e.run();
+  h.cancel();  // no-op
+  h.cancel();
+}
+
+TEST(Engine, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.active());
+  h.cancel();
+}
+
+TEST(Engine, RunUntilStopsBeforeLaterEvents) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(10.0, [&] { ++count; });
+  const auto executed = e.run(5.0);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), 5.0);  // clock advanced to the horizon
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, StepExecutesOneEvent) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99.0);
+  EXPECT_EQ(e.executed(), 100u);
+}
+
+TEST(Engine, PendingCountsUncancelledEvents) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace faucets::sim

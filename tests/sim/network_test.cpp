@@ -1,0 +1,144 @@
+#include "src/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace faucets::sim {
+namespace {
+
+struct Ping final : Message {
+  int payload = 0;
+  explicit Ping(int p = 0) : payload(p) {}
+  [[nodiscard]] std::string_view kind() const noexcept override { return "PING"; }
+};
+
+struct BigMessage final : Message {
+  std::size_t bytes;
+  explicit BigMessage(std::size_t b) : bytes(b) {}
+  [[nodiscard]] std::string_view kind() const noexcept override { return "BIG"; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return bytes; }
+};
+
+class Recorder final : public Entity {
+ public:
+  Recorder(std::string name, Engine& engine) : Entity(std::move(name), engine) {}
+  void on_message(const Message& msg) override {
+    arrivals.emplace_back(now(), std::string(msg.kind()));
+    if (const auto* ping = dynamic_cast<const Ping*>(&msg)) {
+      payloads.push_back(ping->payload);
+    }
+  }
+  std::vector<std::pair<double, std::string>> arrivals;
+  std::vector<int> payloads;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  NetworkConfig config{};
+  Network net{engine, config};
+};
+
+TEST_F(NetworkTest, AttachAssignsDistinctIds) {
+  Recorder a{"a", engine};
+  Recorder b{"b", engine};
+  net.attach(a);
+  net.attach(b);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(net.find(a.id()), &a);
+  EXPECT_EQ(net.find(b.id()), &b);
+}
+
+TEST_F(NetworkTest, DeliversAfterBaseLatency) {
+  Recorder a{"a", engine};
+  Recorder b{"b", engine};
+  net.attach(a);
+  net.attach(b);
+  net.send(a, b.id(), std::make_unique<Ping>(42));
+  engine.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  // base latency + 256 bytes over 1.25e8 B/s
+  EXPECT_NEAR(b.arrivals[0].first, 0.010 + 256.0 / 1.25e8, 1e-12);
+  EXPECT_EQ(b.payloads[0], 42);
+}
+
+TEST_F(NetworkTest, SelfSendUsesLocalLatency) {
+  Recorder a{"a", engine};
+  net.attach(a);
+  net.send(a, a.id(), std::make_unique<Ping>());
+  engine.run();
+  ASSERT_EQ(a.arrivals.size(), 1u);
+  EXPECT_LT(a.arrivals[0].first, 1e-4);
+}
+
+TEST_F(NetworkTest, BandwidthDelaysLargeMessages) {
+  Recorder a{"a", engine};
+  Recorder b{"b", engine};
+  net.attach(a);
+  net.attach(b);
+  net.send(a, b.id(), std::make_unique<BigMessage>(static_cast<std::size_t>(1.25e8)));
+  engine.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_NEAR(b.arrivals[0].first, 1.010, 1e-9);  // 1 s of transfer + latency
+}
+
+TEST_F(NetworkTest, DetachedEntityDropsMessages) {
+  Recorder a{"a", engine};
+  Recorder b{"b", engine};
+  net.attach(a);
+  net.attach(b);
+  net.send(a, b.id(), std::make_unique<Ping>());
+  net.detach(b.id());
+  engine.run();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST_F(NetworkTest, CountersTrackTraffic) {
+  Recorder a{"a", engine};
+  Recorder b{"b", engine};
+  net.attach(a);
+  net.attach(b);
+  net.send(a, b.id(), std::make_unique<Ping>());
+  net.send(b, a.id(), std::make_unique<Ping>());
+  engine.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.messages_delivered(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 512u);
+  net.reset_counters();
+  EXPECT_EQ(net.messages_sent(), 0u);
+}
+
+TEST_F(NetworkTest, MessageMetadataFilledIn) {
+  Recorder a{"a", engine};
+  Recorder b{"b", engine};
+  net.attach(a);
+  net.attach(b);
+  EntityId from_seen;
+  class Checker final : public Entity {
+   public:
+    Checker(Engine& e) : Entity("c", e) {}
+    void on_message(const Message& msg) override {
+      from = msg.from;
+      sent_at = msg.sent_at;
+    }
+    EntityId from;
+    double sent_at = -1.0;
+  } checker{engine};
+  net.attach(checker);
+  engine.schedule_at(5.0, [&] { net.send(a, checker.id(), std::make_unique<Ping>()); });
+  engine.run();
+  EXPECT_EQ(checker.from, a.id());
+  EXPECT_EQ(checker.sent_at, 5.0);
+  (void)from_seen;
+}
+
+TEST_F(NetworkTest, FindUnknownReturnsNull) {
+  EXPECT_EQ(net.find(EntityId{999}), nullptr);
+}
+
+}  // namespace
+}  // namespace faucets::sim

@@ -1,0 +1,48 @@
+#include "src/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faucets::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  TraceRecorder trace;
+  trace.record(1.0, EntityId{1}, "job", "started");
+  trace.record(2.0, EntityId{1}, "job", "finished");
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.records()[0].detail, "started");
+  EXPECT_EQ(trace.records()[1].time, 2.0);
+}
+
+TEST(Trace, FilterByCategory) {
+  TraceRecorder trace;
+  trace.record(1.0, EntityId{1}, "job", "a");
+  trace.record(2.0, EntityId{2}, "bid", "b");
+  trace.record(3.0, EntityId{1}, "job", "c");
+  const auto jobs = trace.filter("job");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[1].detail, "c");
+  EXPECT_TRUE(trace.filter("nothing").empty());
+}
+
+TEST(Trace, BoundedCapacityDropsOldest) {
+  TraceRecorder trace{8};
+  for (int i = 0; i < 20; ++i) {
+    trace.record(i, EntityId{0}, "x", std::to_string(i));
+  }
+  EXPECT_LE(trace.size(), 8u);
+  EXPECT_GT(trace.dropped(), 0u);
+  // The newest record must survive.
+  EXPECT_EQ(trace.records().back().detail, "19");
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder trace{4};
+  for (int i = 0; i < 10; ++i) trace.record(i, EntityId{0}, "x", "d");
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace faucets::sim

@@ -1,0 +1,100 @@
+#include "src/util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faucets {
+namespace {
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\r\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Config, ParsesSectionsAndValues) {
+  const auto config = ConfigFile::parse_string(R"(
+[grid]
+users = 8
+billing = barter
+
+[cluster]
+name = a
+procs = 64
+)");
+  ASSERT_NE(config.section("grid"), nullptr);
+  EXPECT_EQ(config.section("grid")->get_int("users", 0), 8);
+  EXPECT_EQ(config.section("grid")->get_string("billing", ""), "barter");
+  EXPECT_EQ(config.section("cluster")->get_string("name", ""), "a");
+  EXPECT_EQ(config.section("missing"), nullptr);
+}
+
+TEST(Config, RepeatedSectionsKeepOrder) {
+  const auto config = ConfigFile::parse_string(R"(
+[cluster]
+name = first
+[cluster]
+name = second
+[cluster]
+name = third
+)");
+  const auto clusters = config.sections("cluster");
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0]->get_string("name", ""), "first");
+  EXPECT_EQ(clusters[2]->get_string("name", ""), "third");
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  const auto config = ConfigFile::parse_string(R"(
+# full-line comment
+[s]
+a = 1   # trailing comment
+b = 2   ; semicolon comment
+
+c = 3
+)");
+  const auto* s = config.section("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->get_int("a", 0), 1);
+  EXPECT_EQ(s->get_int("b", 0), 2);
+  EXPECT_EQ(s->get_int("c", 0), 3);
+}
+
+TEST(Config, TypedGettersWithFallbacks) {
+  const auto config = ConfigFile::parse_string("[s]\nx = 1.5\nflag = yes\n");
+  const auto* s = config.section("s");
+  EXPECT_DOUBLE_EQ(s->get_double("x", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(s->get_double("missing", 7.0), 7.0);
+  EXPECT_TRUE(s->get_bool("flag", false));
+  EXPECT_FALSE(s->get_bool("missing", false));
+}
+
+TEST(Config, BoolSpellings) {
+  const auto config = ConfigFile::parse_string(
+      "[s]\na = true\nb = ON\nc = 0\nd = No\n");
+  const auto* s = config.section("s");
+  EXPECT_TRUE(s->get_bool("a", false));
+  EXPECT_TRUE(s->get_bool("b", false));
+  EXPECT_FALSE(s->get_bool("c", true));
+  EXPECT_FALSE(s->get_bool("d", true));
+}
+
+TEST(Config, MalformedInputsThrow) {
+  EXPECT_THROW(ConfigFile::parse_string("[unclosed\nx = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ConfigFile::parse_string("key_without_section = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ConfigFile::parse_string("[s]\nno equals sign\n"),
+               std::invalid_argument);
+}
+
+TEST(Config, BadTypedValuesThrow) {
+  const auto config = ConfigFile::parse_string("[s]\nx = abc\nflag = maybe\n");
+  const auto* s = config.section("s");
+  EXPECT_THROW((void)s->get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)s->get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW((void)s->get_bool("flag", false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faucets

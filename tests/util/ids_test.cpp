@@ -1,0 +1,67 @@
+#include "src/util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace faucets {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  JobId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  JobId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, EqualityAndOrdering) {
+  JobId a{1};
+  JobId b{2};
+  JobId c{1};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, c);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<JobId, ClusterId>);
+  static_assert(!std::is_same_v<UserId, BidId>);
+}
+
+TEST(Ids, GeneratorIsMonotonic) {
+  IdGenerator<JobId> gen;
+  JobId first = gen.next();
+  JobId second = gen.next();
+  EXPECT_LT(first, second);
+  EXPECT_EQ(first.value(), 0u);
+  EXPECT_EQ(second.value(), 1u);
+}
+
+TEST(Ids, GeneratorReset) {
+  IdGenerator<JobId> gen;
+  (void)gen.next();
+  gen.reset(100);
+  EXPECT_EQ(gen.next().value(), 100u);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<JobId> set;
+  for (std::uint64_t i = 0; i < 100; ++i) set.insert(JobId{i});
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(JobId{42}));
+}
+
+TEST(Ids, StreamOutput) {
+  std::ostringstream os;
+  os << JobId{5} << " " << JobId{};
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+}  // namespace
+}  // namespace faucets

@@ -1,0 +1,69 @@
+#include "src/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace faucets {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t{{"name", "value"}};
+  t.row().cell("alpha").cell(1.5);
+  t.row().cell("b").cell(42.0, 0);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnAlignment) {
+  Table t{{"a", "b"}};
+  t.row().cell("xxxxxx").cell("y");
+  std::ostringstream os;
+  t.print(os);
+  // Header line must be padded to the widest cell.
+  std::istringstream lines{os.str()};
+  std::string header;
+  std::getline(lines, header);
+  std::string rule;
+  std::getline(lines, rule);
+  std::string row;
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, IntegerCells) {
+  Table t{{"i64", "u64", "size", "int"}};
+  t.row()
+      .cell(std::int64_t{-5})
+      .cell(std::uint64_t{7})
+      .cell(std::size_t{9})
+      .cell(11);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("11"), std::string::npos);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t{{"x"}};
+  t.cell("standalone");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t{{"a", "b", "c"}};
+  t.row().cell("only-one");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faucets
