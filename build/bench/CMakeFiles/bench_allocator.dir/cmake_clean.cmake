@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocator.dir/bench_allocator.cpp.o"
+  "CMakeFiles/bench_allocator.dir/bench_allocator.cpp.o.d"
+  "bench_allocator"
+  "bench_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

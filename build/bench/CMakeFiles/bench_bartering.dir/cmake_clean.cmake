@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bartering.dir/bench_bartering.cpp.o"
+  "CMakeFiles/bench_bartering.dir/bench_bartering.cpp.o.d"
+  "bench_bartering"
+  "bench_bartering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bartering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

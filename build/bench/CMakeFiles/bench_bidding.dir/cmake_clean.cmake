@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bidding.dir/bench_bidding.cpp.o"
+  "CMakeFiles/bench_bidding.dir/bench_bidding.cpp.o.d"
+  "bench_bidding"
+  "bench_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

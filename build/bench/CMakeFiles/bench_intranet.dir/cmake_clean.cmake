@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intranet.dir/bench_intranet.cpp.o"
+  "CMakeFiles/bench_intranet.dir/bench_intranet.cpp.o.d"
+  "bench_intranet"
+  "bench_intranet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intranet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_market_selection.dir/bench_market_selection.cpp.o"
+  "CMakeFiles/bench_market_selection.dir/bench_market_selection.cpp.o.d"
+  "bench_market_selection"
+  "bench_market_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_market_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_payoff.dir/bench_payoff.cpp.o"
+  "CMakeFiles/bench_payoff.dir/bench_payoff.cpp.o.d"
+  "bench_payoff"
+  "bench_payoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_payoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

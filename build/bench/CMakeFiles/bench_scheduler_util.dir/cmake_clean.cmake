@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_util.dir/bench_scheduler_util.cpp.o"
+  "CMakeFiles/bench_scheduler_util.dir/bench_scheduler_util.cpp.o.d"
+  "bench_scheduler_util"
+  "bench_scheduler_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

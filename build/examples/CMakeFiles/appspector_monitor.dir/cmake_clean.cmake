@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appspector_monitor.dir/appspector_monitor.cpp.o"
+  "CMakeFiles/appspector_monitor.dir/appspector_monitor.cpp.o.d"
+  "appspector_monitor"
+  "appspector_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appspector_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

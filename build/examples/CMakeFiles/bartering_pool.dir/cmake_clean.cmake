@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bartering_pool.dir/bartering_pool.cpp.o"
+  "CMakeFiles/bartering_pool.dir/bartering_pool.cpp.o.d"
+  "bartering_pool"
+  "bartering_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bartering_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

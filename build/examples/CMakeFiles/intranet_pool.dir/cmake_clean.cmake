@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intranet_pool.dir/intranet_pool.cpp.o"
+  "CMakeFiles/intranet_pool.dir/intranet_pool.cpp.o.d"
+  "intranet_pool"
+  "intranet_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intranet_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_economy.dir/market_economy.cpp.o"
+  "CMakeFiles/market_economy.dir/market_economy.cpp.o.d"
+  "market_economy"
+  "market_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocator.cpp" "src/CMakeFiles/faucets.dir/cluster/allocator.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/cluster/allocator.cpp.o.d"
+  "/root/repo/src/cluster/gantt.cpp" "src/CMakeFiles/faucets.dir/cluster/gantt.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/cluster/gantt.cpp.o.d"
+  "/root/repo/src/cluster/server.cpp" "src/CMakeFiles/faucets.dir/cluster/server.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/cluster/server.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/faucets.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/grid_system.cpp" "src/CMakeFiles/faucets.dir/core/grid_system.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/core/grid_system.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/faucets.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/faucets/accounting.cpp" "src/CMakeFiles/faucets.dir/faucets/accounting.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/accounting.cpp.o.d"
+  "/root/repo/src/faucets/appspector.cpp" "src/CMakeFiles/faucets.dir/faucets/appspector.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/appspector.cpp.o.d"
+  "/root/repo/src/faucets/auth.cpp" "src/CMakeFiles/faucets.dir/faucets/auth.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/auth.cpp.o.d"
+  "/root/repo/src/faucets/broker.cpp" "src/CMakeFiles/faucets.dir/faucets/broker.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/broker.cpp.o.d"
+  "/root/repo/src/faucets/central.cpp" "src/CMakeFiles/faucets.dir/faucets/central.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/central.cpp.o.d"
+  "/root/repo/src/faucets/client.cpp" "src/CMakeFiles/faucets.dir/faucets/client.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/client.cpp.o.d"
+  "/root/repo/src/faucets/daemon.cpp" "src/CMakeFiles/faucets.dir/faucets/daemon.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/faucets/daemon.cpp.o.d"
+  "/root/repo/src/job/job.cpp" "src/CMakeFiles/faucets.dir/job/job.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/job/job.cpp.o.d"
+  "/root/repo/src/job/swf.cpp" "src/CMakeFiles/faucets.dir/job/swf.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/job/swf.cpp.o.d"
+  "/root/repo/src/job/workload.cpp" "src/CMakeFiles/faucets.dir/job/workload.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/job/workload.cpp.o.d"
+  "/root/repo/src/market/bidgen.cpp" "src/CMakeFiles/faucets.dir/market/bidgen.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/market/bidgen.cpp.o.d"
+  "/root/repo/src/market/evaluation.cpp" "src/CMakeFiles/faucets.dir/market/evaluation.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/market/evaluation.cpp.o.d"
+  "/root/repo/src/market/price_history.cpp" "src/CMakeFiles/faucets.dir/market/price_history.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/market/price_history.cpp.o.d"
+  "/root/repo/src/qos/contract.cpp" "src/CMakeFiles/faucets.dir/qos/contract.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/qos/contract.cpp.o.d"
+  "/root/repo/src/qos/payoff.cpp" "src/CMakeFiles/faucets.dir/qos/payoff.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/qos/payoff.cpp.o.d"
+  "/root/repo/src/qos/speedup.cpp" "src/CMakeFiles/faucets.dir/qos/speedup.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/qos/speedup.cpp.o.d"
+  "/root/repo/src/sched/backfill.cpp" "src/CMakeFiles/faucets.dir/sched/backfill.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sched/backfill.cpp.o.d"
+  "/root/repo/src/sched/equipartition.cpp" "src/CMakeFiles/faucets.dir/sched/equipartition.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sched/equipartition.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/CMakeFiles/faucets.dir/sched/fcfs.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sched/fcfs.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/CMakeFiles/faucets.dir/sched/metrics.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sched/metrics.cpp.o.d"
+  "/root/repo/src/sched/payoff_sched.cpp" "src/CMakeFiles/faucets.dir/sched/payoff_sched.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sched/payoff_sched.cpp.o.d"
+  "/root/repo/src/sched/priority_sched.cpp" "src/CMakeFiles/faucets.dir/sched/priority_sched.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sched/priority_sched.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/faucets.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/faucets.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/faucets.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/faucets.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/faucets.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/faucets.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/faucets.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/faucets.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/failover_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/failover_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/grid_system_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/grid_system_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/protocol_edge_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/protocol_edge_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/regulation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/regulation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

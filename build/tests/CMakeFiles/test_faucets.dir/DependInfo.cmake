@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faucets/accounting_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/accounting_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/accounting_test.cpp.o.d"
+  "/root/repo/tests/faucets/appspector_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/appspector_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/appspector_test.cpp.o.d"
+  "/root/repo/tests/faucets/auth_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/auth_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/auth_test.cpp.o.d"
+  "/root/repo/tests/faucets/broker_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/broker_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/broker_test.cpp.o.d"
+  "/root/repo/tests/faucets/central_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/central_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/central_test.cpp.o.d"
+  "/root/repo/tests/faucets/daemon_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/daemon_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/daemon_test.cpp.o.d"
+  "/root/repo/tests/faucets/federation_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/federation_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/federation_test.cpp.o.d"
+  "/root/repo/tests/faucets/protocol_test.cpp" "tests/CMakeFiles/test_faucets.dir/faucets/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_faucets.dir/faucets/protocol_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faucets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faucets.dir/faucets/accounting_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/accounting_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/appspector_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/appspector_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/auth_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/auth_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/broker_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/broker_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/central_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/central_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/daemon_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/daemon_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/federation_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/federation_test.cpp.o.d"
+  "CMakeFiles/test_faucets.dir/faucets/protocol_test.cpp.o"
+  "CMakeFiles/test_faucets.dir/faucets/protocol_test.cpp.o.d"
+  "test_faucets"
+  "test_faucets.pdb"
+  "test_faucets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faucets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

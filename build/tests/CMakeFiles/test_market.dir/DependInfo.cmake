@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/market/bidgen_test.cpp" "tests/CMakeFiles/test_market.dir/market/bidgen_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/bidgen_test.cpp.o.d"
+  "/root/repo/tests/market/evaluation_test.cpp" "tests/CMakeFiles/test_market.dir/market/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/evaluation_test.cpp.o.d"
+  "/root/repo/tests/market/evaluator_properties_test.cpp" "tests/CMakeFiles/test_market.dir/market/evaluator_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/evaluator_properties_test.cpp.o.d"
+  "/root/repo/tests/market/forecast_test.cpp" "tests/CMakeFiles/test_market.dir/market/forecast_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/forecast_test.cpp.o.d"
+  "/root/repo/tests/market/price_history_test.cpp" "tests/CMakeFiles/test_market.dir/market/price_history_test.cpp.o" "gcc" "tests/CMakeFiles/test_market.dir/market/price_history_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faucets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

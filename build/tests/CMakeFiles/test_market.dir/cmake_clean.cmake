@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market.dir/market/bidgen_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/bidgen_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/evaluation_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/evaluation_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/evaluator_properties_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/evaluator_properties_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/forecast_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/forecast_test.cpp.o.d"
+  "CMakeFiles/test_market.dir/market/price_history_test.cpp.o"
+  "CMakeFiles/test_market.dir/market/price_history_test.cpp.o.d"
+  "test_market"
+  "test_market.pdb"
+  "test_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

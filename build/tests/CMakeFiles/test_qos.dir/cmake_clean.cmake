@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos.dir/qos/contract_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/contract_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/payoff_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/payoff_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/speedup_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/speedup_test.cpp.o.d"
+  "test_qos"
+  "test_qos.pdb"
+  "test_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/equipartition_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/equipartition_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/equipartition_test.cpp.o.d"
+  "/root/repo/tests/sched/priority_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/priority_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/priority_test.cpp.o.d"
+  "/root/repo/tests/sched/strategies_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/strategies_test.cpp.o.d"
+  "/root/repo/tests/sched/strategy_properties_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/strategy_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/strategy_properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faucets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/equipartition_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/equipartition_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/priority_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/priority_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/strategies_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/strategies_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/strategy_properties_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/strategy_properties_test.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
