@@ -1,10 +1,15 @@
 // Experiment E9a (DESIGN.md): discrete-event engine microbenchmarks —
-// events/second through the queue, message delivery through the simulated
-// network, and a full mini-grid run. google-benchmark.
+// events/second through the queue, schedule/cancel churn against the slot
+// pool, message delivery through the simulated network, and a full
+// mini-grid run. google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <vector>
 
 #include "src/core/grid_system.hpp"
 #include "src/sched/equipartition.hpp"
+#include "src/sim/context.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/network.hpp"
 
@@ -27,6 +32,29 @@ void BM_EngineScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// The acceptance workload for the pooled engine: 1M events scheduled with
+// scattered times, every third one cancelled, remainder executed. Reported
+// items/sec is the headline events/sec figure in BENCH_engine.json.
+void BM_EngineScheduleCancelRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(n);
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t counter = 0;
+    handles.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(engine.schedule_at(static_cast<double>(i % 1009),
+                                           [&counter] { ++counter; }));
+    }
+    for (std::size_t i = 0; i < n; i += 3) handles[i].cancel();
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineScheduleCancelRun)->Arg(100000)->Arg(1000000);
+
 void BM_EngineCascade(benchmark::State& state) {
   // Each event schedules the next: measures queue churn, not batch insert.
   const auto n = static_cast<std::uint64_t>(state.range(0));
@@ -44,30 +72,62 @@ void BM_EngineCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCascade)->Arg(10000)->Arg(100000);
 
+// Recurring-timer churn: a handful of periodic timers that re-arm and
+// occasionally cancel each other, the daemon/poll pattern in the market.
+void BM_EngineTimerWheelChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    constexpr int kTimers = 16;
+    std::vector<sim::EventHandle> timers(kTimers);
+    std::function<void(int)> rearm = [&](int slot) {
+      ++fired;
+      if (fired >= n) return;
+      timers[static_cast<std::size_t>(slot)] =
+          engine.schedule_after(1.0 + slot * 0.1, [&rearm, slot] { rearm(slot); });
+      // Cancel and replace a neighbour: exercises remove-from-middle.
+      const int victim = (slot + 1) % kTimers;
+      timers[static_cast<std::size_t>(victim)].cancel();
+      timers[static_cast<std::size_t>(victim)] = engine.schedule_after(
+          2.0 + victim * 0.1, [&rearm, victim] { rearm(victim); });
+    };
+    for (int t = 0; t < kTimers; ++t) {
+      timers[static_cast<std::size_t>(t)] =
+          engine.schedule_after(1.0 + t * 0.1, [&rearm, t] { rearm(t); });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineTimerWheelChurn)->Arg(100000);
+
 class Sink final : public sim::Entity {
  public:
-  Sink(sim::Engine& engine) : sim::Entity("sink", engine) {}
+  explicit Sink(sim::SimContext& ctx) : sim::Entity("sink", ctx) {}
   void on_message(const sim::Message&) override { ++received; }
   std::uint64_t received = 0;
 };
 
 struct Ping final : sim::Message {
-  [[nodiscard]] std::string_view kind() const noexcept override { return "PING"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kCustom;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 void BM_NetworkDelivery(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    sim::Engine engine;
-    sim::Network net{engine};
-    Sink a{engine};
-    Sink b{engine};
+    sim::SimContext ctx;
+    sim::Network& net = ctx.network();
+    Sink a{ctx};
+    Sink b{ctx};
     net.attach(a);
     net.attach(b);
     for (std::size_t i = 0; i < n; ++i) {
       net.send(a, b.id(), std::make_unique<Ping>());
     }
-    engine.run();
+    ctx.engine().run();
     benchmark::DoNotOptimize(b.received);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());

@@ -30,11 +30,11 @@ struct ScenarioResult {
 };
 
 ScenarioResult run_scenario(std::unique_ptr<sched::Strategy> strategy) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.total_procs = 1000;
   const bool adaptive = strategy->adaptive();
-  cluster::ClusterManager cm{engine, machine, std::move(strategy),
+  cluster::ClusterManager cm{ctx, machine, std::move(strategy),
                              job::AdaptiveCosts{.reconfig_seconds = 5.0,
                                                 .checkpoint_seconds = 30.0,
                                                 .restart_seconds = 30.0}};
@@ -48,11 +48,11 @@ ScenarioResult run_scenario(std::unique_ptr<sched::Strategy> strategy) {
   }
   double a_start = -1.0;
   for (const auto& req : reqs) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       (void)cm.submit(UserId{req.user_index}, req.contract);
     });
   }
-  engine.run(6.0 * 3600.0);
+  ctx.engine().run(6.0 * 3600.0);
   cm.finish_metrics();
 
   ScenarioResult out;

@@ -20,12 +20,12 @@ struct Result {
 };
 
 Result run(sched::PriorityStrategyParams params, std::uint64_t seed) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.total_procs = 256;
   auto strategy = std::make_unique<sched::PriorityStrategy>(params);
   auto* strat = strategy.get();
-  cluster::ClusterManager cm{engine, machine, std::move(strategy),
+  cluster::ClusterManager cm{ctx, machine, std::move(strategy),
                              job::AdaptiveCosts{.reconfig_seconds = 2.0,
                                                 .checkpoint_seconds = 10.0,
                                                 .restart_seconds = 10.0}};
@@ -62,11 +62,11 @@ Result run(sched::PriorityStrategyParams params, std::uint64_t seed) {
   });
 
   for (const auto& req : requests) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       (void)cm.submit(UserId{req.user_index}, req.contract);
     });
   }
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
 
   Result out;

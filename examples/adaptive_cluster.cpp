@@ -28,11 +28,11 @@ struct Outcome {
 };
 
 Outcome replay(std::unique_ptr<sched::Strategy> strategy) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.name = "hpc-1000";
   machine.total_procs = 1000;
-  cluster::ClusterManager cm{engine, machine, std::move(strategy),
+  cluster::ClusterManager cm{ctx, machine, std::move(strategy),
                              job::AdaptiveCosts{.reconfig_seconds = 5.0,
                                                 .checkpoint_seconds = 30.0,
                                                 .restart_seconds = 30.0}};
@@ -50,11 +50,11 @@ Outcome replay(std::unique_ptr<sched::Strategy> strategy) {
   }
 
   for (const auto& req : reqs) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       (void)cm.submit(UserId{req.user_index}, req.contract);
     });
   }
-  engine.run(4.0 * 3600.0);  // four simulated hours is plenty of evidence
+  ctx.engine().run(4.0 * 3600.0);  // four simulated hours is plenty of evidence
   cm.finish_metrics();
 
   Outcome out;

@@ -15,9 +15,9 @@ namespace {
 /// A bare-bones watcher entity standing in for a second browser session.
 class Watcher final : public sim::Entity {
  public:
-  Watcher(sim::Engine& engine, sim::Network& network, EntityId appspector)
-      : sim::Entity("watcher", engine), network_(&network), as_(appspector) {
-    network.attach(*this);
+  Watcher(sim::SimContext& ctx, EntityId appspector)
+      : sim::Entity("watcher", ctx), network_(&ctx.network()), as_(appspector) {
+    network_->attach(*this);
   }
 
   void watch(ClusterId cluster, JobId job) {
@@ -28,14 +28,14 @@ class Watcher final : public sim::Entity {
   }
 
   void on_message(const sim::Message& msg) override {
-    if (const auto* reply = dynamic_cast<const proto::WatchReply*>(&msg)) {
-      std::cout << "[t=" << now() << "s] watcher sees job " << reply->job
-                << ": state=" << reply->state << " procs=" << reply->procs
-                << " progress=" << static_cast<int>(reply->progress * 100)
-                << "%\n";
-      for (const auto& line : reply->display_buffer) {
-        std::cout << "    buffered> " << line << "\n";
-      }
+    if (msg.kind() != sim::MessageKind::kWatchReply) return;
+    const auto& reply = sim::message_cast<proto::WatchReply>(msg);
+    std::cout << "[t=" << now() << "s] watcher sees job " << reply.job
+              << ": state=" << reply.state << " procs=" << reply.procs
+              << " progress=" << static_cast<int>(reply.progress * 100)
+              << "%\n";
+    for (const auto& line : reply.display_buffer) {
+      std::cout << "    buffered> " << line << "\n";
     }
   }
 
@@ -61,7 +61,7 @@ int main() {
   core::GridSystem grid{config, std::move(cs), 1};
   grid.central().register_application("namd");
 
-  Watcher watcher{grid.engine(), grid.network(), grid.appspector().id()};
+  Watcher watcher{grid.context(), grid.appspector().id()};
 
   // One long job: 128 procs x 600 s.
   job::JobRequest req;

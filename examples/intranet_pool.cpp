@@ -22,13 +22,13 @@ struct RunResult {
 };
 
 RunResult run(sched::PriorityStrategyParams params) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.name = "corp-cluster";
   machine.total_procs = 256;
   auto strategy = std::make_unique<sched::PriorityStrategy>(params);
   auto* strat = strategy.get();
-  cluster::ClusterManager cm{engine, machine, std::move(strategy),
+  cluster::ClusterManager cm{ctx, machine, std::move(strategy),
                              job::AdaptiveCosts{.reconfig_seconds = 2.0,
                                                 .checkpoint_seconds = 10.0,
                                                 .restart_seconds = 10.0}};
@@ -52,11 +52,11 @@ RunResult run(sched::PriorityStrategyParams params) {
     req.contract.priority = req.user_index == 0 ? 5 : 0;
   }
   for (const auto& req : requests) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       (void)cm.submit(UserId{req.user_index}, req.contract);
     });
   }
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
 
   // Waits by class come from the completion metrics; re-derive by querying

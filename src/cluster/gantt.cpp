@@ -17,6 +17,7 @@ void GanttChart::reserve(double start, double end, int procs) {
   if (auto it = deltas_.find(end); it != deltas_.end() && it->second == 0) {
     deltas_.erase(it);
   }
+  invalidate();
 }
 
 void GanttChart::release(double start, double end, int procs) {
@@ -27,42 +28,70 @@ void GanttChart::release(double start, double end, int procs) {
   if (auto it = deltas_.find(end); it != deltas_.end() && it->second == 0) {
     deltas_.erase(it);
   }
+  invalidate();
+}
+
+void GanttChart::rebuild_profile() const {
+  profile_.clear();
+  profile_.reserve(deltas_.size());
+  int level = baseline_;
+  int prev_level = baseline_;
+  double prev_time = 0.0;
+  double area = 0.0;
+  for (const auto& [time, delta] : deltas_) {
+    if (!profile_.empty()) area += static_cast<double>(prev_level) * (time - prev_time);
+    level += delta;
+    profile_.push_back(ProfilePoint{time, level, area});
+    prev_level = level;
+    prev_time = time;
+  }
+  profile_valid_ = true;
+}
+
+std::ptrdiff_t GanttChart::floor_index(double t) const {
+  const auto& prof = profile();
+  auto it = std::upper_bound(
+      prof.begin(), prof.end(), t,
+      [](double value, const ProfilePoint& p) { return value < p.time; });
+  return (it - prof.begin()) - 1;
 }
 
 int GanttChart::committed_at(double t) const {
-  int level = baseline_;
-  for (const auto& [time, delta] : deltas_) {
-    if (time > t) break;
-    level += delta;
-  }
-  return level;
+  const std::ptrdiff_t i = floor_index(t);
+  return i < 0 ? baseline_ : profile()[static_cast<std::size_t>(i)].level;
 }
 
 int GanttChart::peak_committed(double from, double to) const {
-  int level = committed_at(from);
-  int peak = level;
-  for (const auto& [time, delta] : deltas_) {
-    if (time <= from) continue;
-    if (time >= to) break;
-    level += delta;
-    peak = std::max(peak, level);
-  }
+  const auto& prof = profile();
+  int peak = committed_at(from);
+  // Profile points strictly inside (from, to) raise the level.
+  auto it = std::upper_bound(
+      prof.begin(), prof.end(), from,
+      [](double value, const ProfilePoint& p) { return value < p.time; });
+  for (; it != prof.end() && it->time < to; ++it) peak = std::max(peak, it->level);
   return peak;
 }
 
 double GanttChart::average_committed(double from, double to) const {
   if (to <= from) return static_cast<double>(committed_at(from));
+  const auto& prof = profile();
+  if (prof.empty()) return static_cast<double>(baseline_);
+
+  // Integral of the level from the first profile point's time up to t,
+  // using the memoized prefix areas. Requires t >= prof.front().time.
+  auto integral_to = [&](double t) {
+    const std::ptrdiff_t i = floor_index(t);
+    const ProfilePoint& p = prof[static_cast<std::size_t>(i)];
+    return p.area + static_cast<double>(p.level) * (t - p.time);
+  };
+
+  const double start = prof.front().time;
   double area = 0.0;
-  double cursor = from;
-  int level = committed_at(from);
-  for (const auto& [time, delta] : deltas_) {
-    if (time <= from) continue;
-    if (time >= to) break;
-    area += level * (time - cursor);
-    cursor = time;
-    level += delta;
+  if (from < start) area += static_cast<double>(baseline_) * (std::min(to, start) - from);
+  if (to > start) {
+    const double lo = std::max(from, start);
+    area += integral_to(to) - integral_to(lo);
   }
-  area += level * (to - cursor);
   return area / (to - from);
 }
 
@@ -71,23 +100,28 @@ double GanttChart::earliest_fit(double after, double duration, int procs,
   if (procs > capacity_) return horizon;
   if (duration < 0.0) duration = 0.0;
 
-  // Single sweep over the level profile: O(events). `candidate` is the
+  // Single sweep over the memoized profile: O(events). `candidate` is the
   // earliest possible start given everything seen so far; a segment whose
   // level exceeds the limit pushes it to the segment's end; once a feasible
   // stretch of at least `duration` follows `candidate`, it wins.
   const int limit = capacity_ - procs;
+  const auto& prof = profile();
   double candidate = after;
-  int level = baseline_;
-  for (const auto& [time, delta] : deltas_) {
-    if (time > candidate) {
+  // Points at or before `after` only establish the starting level; skip to
+  // them via the memoized profile instead of sweeping from the beginning.
+  const std::ptrdiff_t start = floor_index(after);
+  int level = start < 0 ? baseline_ : prof[static_cast<std::size_t>(start)].level;
+  for (std::size_t j = static_cast<std::size_t>(start + 1); j < prof.size(); ++j) {
+    const ProfilePoint& p = prof[j];
+    if (p.time > candidate) {
       if (level > limit) {
-        candidate = time;  // blocked until this boundary
+        candidate = p.time;  // blocked until this boundary
         if (candidate >= horizon) return horizon;
-      } else if (candidate + duration <= time) {
+      } else if (candidate + duration <= p.time) {
         return candidate;  // whole window fits before the next change
       }
     }
-    level += delta;
+    level = p.level;
   }
   // Tail segment: level holds forever after the last event.
   if (level > limit) return horizon;
@@ -96,10 +130,13 @@ double GanttChart::earliest_fit(double after, double duration, int procs,
 
 void GanttChart::compact(double t) {
   auto it = deltas_.begin();
+  bool changed = false;
   while (it != deltas_.end() && it->first <= t) {
     baseline_ += it->second;
     it = deltas_.erase(it);
+    changed = true;
   }
+  if (changed) invalidate();
 }
 
 }  // namespace faucets::cluster

@@ -5,9 +5,17 @@
 // tracks committed processors over future time; the payoff scheduler uses
 // it for admission, backfill uses it for reservations, and bid generators
 // use its average to project utilization up to a deadline (§5.2).
+//
+// Mutations (reserve/release/compact) edit a delta map; queries run against
+// a memoized step profile with prefix integrals, rebuilt lazily after a
+// mutation. Bid generation issues many queries per mutation (one
+// average_committed + earliest_fit per request-for-bids), so queries are
+// O(log n) between mutations instead of a linear rescan each time.
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <vector>
 
 namespace faucets::cluster {
 
@@ -45,9 +53,30 @@ class GanttChart {
   void compact(double t);
 
  private:
+  /// One step of the memoized commitment profile. `level` is the commitment
+  /// from `time` until the next point; `area` is the integral of the level
+  /// from the first point's time up to `time`.
+  struct ProfilePoint {
+    double time;
+    int level;
+    double area;
+  };
+
+  void invalidate() noexcept { profile_valid_ = false; }
+  void rebuild_profile() const;
+  [[nodiscard]] const std::vector<ProfilePoint>& profile() const {
+    if (!profile_valid_) rebuild_profile();
+    return profile_;
+  }
+  /// Index of the last profile point with time <= t, or -1 if t precedes
+  /// every point.
+  [[nodiscard]] std::ptrdiff_t floor_index(double t) const;
+
   int capacity_;
-  int baseline_ = 0;                // commitment carried from compacted past
-  std::map<double, int> deltas_;    // time -> change in committed procs
+  int baseline_ = 0;              // commitment carried from compacted past
+  std::map<double, int> deltas_;  // time -> change in committed procs
+  mutable std::vector<ProfilePoint> profile_;  // memoized; rebuilt on demand
+  mutable bool profile_valid_ = false;
 };
 
 }  // namespace faucets::cluster

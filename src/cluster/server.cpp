@@ -14,10 +14,11 @@ constexpr double kInf = 1e300;
 constexpr double kDoneTolerance = 1e-6;
 }  // namespace
 
-ClusterManager::ClusterManager(sim::Engine& engine, MachineSpec machine,
+ClusterManager::ClusterManager(sim::SimContext& ctx, MachineSpec machine,
                                std::unique_ptr<sched::Strategy> strategy,
                                job::AdaptiveCosts costs, ClusterId id)
-    : engine_(&engine),
+    : ctx_(&ctx),
+      engine_(&ctx.engine()),
       machine_(std::move(machine)),
       strategy_(std::move(strategy)),
       costs_(costs),
@@ -30,6 +31,7 @@ ClusterManager::ClusterManager(sim::Engine& engine, MachineSpec machine,
 sched::SchedulerContext ClusterManager::context() const {
   sched::SchedulerContext ctx;
   ctx.now = engine_->now();
+  ctx.sim = ctx_;
   ctx.machine = &machine_;
   ctx.running.reserve(running_.size());
   for (JobId id : running_) ctx.running.push_back(jobs_.at(id).get());

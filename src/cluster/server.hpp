@@ -17,6 +17,7 @@
 #include "src/job/job.hpp"
 #include "src/sched/metrics.hpp"
 #include "src/sched/scheduler.hpp"
+#include "src/sim/context.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/trace.hpp"
 #include "src/util/ids.hpp"
@@ -25,7 +26,7 @@ namespace faucets::cluster {
 
 class ClusterManager {
  public:
-  ClusterManager(sim::Engine& engine, MachineSpec machine,
+  ClusterManager(sim::SimContext& ctx, MachineSpec machine,
                  std::unique_ptr<sched::Strategy> strategy,
                  job::AdaptiveCosts costs = {}, ClusterId id = ClusterId{0});
 
@@ -105,6 +106,7 @@ class ClusterManager {
   [[nodiscard]] sched::SchedulerContext context() const;
   void advance_all();
 
+  sim::SimContext* ctx_;
   sim::Engine* engine_;
   MachineSpec machine_;
   std::unique_ptr<sched::Strategy> strategy_;

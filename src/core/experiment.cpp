@@ -1,6 +1,6 @@
 #include "src/core/experiment.hpp"
 
-#include "src/sim/engine.hpp"
+#include "src/sim/context.hpp"
 
 namespace faucets::core {
 
@@ -8,15 +8,15 @@ ClusterRunResult run_cluster_experiment(
     const cluster::MachineSpec& machine,
     const std::function<std::unique_ptr<sched::Strategy>()>& strategy,
     const std::vector<job::JobRequest>& requests, job::AdaptiveCosts costs) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine, strategy(), costs};
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine, strategy(), costs};
 
   for (const auto& req : requests) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       cm.submit(UserId{req.user_index}, req.contract);
     });
   }
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
 
   ClusterRunResult out;
@@ -29,7 +29,7 @@ ClusterRunResult run_cluster_experiment(
   out.mean_bounded_slowdown = m.slowdowns().mean();
   out.total_payoff = m.total_payoff();
   out.deadline_misses = m.deadline_misses();
-  out.makespan = engine.now();
+  out.makespan = ctx.engine().now();
   out.work_completed = m.work_completed();
   out.reconfigs_per_job =
       m.completed() == 0 ? 0.0

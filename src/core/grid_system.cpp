@@ -19,14 +19,14 @@ double GridReport::grid_utilization_weighted() const {
 
 GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
                        std::size_t user_count)
-    : config_(std::move(config)), network_(engine_, config_.network) {
+    : config_(std::move(config)), ctx_(sim::SimConfig{.network = config_.network}) {
   if (clusters.empty()) throw std::invalid_argument("grid needs >= 1 cluster");
   if (user_count == 0) throw std::invalid_argument("grid needs >= 1 user");
 
-  central_ = std::make_unique<CentralServer>(engine_, network_, config_.central);
-  appspector_ = std::make_unique<AppSpector>(engine_, network_);
+  central_ = std::make_unique<CentralServer>(ctx_, config_.central);
+  appspector_ = std::make_unique<AppSpector>(ctx_);
   if (config_.brokered_submission) {
-    broker_ = std::make_unique<BrokerAgent>(engine_, network_, central_->id());
+    broker_ = std::make_unique<BrokerAgent>(ctx_, central_->id());
   }
 
   // Stand up one daemon + cluster manager per Compute Server.
@@ -34,9 +34,9 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     ClusterSetup& setup = clusters[i];
     const ClusterId cluster_id{i};
     auto cm = std::make_unique<cluster::ClusterManager>(
-        engine_, setup.machine, setup.strategy(), setup.costs, cluster_id);
+        ctx_, setup.machine, setup.strategy(), setup.costs, cluster_id);
     auto daemon = std::make_unique<FaucetsDaemon>(
-        engine_, network_, cluster_id, std::move(cm), setup.bid_generator(),
+        ctx_, cluster_id, std::move(cm), setup.bid_generator(),
         central_->id(), appspector_->id(), config_.daemon);
     daemon->set_grid_history(&central_->price_history());
     daemon->register_with_central();
@@ -69,7 +69,7 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
                          ? config_.evaluator()
                          : std::make_unique<market::LeastCostEvaluator>();
     clients_.push_back(std::make_unique<FaucetsClient>(
-        engine_, network_, central_->id(), std::move(evaluator), std::move(cc)));
+        ctx_, central_->id(), std::move(evaluator), std::move(cc)));
   }
 }
 
@@ -101,12 +101,12 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
     }
     return true;
   };
-  while (!all_done() && engine_.step(until)) {
+  while (!all_done() && ctx_.engine().step(until)) {
   }
   // Drain in-flight housekeeping for one simulated second: the daemons'
   // ContractSettled reports to the Central Server (price history, billing,
   // barter transfers) trail the completion notices clients wait for.
-  engine_.run(std::min(until, engine_.now() + 1.0));
+  ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
   for (auto& d : daemons_) d->cm().finish_metrics();
   return report();
 }
@@ -114,7 +114,7 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
 void GridSystem::schedule_cluster_shutdown(std::size_t i, double when,
                                            bool graceful) {
   FaucetsDaemon* daemon = daemons_.at(i).get();
-  engine_.schedule_at(when, [daemon, graceful] {
+  ctx_.engine().schedule_at(when, [daemon, graceful] {
     if (graceful) {
       daemon->drain_and_shutdown();
     } else {
@@ -125,9 +125,11 @@ void GridSystem::schedule_cluster_shutdown(std::size_t i, double when,
 
 GridReport GridSystem::report() const {
   GridReport out;
-  out.makespan = engine_.now();
-  out.messages = network_.messages_sent();
-  out.network_bytes = network_.bytes_sent();
+  out.makespan = ctx_.now();
+  out.messages = ctx_.network().messages_sent();
+  out.network_bytes = ctx_.network().bytes_sent();
+  out.messages_sent_by_kind = ctx_.network().sent_by_kind();
+  out.messages_delivered_by_kind = ctx_.network().delivered_by_kind();
   out.jobs_submitted = jobs_submitted_;
 
   for (const auto& d : daemons_) {

@@ -5,6 +5,7 @@
 // benchmarks use.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "src/job/workload.hpp"
 #include "src/market/bidgen.hpp"
 #include "src/market/evaluation.hpp"
+#include "src/sim/context.hpp"
 #include "src/sim/network.hpp"
 
 namespace faucets::core {
@@ -80,11 +82,20 @@ struct GridReport {
   double mean_award_latency = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t network_bytes = 0;
+  /// Per-kind traffic, indexed by sim::MessageKind (see sent_of/delivered_of).
+  std::array<std::uint64_t, sim::kMessageKindCount> messages_sent_by_kind{};
+  std::array<std::uint64_t, sim::kMessageKindCount> messages_delivered_by_kind{};
   std::uint64_t migrations = 0;         // checkpoint moves between servers
   std::uint64_t watchdog_restarts = 0;  // from-scratch restarts after crashes
   double makespan = 0.0;
 
   [[nodiscard]] double grid_utilization_weighted() const;
+  [[nodiscard]] std::uint64_t sent_of(sim::MessageKind kind) const noexcept {
+    return messages_sent_by_kind[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t delivered_of(sim::MessageKind kind) const noexcept {
+    return messages_delivered_by_kind[static_cast<std::size_t>(kind)];
+  }
 };
 
 /// Owns every entity of one simulated grid.
@@ -101,8 +112,10 @@ class GridSystem {
   GridReport run(std::vector<job::JobRequest> requests,
                  double until = sim::Engine::kForever);
 
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
-  [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  [[nodiscard]] sim::SimContext& context() noexcept { return ctx_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return ctx_.engine(); }
+  [[nodiscard]] sim::Network& network() noexcept { return ctx_.network(); }
+  [[nodiscard]] sim::TraceSink& trace() noexcept { return ctx_.trace(); }
   [[nodiscard]] CentralServer& central() noexcept { return *central_; }
   [[nodiscard]] AppSpector& appspector() noexcept { return *appspector_; }
   [[nodiscard]] BrokerAgent* broker() noexcept { return broker_.get(); }
@@ -121,8 +134,7 @@ class GridSystem {
 
  private:
   GridConfig config_;
-  sim::Engine engine_;
-  sim::Network network_;
+  sim::SimContext ctx_;
   std::unique_ptr<CentralServer> central_;
   std::unique_ptr<AppSpector> appspector_;
   std::unique_ptr<BrokerAgent> broker_;

@@ -2,14 +2,15 @@
 
 #include <sstream>
 
+#include "src/sim/context.hpp"
+
 namespace faucets {
 
-AppSpector::AppSpector(sim::Engine& engine, sim::Network& network,
-                       std::size_t display_buffer_lines)
-    : sim::Entity("appspector", engine),
-      network_(&network),
+AppSpector::AppSpector(sim::SimContext& ctx, std::size_t display_buffer_lines)
+    : sim::Entity("appspector", ctx),
+      network_(&ctx.network()),
       buffer_lines_(display_buffer_lines) {
-  network.attach(*this);
+  network_->attach(*this);
 }
 
 const AppSpector::JobView* AppSpector::find(ClusterId cluster, JobId job) const {
@@ -18,43 +19,51 @@ const AppSpector::JobView* AppSpector::find(ClusterId cluster, JobId job) const 
 }
 
 void AppSpector::on_message(const sim::Message& msg) {
-  if (const auto* reg = dynamic_cast<const proto::RegisterJobMonitor*>(&msg)) {
-    JobView view;
-    view.cluster = reg->cluster;
-    view.user = reg->user;
-    view.application = reg->application;
-    jobs_[Key{reg->cluster, reg->job}] = std::move(view);
-    return;
-  }
-  if (const auto* update = dynamic_cast<const proto::JobStatusUpdate*>(&msg)) {
-    auto it = jobs_.find(Key{update->cluster, update->job});
-    if (it == jobs_.end()) return;
-    JobView& view = it->second;
-    view.state = update->state;
-    view.procs = update->procs;
-    view.progress = update->progress;
-    view.utilization = update->utilization;
-    ++view.updates;
-    std::ostringstream line;
-    line << "[" << now() << "] " << update->state << " procs=" << update->procs
-         << " progress=" << update->progress;
-    if (!update->display.empty()) line << " | " << update->display;
-    view.display.push_back(line.str());
-    while (view.display.size() > buffer_lines_) view.display.pop_front();
-    return;
-  }
-  if (const auto* watch = dynamic_cast<const proto::WatchJob*>(&msg)) {
-    ++watch_requests_;
-    auto reply = std::make_unique<proto::WatchReply>();
-    reply->job = watch->job;
-    if (const JobView* view = find(watch->cluster, watch->job)) {
-      reply->known = true;
-      reply->state = view->state;
-      reply->procs = view->procs;
-      reply->progress = view->progress;
-      reply->display_buffer.assign(view->display.begin(), view->display.end());
+  switch (msg.kind()) {
+    case sim::MessageKind::kMonitorRegister: {
+      const auto& reg = sim::message_cast<proto::RegisterJobMonitor>(msg);
+      JobView view;
+      view.cluster = reg.cluster;
+      view.user = reg.user;
+      view.application = reg.application;
+      jobs_[Key{reg.cluster, reg.job}] = std::move(view);
+      break;
     }
-    network_->send(*this, watch->from, std::move(reply));
+    case sim::MessageKind::kMonitorUpdate: {
+      const auto& update = sim::message_cast<proto::JobStatusUpdate>(msg);
+      auto it = jobs_.find(Key{update.cluster, update.job});
+      if (it == jobs_.end()) return;
+      JobView& view = it->second;
+      view.state = update.state;
+      view.procs = update.procs;
+      view.progress = update.progress;
+      view.utilization = update.utilization;
+      ++view.updates;
+      std::ostringstream line;
+      line << "[" << now() << "] " << update.state << " procs=" << update.procs
+           << " progress=" << update.progress;
+      if (!update.display.empty()) line << " | " << update.display;
+      view.display.push_back(line.str());
+      while (view.display.size() > buffer_lines_) view.display.pop_front();
+      break;
+    }
+    case sim::MessageKind::kWatch: {
+      const auto& watch = sim::message_cast<proto::WatchJob>(msg);
+      ++watch_requests_;
+      auto reply = std::make_unique<proto::WatchReply>();
+      reply->job = watch.job;
+      if (const JobView* view = find(watch.cluster, watch.job)) {
+        reply->known = true;
+        reply->state = view->state;
+        reply->procs = view->procs;
+        reply->progress = view->progress;
+        reply->display_buffer.assign(view->display.begin(), view->display.end());
+      }
+      network_->send(*this, watch.from, std::move(reply));
+      break;
+    }
+    default:
+      break;
   }
 }
 

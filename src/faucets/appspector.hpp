@@ -17,8 +17,7 @@ namespace faucets {
 
 class AppSpector final : public sim::Entity {
  public:
-  AppSpector(sim::Engine& engine, sim::Network& network,
-             std::size_t display_buffer_lines = 64);
+  explicit AppSpector(sim::SimContext& ctx, std::size_t display_buffer_lines = 64);
 
   void on_message(const sim::Message& msg) override;
 

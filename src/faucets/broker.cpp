@@ -2,17 +2,17 @@
 
 #include <algorithm>
 
+#include "src/sim/context.hpp"
 #include "src/util/logging.hpp"
 
 namespace faucets {
 
-BrokerAgent::BrokerAgent(sim::Engine& engine, sim::Network& network,
-                         EntityId central, BrokerConfig config)
-    : sim::Entity("broker", engine),
-      network_(&network),
+BrokerAgent::BrokerAgent(sim::SimContext& ctx, EntityId central, BrokerConfig config)
+    : sim::Entity("broker", ctx),
+      network_(&ctx.network()),
       central_(central),
       config_(config) {
-  network.attach(*this);
+  network_->attach(*this);
 }
 
 std::unique_ptr<market::BidEvaluator> BrokerAgent::evaluator_for(
@@ -29,14 +29,21 @@ std::unique_ptr<market::BidEvaluator> BrokerAgent::evaluator_for(
 }
 
 void BrokerAgent::on_message(const sim::Message& msg) {
-  if (const auto* m = dynamic_cast<const proto::SubmitJobRequest*>(&msg)) {
-    handle_submit(*m);
-  } else if (const auto* m2 = dynamic_cast<const proto::DirectoryReply*>(&msg)) {
-    handle_directory(*m2);
-  } else if (const auto* m3 = dynamic_cast<const proto::BidReply*>(&msg)) {
-    handle_bid(*m3);
-  } else if (const auto* m4 = dynamic_cast<const proto::AwardAck*>(&msg)) {
-    handle_award_ack(*m4);
+  switch (msg.kind()) {
+    case sim::MessageKind::kSubmit:
+      handle_submit(sim::message_cast<proto::SubmitJobRequest>(msg));
+      break;
+    case sim::MessageKind::kDirectoryReply:
+      handle_directory(sim::message_cast<proto::DirectoryReply>(msg));
+      break;
+    case sim::MessageKind::kBid:
+      handle_bid(sim::message_cast<proto::BidReply>(msg));
+      break;
+    case sim::MessageKind::kAwardAck:
+      handle_award_ack(sim::message_cast<proto::AwardAck>(msg));
+      break;
+    default:
+      break;
   }
 }
 

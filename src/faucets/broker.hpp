@@ -26,8 +26,7 @@ struct BrokerConfig {
 
 class BrokerAgent final : public sim::Entity {
  public:
-  BrokerAgent(sim::Engine& engine, sim::Network& network, EntityId central,
-              BrokerConfig config = {});
+  BrokerAgent(sim::SimContext& ctx, EntityId central, BrokerConfig config = {});
 
   void on_message(const sim::Message& msg) override;
 

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 
+#include "src/sim/context.hpp"
 #include "src/util/logging.hpp"
 
 namespace faucets {
 
-CentralServer::CentralServer(sim::Engine& engine, sim::Network& network,
-                             CentralServerConfig config)
-    : sim::Entity("faucets-server", engine), network_(&network), config_(config) {
-  network.attach(*this);
+CentralServer::CentralServer(sim::SimContext& ctx, CentralServerConfig config)
+    : sim::Entity("faucets-server", ctx), network_(&ctx.network()), config_(config) {
+  network_->attach(*this);
   ledger_.set_debt_limit(config_.barter_debt_limit);
   ledger_.set_clock(&now_cache_);
   if (config_.poll_interval > 0.0) {
@@ -88,22 +88,33 @@ std::vector<proto::ServerInfo> CentralServer::filter_servers(
 
 void CentralServer::on_message(const sim::Message& msg) {
   now_cache_ = now();
-  if (const auto* m = dynamic_cast<const proto::LoginRequest*>(&msg)) {
-    handle_login(*m);
-  } else if (const auto* m2 = dynamic_cast<const proto::DirectoryRequest*>(&msg)) {
-    handle_directory(*m2);
-  } else if (const auto* m3 = dynamic_cast<const proto::RegisterDaemon*>(&msg)) {
-    handle_register(*m3);
-  } else if (const auto* m4 = dynamic_cast<const proto::PollReply*>(&msg)) {
-    handle_poll_reply(*m4);
-  } else if (const auto* m5 = dynamic_cast<const proto::AuthVerifyRequest*>(&msg)) {
-    handle_auth_verify(*m5);
-  } else if (const auto* m6 = dynamic_cast<const proto::ContractSettled*>(&msg)) {
-    handle_settled(*m6);
-  } else if (const auto* m7 = dynamic_cast<const proto::PeerDirectoryRequest*>(&msg)) {
-    handle_peer_directory(*m7);
-  } else if (const auto* m8 = dynamic_cast<const proto::PeerDirectoryReply*>(&msg)) {
-    handle_peer_reply(*m8);
+  switch (msg.kind()) {
+    case sim::MessageKind::kLogin:
+      handle_login(sim::message_cast<proto::LoginRequest>(msg));
+      break;
+    case sim::MessageKind::kDirectoryRequest:
+      handle_directory(sim::message_cast<proto::DirectoryRequest>(msg));
+      break;
+    case sim::MessageKind::kRegisterDaemon:
+      handle_register(sim::message_cast<proto::RegisterDaemon>(msg));
+      break;
+    case sim::MessageKind::kPollReply:
+      handle_poll_reply(sim::message_cast<proto::PollReply>(msg));
+      break;
+    case sim::MessageKind::kAuthRequest:
+      handle_auth_verify(sim::message_cast<proto::AuthVerifyRequest>(msg));
+      break;
+    case sim::MessageKind::kSettled:
+      handle_settled(sim::message_cast<proto::ContractSettled>(msg));
+      break;
+    case sim::MessageKind::kPeerDirectoryRequest:
+      handle_peer_directory(sim::message_cast<proto::PeerDirectoryRequest>(msg));
+      break;
+    case sim::MessageKind::kPeerDirectoryReply:
+      handle_peer_reply(sim::message_cast<proto::PeerDirectoryReply>(msg));
+      break;
+    default:
+      break;
   }
 }
 

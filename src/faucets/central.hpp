@@ -41,8 +41,7 @@ struct CentralServerConfig {
 
 class CentralServer final : public sim::Entity {
  public:
-  CentralServer(sim::Engine& engine, sim::Network& network,
-                CentralServerConfig config = {});
+  explicit CentralServer(sim::SimContext& ctx, CentralServerConfig config = {});
 
   // --- administration (out of band, like the real system's admin tools) ---
   /// Create a user account; `home_cluster` matters in barter mode.

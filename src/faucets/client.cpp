@@ -2,20 +2,20 @@
 
 #include <algorithm>
 
+#include "src/sim/context.hpp"
 #include "src/util/logging.hpp"
 
 namespace faucets {
 
-FaucetsClient::FaucetsClient(sim::Engine& engine, sim::Network& network,
-                             EntityId central,
+FaucetsClient::FaucetsClient(sim::SimContext& ctx, EntityId central,
                              std::unique_ptr<market::BidEvaluator> evaluator,
                              ClientConfig config)
-    : sim::Entity("fc-" + config.username, engine),
-      network_(&network),
+    : sim::Entity("fc-" + config.username, ctx),
+      network_(&ctx.network()),
       central_(central),
       evaluator_(std::move(evaluator)),
       config_(std::move(config)) {
-  network.attach(*this);
+  network_->attach(*this);
 }
 
 void FaucetsClient::login() {
@@ -69,20 +69,30 @@ void FaucetsClient::submit(const qos::QosContract& contract) {
 }
 
 void FaucetsClient::on_message(const sim::Message& msg) {
-  if (const auto* m = dynamic_cast<const proto::LoginReply*>(&msg)) {
-    handle_login(*m);
-  } else if (const auto* m2 = dynamic_cast<const proto::DirectoryReply*>(&msg)) {
-    handle_directory(*m2);
-  } else if (const auto* m3 = dynamic_cast<const proto::BidReply*>(&msg)) {
-    handle_bid(*m3);
-  } else if (const auto* m4 = dynamic_cast<const proto::AwardAck*>(&msg)) {
-    handle_award_ack(*m4);
-  } else if (const auto* m5 = dynamic_cast<const proto::JobCompleteNotice*>(&msg)) {
-    handle_complete(*m5);
-  } else if (const auto* m6 = dynamic_cast<const proto::JobEvicted*>(&msg)) {
-    handle_evicted(*m6);
-  } else if (const auto* m7 = dynamic_cast<const proto::SubmitJobReply*>(&msg)) {
-    handle_submit_reply(*m7);
+  switch (msg.kind()) {
+    case sim::MessageKind::kLoginAck:
+      handle_login(sim::message_cast<proto::LoginReply>(msg));
+      break;
+    case sim::MessageKind::kDirectoryReply:
+      handle_directory(sim::message_cast<proto::DirectoryReply>(msg));
+      break;
+    case sim::MessageKind::kBid:
+      handle_bid(sim::message_cast<proto::BidReply>(msg));
+      break;
+    case sim::MessageKind::kAwardAck:
+      handle_award_ack(sim::message_cast<proto::AwardAck>(msg));
+      break;
+    case sim::MessageKind::kJobDone:
+      handle_complete(sim::message_cast<proto::JobCompleteNotice>(msg));
+      break;
+    case sim::MessageKind::kEvicted:
+      handle_evicted(sim::message_cast<proto::JobEvicted>(msg));
+      break;
+    case sim::MessageKind::kSubmitAck:
+      handle_submit_reply(sim::message_cast<proto::SubmitJobReply>(msg));
+      break;
+    default:
+      break;
   }
 }
 

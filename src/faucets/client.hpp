@@ -56,7 +56,7 @@ struct SubmissionOutcome {
 
 class FaucetsClient final : public sim::Entity {
  public:
-  FaucetsClient(sim::Engine& engine, sim::Network& network, EntityId central,
+  FaucetsClient(sim::SimContext& ctx, EntityId central,
                 std::unique_ptr<market::BidEvaluator> evaluator, ClientConfig config);
 
   /// Log in and schedule the submission of every request at its time.

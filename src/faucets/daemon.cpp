@@ -2,25 +2,25 @@
 
 #include <algorithm>
 
+#include "src/sim/context.hpp"
 #include "src/util/logging.hpp"
 
 namespace faucets {
 
-FaucetsDaemon::FaucetsDaemon(sim::Engine& engine, sim::Network& network,
-                             ClusterId cluster,
+FaucetsDaemon::FaucetsDaemon(sim::SimContext& ctx, ClusterId cluster,
                              std::unique_ptr<cluster::ClusterManager> cm,
                              std::unique_ptr<market::BidGenerator> bidgen,
                              EntityId central_server, EntityId appspector,
                              DaemonConfig config)
-    : sim::Entity("fd-" + cm->machine().name, engine),
+    : sim::Entity("fd-" + cm->machine().name, ctx),
       cluster_(cluster),
-      network_(&network),
+      network_(&ctx.network()),
       cm_(std::move(cm)),
       bidgen_(std::move(bidgen)),
       central_(central_server),
       appspector_(appspector),
       config_(config) {
-  network.attach(*this);
+  network_->attach(*this);
   // Namespace bid ids by cluster so they are unique grid-wide.
   bid_ids_.reset(cluster_.value() << 32);
   cm_->set_completion_callback([this](const job::Job& j) { on_job_complete(j); });
@@ -63,18 +63,25 @@ void FaucetsDaemon::crash() {
 }
 
 void FaucetsDaemon::on_message(const sim::Message& msg) {
-  if (const auto* m = dynamic_cast<const proto::RequestForBids*>(&msg)) {
-    handle_rfb(*m);
-  } else if (const auto* m2 = dynamic_cast<const proto::AuthVerifyReply*>(&msg)) {
-    handle_auth_reply(*m2);
-  } else if (const auto* m3 = dynamic_cast<const proto::AwardJob*>(&msg)) {
-    handle_award(*m3);
-  } else if (const auto* m4 = dynamic_cast<const proto::UploadFiles*>(&msg)) {
-    handle_upload(*m4);
-  } else if (const auto* m5 = dynamic_cast<const proto::PollRequest*>(&msg)) {
-    handle_poll(*m5);
+  switch (msg.kind()) {
+    case sim::MessageKind::kRequestForBids:
+      handle_rfb(sim::message_cast<proto::RequestForBids>(msg));
+      break;
+    case sim::MessageKind::kAuthReply:
+      handle_auth_reply(sim::message_cast<proto::AuthVerifyReply>(msg));
+      break;
+    case sim::MessageKind::kAward:
+      handle_award(sim::message_cast<proto::AwardJob>(msg));
+      break;
+    case sim::MessageKind::kUpload:
+      handle_upload(sim::message_cast<proto::UploadFiles>(msg));
+      break;
+    case sim::MessageKind::kPoll:
+      handle_poll(sim::message_cast<proto::PollRequest>(msg));
+      break;
+    default:
+      break;  // RegisterAck needs no action.
   }
-  // RegisterAck needs no action.
 }
 
 void FaucetsDaemon::handle_rfb(const proto::RequestForBids& msg) {

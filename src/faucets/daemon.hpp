@@ -32,7 +32,7 @@ struct DaemonConfig {
 
 class FaucetsDaemon final : public sim::Entity {
  public:
-  FaucetsDaemon(sim::Engine& engine, sim::Network& network, ClusterId cluster,
+  FaucetsDaemon(sim::SimContext& ctx, ClusterId cluster,
                 std::unique_ptr<cluster::ClusterManager> cm,
                 std::unique_ptr<market::BidGenerator> bidgen,
                 EntityId central_server, EntityId appspector = EntityId{},

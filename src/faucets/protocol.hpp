@@ -21,14 +21,16 @@ namespace faucets::proto {
 struct LoginRequest final : sim::Message {
   std::string username;
   std::string password;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "LOGIN"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kLogin;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct LoginReply final : sim::Message {
   bool ok = false;
   SessionId session;
   UserId user;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "LOGIN_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kLoginAck;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 /// One directory row: enough for the client to contact the daemon and for
@@ -46,7 +48,8 @@ struct DirectoryRequest final : sim::Message {
   RequestId request;
   SessionId session;
   qos::QosContract contract;  // the FS filters servers against it (§5.1)
-  [[nodiscard]] std::string_view kind() const noexcept override { return "DIR_REQ"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kDirectoryRequest;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
 };
 
@@ -57,7 +60,8 @@ struct DirectoryReply final : sim::Message {
   /// allowed band around it. band <= 0 means no regulation in force.
   double normal_unit_price = 0.0;
   double price_band = 0.0;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "DIR_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kDirectoryReply;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
     return 128 + servers.size() * 96;
   }
@@ -70,14 +74,16 @@ struct RequestForBids final : sim::Message {
   std::string username;  // §2.2: credentials embedded in every message
   std::string password;
   qos::QosContract contract;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "RFB"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kRequestForBids;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
 };
 
 struct BidReply final : sim::Message {
   RequestId request;
   market::Bid bid;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "BID"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kBid;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct AwardJob final : sim::Message {
@@ -93,7 +99,8 @@ struct AwardJob final : sim::Message {
   EntityId notify;
   RequestId notify_request;
   qos::QosContract contract;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "AWARD"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kAward;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
 };
 
@@ -105,7 +112,8 @@ struct AwardAck final : sim::Message {
   JobId job;          // valid when accepted
   double price = 0.0; // final contract price
   std::string reason; // when refused
-  [[nodiscard]] std::string_view kind() const noexcept override { return "AWARD_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kAwardAck;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 /// Input file upload FC -> FD ("the client uploads the input files to the
@@ -115,7 +123,8 @@ struct UploadFiles final : sim::Message {
   RequestId request;
   JobId job;
   double megabytes = 0.0;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "UPLOAD"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kUpload;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
     return static_cast<std::size_t>(megabytes * 1e6) + 256;
   }
@@ -129,7 +138,8 @@ struct JobEvicted final : sim::Message {
   RequestId request;
   double completed_work = 0.0;
   double checkpoint_mb = 0.0;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "EVICTED"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kEvicted;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
     return static_cast<std::size_t>(checkpoint_mb * 1e6) + 256;
   }
@@ -141,7 +151,8 @@ struct JobCompleteNotice final : sim::Message {
   double finish_time = 0.0;
   double price_charged = 0.0;
   double output_mb = 0.0;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "JOB_DONE"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kJobDone;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
     return static_cast<std::size_t>(output_mb * 1e6) + 256;
   }
@@ -165,7 +176,8 @@ struct SubmitJobRequest final : sim::Message {
   UserId user;
   SelectionCriteria criteria = SelectionCriteria::kLeastCost;
   qos::QosContract contract;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "SUBMIT"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kSubmit;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1280; }
 };
 
@@ -179,7 +191,8 @@ struct SubmitJobReply final : sim::Message {
   double promised_completion = 0.0;
   std::size_t bids_considered = 0;
   std::string reason;  // when not placed
-  [[nodiscard]] std::string_view kind() const noexcept override { return "SUBMIT_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kSubmitAck;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 // ---------------------------------------------------------------- FS <-> FS
@@ -192,16 +205,16 @@ struct SubmitJobReply final : sim::Message {
 struct PeerDirectoryRequest final : sim::Message {
   RequestId request;
   qos::QosContract contract;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "PEER_DIR"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kPeerDirectoryRequest;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
 };
 
 struct PeerDirectoryReply final : sim::Message {
   RequestId request;
   std::vector<ServerInfo> servers;
-  [[nodiscard]] std::string_view kind() const noexcept override {
-    return "PEER_DIR_ACK";
-  }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kPeerDirectoryReply;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
     return 128 + servers.size() * 96;
   }
@@ -212,18 +225,21 @@ struct PeerDirectoryReply final : sim::Message {
 struct RegisterDaemon final : sim::Message {
   ClusterId cluster;
   cluster::MachineSpec machine;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "REGISTER"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kRegisterDaemon;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 512; }
 };
 
 struct RegisterAck final : sim::Message {
   bool ok = false;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "REGISTER_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kRegisterAck;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 /// FS polls FDs periodically to refresh the directory's dynamic state (§2).
 struct PollRequest final : sim::Message {
-  [[nodiscard]] std::string_view kind() const noexcept override { return "POLL"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kPoll;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct PollReply final : sim::Message {
@@ -231,7 +247,8 @@ struct PollReply final : sim::Message {
   int busy_procs = 0;
   int total_procs = 0;
   std::size_t queued_jobs = 0;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "POLL_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kPollReply;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 /// §2.2: the FD has no account data; it verifies each client's credentials
@@ -240,14 +257,16 @@ struct AuthVerifyRequest final : sim::Message {
   RequestId request;
   std::string username;
   std::string password;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "AUTH_REQ"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kAuthRequest;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct AuthVerifyReply final : sim::Message {
   RequestId request;
   bool ok = false;
   UserId user;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "AUTH_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kAuthReply;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 /// Settled-contract report feeding the price history (§5.2.1) and, in
@@ -255,7 +274,8 @@ struct AuthVerifyReply final : sim::Message {
 struct ContractSettled final : sim::Message {
   market::ContractRecord record;
   UserId user;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "SETTLED"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kSettled;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 // ---------------------------------------------------------------- FD <-> AS
@@ -265,7 +285,8 @@ struct RegisterJobMonitor final : sim::Message {
   ClusterId cluster;
   UserId user;
   std::string application;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "AS_REG"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kMonitorRegister;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct JobStatusUpdate final : sim::Message {
@@ -276,7 +297,8 @@ struct JobStatusUpdate final : sim::Message {
   double progress = 0.0;   // fraction of work done
   double utilization = 0.0;  // cluster-level utilization for the generic pane
   std::string display;     // application-specific display line
-  [[nodiscard]] std::string_view kind() const noexcept override { return "AS_UPDATE"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kMonitorUpdate;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 // ---------------------------------------------------------------- FC <-> AS
@@ -285,7 +307,8 @@ struct WatchJob final : sim::Message {
   JobId job;
   ClusterId cluster;
   SessionId session;
-  [[nodiscard]] std::string_view kind() const noexcept override { return "WATCH"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kWatch;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct WatchReply final : sim::Message {
@@ -295,7 +318,8 @@ struct WatchReply final : sim::Message {
   int procs = 0;
   double progress = 0.0;
   std::vector<std::string> display_buffer;  // buffered output for late joiners
-  [[nodiscard]] std::string_view kind() const noexcept override { return "WATCH_ACK"; }
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kWatchReply;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
     return 256 + display_buffer.size() * 80;
   }

@@ -16,6 +16,10 @@
 #include "src/job/job.hpp"
 #include "src/qos/contract.hpp"
 
+namespace faucets::sim {
+class SimContext;
+}  // namespace faucets::sim
+
 namespace faucets::sched {
 
 /// Desired processor count for one job; 0 means vacate to the queue.
@@ -29,6 +33,9 @@ struct Allocation {
 /// Both lists are ordered by submission time.
 struct SchedulerContext {
   double now = 0.0;
+  /// The run's simulation context (trace sink, RNG, network counters).
+  /// Null when a strategy is exercised standalone in unit tests.
+  sim::SimContext* sim = nullptr;
   const cluster::MachineSpec* machine = nullptr;
   std::vector<const job::Job*> running;
   std::vector<const job::Job*> queued;

@@ -1,0 +1,120 @@
+// Small-buffer, move-only callable used for timer events.
+//
+// The engine's hot path schedules millions of closures per simulated run;
+// paying a heap allocation per closure (as std::function does once the
+// capture outgrows its tiny SSO buffer) dominates the event loop. This type
+// stores any callable whose state fits in kInlineCapacity bytes directly
+// inside the event slot, so the common capture sizes (a couple of pointers
+// plus a few scalars) never touch the allocator. Larger or
+// potentially-throwing-on-move callables fall back to a single heap box.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace faucets::sim {
+
+/// Move-only `void()` callable with inline storage. Unlike std::function it
+/// accepts move-only captures (e.g. unique_ptr message payloads), which lets
+/// the network hand ownership straight into the delivery event.
+class SmallFunction {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  SmallFunction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = boxed_ops<D>();
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Whether a callable of type D would be stored inline (test hook).
+  template <typename D>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  // Manual vtable: relocate = move-construct into dst + destroy src, which
+  // lets the engine shuttle events between slots without knowing D.
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* p) { (*static_cast<D*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        },
+        [](void* p) noexcept { static_cast<D*>(p)->~D(); }};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* boxed_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* p) { (**static_cast<D**>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D*(*static_cast<D**>(src));
+        },
+        [](void* p) noexcept { delete *static_cast<D**>(p); }};
+    return &ops;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace faucets::sim

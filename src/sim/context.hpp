@@ -1,0 +1,70 @@
+// SimContext: the single seam through which entities reach the simulation
+// substrate.
+//
+// One run of the simulated grid needs an event Engine, a Network fabric, a
+// TraceSink, and a deterministic RNG. Before this type existed every entity
+// constructor took a raw Engine&/Network& pair and tests wired the pieces by
+// hand; SimContext bundles them so a constructor signature is one reference,
+// and future per-run instrumentation (fault injection, metrics taps) has an
+// obvious home.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/engine.hpp"
+#include "src/sim/entity.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/trace.hpp"
+#include "src/util/rng.hpp"
+
+namespace faucets::sim {
+
+/// Tunables for one simulation run.
+struct SimConfig {
+  NetworkConfig network{};
+  /// Seed of the run RNG; the default matches faucets::Rng's default.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Capacity of the bounded trace buffer.
+  std::size_t trace_capacity = 1 << 16;
+};
+
+/// Owns the Engine, Network, TraceSink, and run RNG of one simulation, in
+/// that construction order (the Network records drops into the trace).
+class SimContext {
+ public:
+  SimContext() : SimContext(SimConfig{}) {}
+  explicit SimContext(SimConfig config)
+      : trace_(config.trace_capacity),
+        network_(engine_, config.network, &trace_),
+        rng_(config.seed) {}
+  explicit SimContext(NetworkConfig network) : SimContext(SimConfig{.network = network}) {}
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const Engine& engine() const noexcept { return engine_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
+  [[nodiscard]] TraceSink& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceSink& trace() const noexcept { return trace_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }
+
+ private:
+  Engine engine_;
+  TraceSink trace_;
+  Network network_;
+  Rng rng_;
+};
+
+// Defined here rather than in entity.hpp so entity.hpp need not include the
+// Network/Trace headers (SimContext is only forward-declared there).
+inline Entity::Entity(std::string name, SimContext& ctx)
+    : name_(std::move(name)),
+      ctx_(&ctx),
+      engine_(&ctx.engine()),
+      network_(&ctx.network()) {}
+
+}  // namespace faucets::sim

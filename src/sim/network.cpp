@@ -1,11 +1,14 @@
 #include "src/sim/network.hpp"
 
+#include <string>
 #include <utility>
+
+#include "src/sim/trace.hpp"
 
 namespace faucets::sim {
 
-Network::Network(Engine& engine, NetworkConfig config)
-    : engine_(&engine), config_(config) {}
+Network::Network(Engine& engine, NetworkConfig config, TraceRecorder* trace)
+    : engine_(&engine), config_(config), trace_(trace) {}
 
 EntityId Network::attach(Entity& entity) {
   const EntityId id{next_id_++};
@@ -28,30 +31,46 @@ double Network::delay(EntityId from, EntityId to, std::size_t bytes) const noexc
   return d;
 }
 
+void Network::drop(MessageKind kind, EntityId from, EntityId to, std::string_view why) {
+  ++messages_dropped_;
+  if (trace_ != nullptr) {
+    std::string detail = "drop ";
+    detail += to_string(kind);
+    detail += " from=";
+    detail += from.valid() ? std::to_string(from.value()) : "<invalid>";
+    detail += ": ";
+    detail += why;
+    trace_->record(engine_->now(), to, "net", std::move(detail));
+  }
+}
+
 void Network::send(const Entity& from, EntityId to, MessagePtr msg) {
+  const MessageKind kind = msg->kind();
   if (entities_.find(from.id()) == entities_.end()) {
     // A detached (crashed) entity cannot put anything on the wire.
-    ++messages_dropped_;
+    drop(kind, from.id(), to, "sender detached");
     return;
   }
   msg->from = from.id();
   msg->to = to;
   msg->sent_at = engine_->now();
   ++messages_sent_;
+  ++sent_by_kind_[static_cast<std::size_t>(kind)];
   ++per_entity_traffic_[from.id()];
   ++per_entity_traffic_[to];
   bytes_sent_ += msg->size_bytes();
   const double d = delay(from.id(), to, msg->size_bytes());
-  // Shared ownership lets the lambda stay copyable for std::function.
-  std::shared_ptr<Message> shared{std::move(msg)};
-  engine_->schedule_after(d, [this, to, shared = std::move(shared)]() {
+  // SmallFunction accepts move-only captures, so the message rides in the
+  // delivery event itself — no shared_ptr box, no extra allocation.
+  engine_->schedule_after(d, [this, to, kind, msg = std::move(msg)]() {
     Entity* target = find(to);
     if (target == nullptr) {
-      ++messages_dropped_;
+      drop(kind, msg->from, to, "receiver detached");
       return;
     }
     ++messages_delivered_;
-    target->on_message(*shared);
+    ++delivered_by_kind_[static_cast<std::size_t>(kind)];
+    target->on_message(*msg);
   });
 }
 
@@ -62,6 +81,8 @@ std::uint64_t Network::traffic_of(EntityId id) const {
 
 void Network::reset_counters() noexcept {
   messages_sent_ = messages_delivered_ = messages_dropped_ = bytes_sent_ = 0;
+  sent_by_kind_.fill(0);
+  delivered_by_kind_.fill(0);
   per_entity_traffic_.clear();
 }
 

@@ -3,7 +3,9 @@
 // (E7 in DESIGN.md).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "src/sim/entity.hpp"
 
 namespace faucets::sim {
+
+class TraceRecorder;
 
 /// Latency/bandwidth parameters of the simulated WAN connecting the grid.
 struct NetworkConfig {
@@ -26,17 +30,20 @@ struct NetworkConfig {
 /// simulation.
 class Network {
  public:
-  explicit Network(Engine& engine, NetworkConfig config = {});
+  explicit Network(Engine& engine, NetworkConfig config = {},
+                   TraceRecorder* trace = nullptr);
 
   /// Register an entity; assigns its EntityId. The caller keeps ownership.
   EntityId attach(Entity& entity);
 
   /// Remove an entity (e.g. a Compute Server going down). In-flight messages
-  /// to it are dropped on delivery.
+  /// to it are dropped on delivery (traced under category "net").
   void detach(EntityId id);
 
   /// Send a message; ownership transfers. Fills in from/to/sent_at and
-  /// schedules delivery after the modeled delay.
+  /// schedules delivery after the modeled delay. Messages from a detached
+  /// sender or to a receiver gone by delivery time are dropped with a trace
+  /// record and counted in messages_dropped().
   void send(const Entity& from, EntityId to, MessagePtr msg);
 
   [[nodiscard]] Entity* find(EntityId id) const;
@@ -49,6 +56,22 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
 
+  /// Per-kind traffic counters, indexed by MessageKind.
+  using KindCounters = std::array<std::uint64_t, kMessageKindCount>;
+  [[nodiscard]] const KindCounters& sent_by_kind() const noexcept { return sent_by_kind_; }
+  [[nodiscard]] const KindCounters& delivered_by_kind() const noexcept {
+    return delivered_by_kind_;
+  }
+  [[nodiscard]] std::uint64_t sent_of(MessageKind kind) const noexcept {
+    return sent_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t delivered_of(MessageKind kind) const noexcept {
+    return delivered_by_kind_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Where dropped-message trace records go; may be null (no tracing).
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
   /// Delay a payload of `bytes` experiences between `from` and `to`.
   [[nodiscard]] double delay(EntityId from, EntityId to, std::size_t bytes) const noexcept;
 
@@ -56,8 +79,11 @@ class Network {
   void reset_counters() noexcept;
 
  private:
+  void drop(MessageKind kind, EntityId from, EntityId to, std::string_view why);
+
   Engine* engine_;
   NetworkConfig config_;
+  TraceRecorder* trace_;
   std::unordered_map<EntityId, Entity*> entities_;
   std::unordered_map<EntityId, std::uint64_t> per_entity_traffic_;
   std::uint64_t next_id_ = 0;
@@ -65,6 +91,8 @@ class Network {
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  KindCounters sent_by_kind_{};
+  KindCounters delivered_by_kind_{};
 };
 
 }  // namespace faucets::sim

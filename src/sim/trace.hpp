@@ -43,4 +43,7 @@ class TraceRecorder {
   std::vector<TraceRecord> records_;
 };
 
+/// The name SimContext exposes: the per-run destination for trace records.
+using TraceSink = TraceRecorder;
+
 }  // namespace faucets::sim

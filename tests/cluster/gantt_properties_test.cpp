@@ -2,6 +2,8 @@
 // inner loop must never report a window that does not actually fit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
 #include "src/cluster/gantt.hpp"
@@ -114,6 +116,105 @@ TEST_P(GanttProperties, EarliestFitMatchesBruteForceReference) {
     EXPECT_LE(fast, slow + 1e-9) << "seed " << GetParam() << " q " << q;
     if (fast < horizon) {
       EXPECT_LE(gantt.peak_committed(fast, fast + duration) + procs, 128);
+    }
+  }
+}
+
+// Independent reference for the memoized profile: a plain delta map swept
+// linearly on every query, mirroring what the chart did before memoization.
+struct BruteForceChart {
+  int baseline = 0;
+  std::map<double, int> deltas;
+
+  void reserve(double start, double end, int procs) {
+    deltas[start] += procs;
+    deltas[end] -= procs;
+    prune(start);
+    prune(end);
+  }
+  void release(double start, double end, int procs) { reserve(start, end, -procs); }
+  void prune(double key) {
+    auto it = deltas.find(key);
+    if (it != deltas.end() && it->second == 0) deltas.erase(it);
+  }
+  void compact(double t) {
+    for (auto it = deltas.begin(); it != deltas.end() && it->first <= t;) {
+      baseline += it->second;
+      it = deltas.erase(it);
+    }
+  }
+  [[nodiscard]] int committed_at(double t) const {
+    int level = baseline;
+    for (const auto& [time, d] : deltas) {
+      if (time > t) break;
+      level += d;
+    }
+    return level;
+  }
+  [[nodiscard]] double average_committed(double from, double to) const {
+    if (to <= from) return 0.0;
+    double area = 0.0;
+    double cursor = from;
+    int level = committed_at(from);
+    for (const auto& [time, d] : deltas) {
+      if (time <= from) continue;
+      if (time >= to) break;
+      area += level * (time - cursor);
+      cursor = time;
+      level += d;
+    }
+    area += level * (to - cursor);
+    return area / (to - from);
+  }
+};
+
+TEST_P(GanttProperties, IncrementalMatchesBruteForceUnderMixedMutation) {
+  // The memoized profile must be indistinguishable from a from-scratch
+  // sweep no matter how reserve/release/compact and queries interleave —
+  // this is exactly the invalidation logic's failure surface.
+  Rng rng{GetParam() * 8191 + 17};
+  GanttChart gantt{256};
+  BruteForceChart ref;
+  std::vector<Reservation> live;
+  double compacted_to = -1e300;
+
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.40 || live.empty()) {
+      Reservation r{rng.uniform(0.0, 5e3), 0.0,
+                    static_cast<int>(rng.uniform_int(1, 150))};
+      r.end = r.start + rng.uniform(1.0, 800.0);
+      gantt.reserve(r.start, r.end, r.procs);
+      ref.reserve(r.start, r.end, r.procs);
+      live.push_back(r);
+    } else if (roll < 0.55) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const auto r = live[idx];
+      gantt.release(r.start, r.end, r.procs);
+      ref.release(r.start, r.end, r.procs);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (roll < 0.60) {
+      const double t = rng.uniform(0.0, 2e3);
+      gantt.compact(t);
+      ref.compact(t);
+      compacted_to = std::max(compacted_to, t);
+    } else {
+      // Queries strictly after the compacted prefix (compact folds the
+      // past into the baseline, so earlier times are intentionally lossy).
+      const double from =
+          std::max(compacted_to, 0.0) + rng.uniform(1e-3, 4e3);
+      const double to = from + rng.uniform(1.0, 2e3);
+      ASSERT_EQ(gantt.committed_at(from), ref.committed_at(from))
+          << "seed " << GetParam() << " step " << step;
+      ASSERT_NEAR(gantt.average_committed(from, to),
+                  ref.average_committed(from, to), 1e-6)
+          << "seed " << GetParam() << " step " << step;
+      const int procs = static_cast<int>(rng.uniform_int(1, 256));
+      const double fit = gantt.earliest_fit(from, to - from, procs, 1e6);
+      if (fit < 1e6) {
+        EXPECT_LE(gantt.peak_committed(fit, to - from + fit) + procs, 256);
+      }
     }
   }
 }

@@ -23,29 +23,29 @@ job::AdaptiveCosts zero_costs() {
 }
 
 TEST(ClusterManager, RequiresStrategy) {
-  sim::Engine engine;
-  EXPECT_THROW(ClusterManager(engine, small_machine(), nullptr),
+  sim::SimContext ctx;
+  EXPECT_THROW(ClusterManager(ctx, small_machine(), nullptr),
                std::invalid_argument);
 }
 
 TEST(ClusterManager, SingleJobRunsToCompletion) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(),
                     std::make_unique<sched::EquipartitionStrategy>(), zero_costs()};
   const auto contract = qos::make_contract(4, 64, 6400.0, 1.0, 1.0);
   const auto id = cm.submit(UserId{1}, contract);
   ASSERT_TRUE(id.has_value());
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 1u);
   // 6400 work on 64 procs -> 100 s; the whole sim is busy.
-  EXPECT_NEAR(engine.now(), 100.0, 1e-6);
+  EXPECT_NEAR(ctx.engine().now(), 100.0, 1e-6);
   EXPECT_NEAR(cm.metrics().utilization(), 1.0, 1e-6);
 }
 
 TEST(ClusterManager, InvalidContractRejected) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(),
                     std::make_unique<sched::EquipartitionStrategy>()};
   auto contract = qos::make_contract(4, 64, 100.0);
   contract.work = -1.0;
@@ -54,18 +54,18 @@ TEST(ClusterManager, InvalidContractRejected) {
 }
 
 TEST(ClusterManager, OversizedJobRejected) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(64),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(64),
                     std::make_unique<sched::EquipartitionStrategy>()};
   const auto contract = qos::make_contract(128, 256, 1000.0);
   EXPECT_FALSE(cm.submit(UserId{1}, contract).has_value());
 }
 
 TEST(ClusterManager, MemoryFilterRejects) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   auto machine = small_machine();
   machine.memory_per_proc_mb = 512.0;
-  ClusterManager cm{engine, machine,
+  ClusterManager cm{ctx, machine,
                     std::make_unique<sched::EquipartitionStrategy>()};
   auto contract = qos::make_contract(4, 8, 100.0);
   contract.resources.memory_per_proc_mb = 1024.0;
@@ -73,8 +73,8 @@ TEST(ClusterManager, MemoryFilterRejects) {
 }
 
 TEST(ClusterManager, QueryDoesNotMutate) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(),
                     std::make_unique<sched::EquipartitionStrategy>()};
   const auto contract = qos::make_contract(4, 64, 100.0);
   const auto decision = cm.query(contract);
@@ -84,8 +84,8 @@ TEST(ClusterManager, QueryDoesNotMutate) {
 }
 
 TEST(ClusterManager, EquipartitionSharesBetweenTwoJobs) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(64),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(64),
                     std::make_unique<sched::EquipartitionStrategy>(), zero_costs()};
   // Two identical adaptive jobs: each should get 32 procs.
   const auto contract = qos::make_contract(4, 64, 3200.0, 1.0, 1.0);
@@ -93,16 +93,16 @@ TEST(ClusterManager, EquipartitionSharesBetweenTwoJobs) {
   ASSERT_TRUE(cm.submit(UserId{2}, contract).has_value());
   EXPECT_EQ(cm.running_count(), 2u);
   for (const auto* j : cm.running_jobs()) EXPECT_EQ(j->procs(), 32);
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 2u);
   // Each runs 3200/32 = 100 s concurrently.
-  EXPECT_NEAR(engine.now(), 100.0, 1e-6);
+  EXPECT_NEAR(ctx.engine().now(), 100.0, 1e-6);
 }
 
 TEST(ClusterManager, SecondJobExpandsWhenFirstFinishes) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(64),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(64),
                     std::make_unique<sched::EquipartitionStrategy>(), zero_costs()};
   // First job is short, second long; after the first completes the second
   // should expand to the full machine.
@@ -110,8 +110,8 @@ TEST(ClusterManager, SecondJobExpandsWhenFirstFinishes) {
   ASSERT_TRUE(cm.submit(UserId{2}, qos::make_contract(4, 64, 6400.0, 1.0, 1.0)));
   // First finishes at t=10 (320/32); second then has 6400-320=6080 left,
   // expands to 64 -> 95 more seconds.
-  engine.run();
-  EXPECT_NEAR(engine.now(), 105.0, 1e-6);
+  ctx.engine().run();
+  EXPECT_NEAR(ctx.engine().now(), 105.0, 1e-6);
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 2u);
 }
@@ -119,18 +119,18 @@ TEST(ClusterManager, SecondJobExpandsWhenFirstFinishes) {
 TEST(ClusterManager, InternalFragmentationScenarioAdaptive) {
   // The paper's §1 scenario on the adaptive scheduler: B shrinks to 400 and
   // A(600) starts immediately when it arrives.
-  sim::Engine engine;
+  sim::SimContext ctx;
   MachineSpec m = small_machine(1000);
-  ClusterManager cm{engine, m, std::make_unique<sched::PayoffStrategy>(),
+  ClusterManager cm{ctx, m, std::make_unique<sched::PayoffStrategy>(),
                     zero_costs()};
   const auto reqs = job::fragmentation_scenario(600.0);
   for (const auto& req : reqs) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       const auto id = cm.submit(UserId{req.user_index}, req.contract);
       EXPECT_TRUE(id.has_value());
     });
   }
-  engine.run(650.0);  // shortly after A arrives
+  ctx.engine().run(650.0);  // shortly after A arrives
   ASSERT_EQ(cm.running_count(), 2u);
   int procs_a = 0;
   int procs_b = 0;
@@ -147,17 +147,17 @@ TEST(ClusterManager, InternalFragmentationScenarioAdaptive) {
 
 TEST(ClusterManager, InternalFragmentationScenarioRigid) {
   // Same scenario under rigid FCFS: A cannot start while B runs at 500.
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(1000),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(1000),
                     std::make_unique<sched::FcfsStrategy>(sched::RigidRequest::kMin),
                     zero_costs()};
   const auto reqs = job::fragmentation_scenario(600.0);
   for (const auto& req : reqs) {
-    engine.schedule_at(req.submit_time, [&cm, &req] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
       (void)cm.submit(UserId{req.user_index}, req.contract);
     });
   }
-  engine.run(650.0);
+  ctx.engine().run(650.0);
   // B runs at its min request (400 under kMin policy); A needs 600 and 600
   // are free -> it actually starts. Use kMin? B min is 400 -> 600 free.
   // To reproduce the paper's blocking we need B at 500: covered in the
@@ -166,8 +166,8 @@ TEST(ClusterManager, InternalFragmentationScenarioRigid) {
 }
 
 TEST(ClusterManager, ProjectedUtilizationReflectsLoad) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(64),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(64),
                     std::make_unique<sched::EquipartitionStrategy>(), zero_costs()};
   EXPECT_DOUBLE_EQ(cm.projected_utilization(0.0, 100.0), 0.0);
   // One job: 6400 work on 64 procs for 100 s.
@@ -177,8 +177,8 @@ TEST(ClusterManager, ProjectedUtilizationReflectsLoad) {
 }
 
 TEST(ClusterManager, CompletionCallbackFires) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(),
                     std::make_unique<sched::EquipartitionStrategy>(), zero_costs()};
   int callbacks = 0;
   cm.set_completion_callback([&](const job::Job& j) {
@@ -186,13 +186,13 @@ TEST(ClusterManager, CompletionCallbackFires) {
     EXPECT_EQ(j.state(), job::JobState::kCompleted);
   });
   ASSERT_TRUE(cm.submit(UserId{1}, qos::make_contract(4, 64, 100.0, 1.0, 1.0)));
-  engine.run();
+  ctx.engine().run();
   EXPECT_EQ(callbacks, 1);
 }
 
 TEST(ClusterManager, ManyJobsAllComplete) {
-  sim::Engine engine;
-  ClusterManager cm{engine, small_machine(128),
+  sim::SimContext ctx;
+  ClusterManager cm{ctx, small_machine(128),
                     std::make_unique<sched::EquipartitionStrategy>(), zero_costs()};
   job::WorkloadParams params;
   params.job_count = 60;
@@ -203,11 +203,11 @@ TEST(ClusterManager, ManyJobsAllComplete) {
   const auto reqs = job::WorkloadGenerator{params, 21}.generate();
   std::size_t accepted = 0;
   for (const auto& req : reqs) {
-    engine.schedule_at(req.submit_time, [&cm, &req, &accepted] {
+    ctx.engine().schedule_at(req.submit_time, [&cm, &req, &accepted] {
       if (cm.submit(UserId{req.user_index}, req.contract)) ++accepted;
     });
   }
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), accepted);
   EXPECT_EQ(cm.running_count(), 0u);

@@ -31,17 +31,17 @@ job::JobRequest long_job(double work_seconds_on_64 = 1000.0) {
 }
 
 TEST(Failover, EvictJobCheckpointsAndRemoves) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec m;
   m.total_procs = 64;
-  cluster::ClusterManager cm{engine, m,
+  cluster::ClusterManager cm{ctx, m,
                              std::make_unique<sched::EquipartitionStrategy>(),
                              job::AdaptiveCosts{.reconfig_seconds = 0.0,
                                                 .checkpoint_seconds = 0.0,
                                                 .restart_seconds = 0.0}};
   const auto id = cm.submit(UserId{1}, qos::make_contract(4, 64, 6400.0, 1.0, 1.0));
   ASSERT_TRUE(id.has_value());
-  engine.run(50.0);  // halfway: 64 procs x 50 s = 3200 done
+  ctx.engine().run(50.0);  // halfway: 64 procs x 50 s = 3200 done
   const auto evicted = cm.evict_job(*id);
   ASSERT_TRUE(evicted.has_value());
   EXPECT_NEAR(evicted->completed_work, 3200.0, 1.0);
@@ -50,10 +50,10 @@ TEST(Failover, EvictJobCheckpointsAndRemoves) {
 }
 
 TEST(Failover, EvictAllDrainsEverything) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec m;
   m.total_procs = 64;
-  cluster::ClusterManager cm{engine, m,
+  cluster::ClusterManager cm{ctx, m,
                              std::make_unique<sched::EquipartitionStrategy>()};
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(cm.submit(UserId{1}, qos::make_contract(8, 16, 1000.0, 1.0, 1.0)));
@@ -65,10 +65,10 @@ TEST(Failover, EvictAllDrainsEverything) {
 }
 
 TEST(Failover, EvictUnknownJobIsNullopt) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec m;
   m.total_procs = 8;
-  cluster::ClusterManager cm{engine, m,
+  cluster::ClusterManager cm{ctx, m,
                              std::make_unique<sched::EquipartitionStrategy>()};
   EXPECT_FALSE(cm.evict_job(JobId{42}).has_value());
 }

@@ -95,11 +95,11 @@ TEST(Determinism, IdenticalSeedsIdenticalReports) {
 }
 
 TEST(Trace, ClusterManagerEmitsLifecycleEvents) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   sim::TraceRecorder trace;
   cluster::MachineSpec m;
   m.total_procs = 64;
-  cluster::ClusterManager cm{engine, m,
+  cluster::ClusterManager cm{ctx, m,
                              std::make_unique<sched::EquipartitionStrategy>(),
                              job::AdaptiveCosts{.reconfig_seconds = 0.0,
                                                 .checkpoint_seconds = 0.0,
@@ -107,7 +107,7 @@ TEST(Trace, ClusterManagerEmitsLifecycleEvents) {
   cm.set_trace(&trace);
   ASSERT_TRUE(cm.submit(UserId{1}, qos::make_contract(4, 64, 3200.0, 1.0, 1.0)));
   ASSERT_TRUE(cm.submit(UserId{2}, qos::make_contract(4, 64, 6400.0, 1.0, 1.0)));
-  engine.run();
+  ctx.engine().run();
 
   const auto events = trace.filter("job");
   ASSERT_FALSE(events.empty());
@@ -130,11 +130,11 @@ TEST(Trace, ClusterManagerEmitsLifecycleEvents) {
 }
 
 TEST(Trace, RejectionIsTraced) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   sim::TraceRecorder trace;
   cluster::MachineSpec m;
   m.total_procs = 8;
-  cluster::ClusterManager cm{engine, m,
+  cluster::ClusterManager cm{ctx, m,
                              std::make_unique<sched::EquipartitionStrategy>()};
   cm.set_trace(&trace);
   EXPECT_FALSE(cm.submit(UserId{1}, qos::make_contract(64, 64, 100.0)).has_value());

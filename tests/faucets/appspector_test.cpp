@@ -3,19 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "src/faucets/appspector.hpp"
+#include "src/sim/context.hpp"
 
 namespace faucets {
 namespace {
 
 class WatcherProbe final : public sim::Entity {
  public:
-  WatcherProbe(sim::Engine& engine, sim::Network& network)
-      : sim::Entity("probe", engine), network_(&network) {
-    network.attach(*this);
+  explicit WatcherProbe(sim::SimContext& ctx)
+      : sim::Entity("probe", ctx), network_(&ctx.network()) {
+    network_->attach(*this);
   }
   void on_message(const sim::Message& msg) override {
-    if (const auto* reply = dynamic_cast<const proto::WatchReply*>(&msg)) {
-      replies.push_back(*reply);
+    if (msg.kind() == sim::MessageKind::kWatchReply) {
+      replies.push_back(sim::message_cast<proto::WatchReply>(msg));
     }
   }
   void watch(EntityId as, ClusterId cluster, JobId job) {
@@ -31,10 +32,11 @@ class WatcherProbe final : public sim::Entity {
 };
 
 struct Fixture {
-  sim::Engine engine;
-  sim::Network network{engine};
-  AppSpector as{engine, network, /*buffer=*/4};
-  WatcherProbe probe{engine, network};
+  sim::SimContext ctx;
+  sim::Engine& engine = ctx.engine();
+  sim::Network& network = ctx.network();
+  AppSpector as{ctx, /*display_buffer_lines=*/4};
+  WatcherProbe probe{ctx};
 
   void register_job(ClusterId cluster, JobId job) {
     auto msg = std::make_unique<proto::RegisterJobMonitor>();
@@ -115,7 +117,7 @@ TEST(AppSpector, WatcherGetsBufferedDisplay) {
 
 TEST(AppSpector, MultipleWatchersServedIndependently) {
   Fixture f;
-  WatcherProbe second{f.engine, f.network};
+  WatcherProbe second{f.ctx};
   f.register_job(ClusterId{0}, JobId{1});
   f.update(ClusterId{0}, JobId{1}, "running", 16, 0.1);
   f.engine.run(1.0);

@@ -12,14 +12,15 @@ namespace faucets {
 namespace {
 
 struct Fixture {
-  sim::Engine engine;
-  sim::Network network{engine};
+  sim::SimContext ctx;
+  sim::Engine& engine = ctx.engine();
+  sim::Network& network = ctx.network();
   CentralServerConfig config;
 
   std::unique_ptr<CentralServer> central;
 
   explicit Fixture(CentralServerConfig cfg = {}) : config(cfg) {
-    central = std::make_unique<CentralServer>(engine, network, config);
+    central = std::make_unique<CentralServer>(ctx, config);
   }
 
   std::unique_ptr<FaucetsDaemon> add_daemon(ClusterId id, int procs,
@@ -29,10 +30,10 @@ struct Fixture {
     m.total_procs = procs;
     m.memory_per_proc_mb = mem_mb;
     auto cm = std::make_unique<cluster::ClusterManager>(
-        engine, m, std::make_unique<sched::EquipartitionStrategy>(),
+        ctx, m, std::make_unique<sched::EquipartitionStrategy>(),
         job::AdaptiveCosts{}, id);
     auto d = std::make_unique<FaucetsDaemon>(
-        engine, network, id, std::move(cm),
+        ctx, id, std::move(cm),
         std::make_unique<market::BaselineBidGenerator>(), central->id());
     d->register_with_central();
     return d;

@@ -12,18 +12,24 @@ namespace {
 /// Scripted counterpart standing in for the Faucets Client.
 class ScriptedClient final : public sim::Entity {
  public:
-  ScriptedClient(sim::Engine& engine, sim::Network& network)
-      : sim::Entity("scripted", engine), network_(&network) {
-    network.attach(*this);
+  explicit ScriptedClient(sim::SimContext& ctx)
+      : sim::Entity("scripted", ctx), network_(&ctx.network()) {
+    network_->attach(*this);
   }
 
   void on_message(const sim::Message& msg) override {
-    if (const auto* bid = dynamic_cast<const proto::BidReply*>(&msg)) {
-      bids.push_back(bid->bid);
-    } else if (const auto* ack = dynamic_cast<const proto::AwardAck*>(&msg)) {
-      acks.push_back(*ack);
-    } else if (const auto* done = dynamic_cast<const proto::JobCompleteNotice*>(&msg)) {
-      completions.push_back(*done);
+    switch (msg.kind()) {
+      case sim::MessageKind::kBid:
+        bids.push_back(sim::message_cast<proto::BidReply>(msg).bid);
+        break;
+      case sim::MessageKind::kAwardAck:
+        acks.push_back(sim::message_cast<proto::AwardAck>(msg));
+        break;
+      case sim::MessageKind::kJobDone:
+        completions.push_back(sim::message_cast<proto::JobCompleteNotice>(msg));
+        break;
+      default:
+        break;
     }
   }
 
@@ -59,10 +65,11 @@ class ScriptedClient final : public sim::Entity {
 };
 
 struct Fixture {
-  sim::Engine engine;
-  sim::Network network{engine};
-  CentralServer central{engine, network, {}};
-  ScriptedClient client{engine, network};
+  sim::SimContext ctx;
+  sim::Engine& engine = ctx.engine();
+  sim::Network& network = ctx.network();
+  CentralServer central{ctx, {}};
+  ScriptedClient client{ctx};
   std::unique_ptr<FaucetsDaemon> daemon;
 
   explicit Fixture(DaemonConfig config = {}) {
@@ -70,12 +77,12 @@ struct Fixture {
     machine.name = "unit";
     machine.total_procs = 64;
     auto cm = std::make_unique<cluster::ClusterManager>(
-        engine, machine, std::make_unique<sched::EquipartitionStrategy>(),
+        ctx, machine, std::make_unique<sched::EquipartitionStrategy>(),
         job::AdaptiveCosts{.reconfig_seconds = 0.0, .checkpoint_seconds = 0.0,
                            .restart_seconds = 0.0},
         ClusterId{0});
     daemon = std::make_unique<FaucetsDaemon>(
-        engine, network, ClusterId{0}, std::move(cm),
+        ctx, ClusterId{0}, std::move(cm),
         std::make_unique<market::BaselineBidGenerator>(), central.id(),
         EntityId{}, config);
     daemon->register_with_central();

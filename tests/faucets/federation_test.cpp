@@ -20,14 +20,15 @@ struct Region {
 };
 
 struct Fixture {
-  sim::Engine engine;
-  sim::Network network{engine};
+  sim::SimContext ctx;
+  sim::Engine& engine = ctx.engine();
+  sim::Network& network = ctx.network();
   std::vector<Region> regions;
 
   explicit Fixture(int region_count, int procs = 64) {
     for (int r = 0; r < region_count; ++r) {
       Region region;
-      region.fs = std::make_unique<CentralServer>(engine, network, CentralServerConfig{});
+      region.fs = std::make_unique<CentralServer>(ctx, CentralServerConfig{});
       regions.push_back(std::move(region));
     }
     // Full-mesh federation.
@@ -43,10 +44,10 @@ struct Fixture {
       machine.total_procs = procs;
       machine.cost_per_cpu_second = 0.0008 * static_cast<double>(r + 1);
       auto cm = std::make_unique<cluster::ClusterManager>(
-          engine, machine, std::make_unique<sched::EquipartitionStrategy>(),
+          ctx, machine, std::make_unique<sched::EquipartitionStrategy>(),
           job::AdaptiveCosts{}, ClusterId{r});
       regions[r].daemon = std::make_unique<FaucetsDaemon>(
-          engine, network, ClusterId{r}, std::move(cm),
+          ctx, ClusterId{r}, std::move(cm),
           std::make_unique<market::BaselineBidGenerator>(), regions[r].fs->id());
       regions[r].daemon->register_with_central();
     }
@@ -67,7 +68,7 @@ TEST(Federation, ClientSeesAllRegionsServers) {
   ClientConfig cc;
   cc.username = "alice";
   cc.password = "pw";
-  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+  FaucetsClient client{f.ctx, f.regions[0].fs->id(),
                        std::make_unique<market::LeastCostEvaluator>(), cc};
   client.submit_now(qos::make_contract(4, 32, 3200.0, 1.0, 1.0));
   f.engine.run(500.0);
@@ -88,7 +89,7 @@ TEST(Federation, JobCanLandInForeignRegion) {
   ClientConfig cc;
   cc.username = "alice";
   cc.password = "pw";
-  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+  FaucetsClient client{f.ctx, f.regions[0].fs->id(),
                        std::make_unique<market::EarliestCompletionEvaluator>(), cc};
   auto contract = qos::make_contract(4, 32, 3200.0, 1.0, 1.0);
   contract.payoff = qos::PayoffFunction::deadline(2000.0, 4000.0, 50.0, 20.0, 0.0);
@@ -108,7 +109,7 @@ TEST(Federation, PeerTimeoutStillAnswersClient) {
   ClientConfig cc;
   cc.username = "alice";
   cc.password = "pw";
-  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+  FaucetsClient client{f.ctx, f.regions[0].fs->id(),
                        std::make_unique<market::LeastCostEvaluator>(), cc};
   client.submit_now(qos::make_contract(4, 32, 3200.0, 1.0, 1.0));
   f.engine.run(500.0);
@@ -122,7 +123,7 @@ TEST(Federation, NoPeersBehavesAsBefore) {
   ClientConfig cc;
   cc.username = "alice";
   cc.password = "pw";
-  FaucetsClient client{f.engine, f.network, f.regions[0].fs->id(),
+  FaucetsClient client{f.ctx, f.regions[0].fs->id(),
                        std::make_unique<market::LeastCostEvaluator>(), cc};
   client.submit_now(qos::make_contract(4, 32, 3200.0, 1.0, 1.0));
   f.engine.run(500.0);

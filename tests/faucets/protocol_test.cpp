@@ -9,29 +9,40 @@ namespace faucets::proto {
 namespace {
 
 TEST(Protocol, KindsAreStable) {
-  EXPECT_EQ(LoginRequest{}.kind(), "LOGIN");
-  EXPECT_EQ(LoginReply{}.kind(), "LOGIN_ACK");
-  EXPECT_EQ(DirectoryRequest{}.kind(), "DIR_REQ");
-  EXPECT_EQ(DirectoryReply{}.kind(), "DIR_ACK");
-  EXPECT_EQ(RequestForBids{}.kind(), "RFB");
-  EXPECT_EQ(BidReply{}.kind(), "BID");
-  EXPECT_EQ(AwardJob{}.kind(), "AWARD");
-  EXPECT_EQ(AwardAck{}.kind(), "AWARD_ACK");
-  EXPECT_EQ(UploadFiles{}.kind(), "UPLOAD");
-  EXPECT_EQ(JobEvicted{}.kind(), "EVICTED");
-  EXPECT_EQ(JobCompleteNotice{}.kind(), "JOB_DONE");
-  EXPECT_EQ(RegisterDaemon{}.kind(), "REGISTER");
-  EXPECT_EQ(PollRequest{}.kind(), "POLL");
-  EXPECT_EQ(PollReply{}.kind(), "POLL_ACK");
-  EXPECT_EQ(AuthVerifyRequest{}.kind(), "AUTH_REQ");
-  EXPECT_EQ(AuthVerifyReply{}.kind(), "AUTH_ACK");
-  EXPECT_EQ(ContractSettled{}.kind(), "SETTLED");
-  EXPECT_EQ(RegisterJobMonitor{}.kind(), "AS_REG");
-  EXPECT_EQ(JobStatusUpdate{}.kind(), "AS_UPDATE");
-  EXPECT_EQ(WatchJob{}.kind(), "WATCH");
-  EXPECT_EQ(WatchReply{}.kind(), "WATCH_ACK");
-  EXPECT_EQ(SubmitJobRequest{}.kind(), "SUBMIT");
-  EXPECT_EQ(SubmitJobReply{}.kind(), "SUBMIT_ACK");
+  EXPECT_EQ(LoginRequest{}.kind_name(), "LOGIN");
+  EXPECT_EQ(LoginReply{}.kind_name(), "LOGIN_ACK");
+  EXPECT_EQ(DirectoryRequest{}.kind_name(), "DIR_REQ");
+  EXPECT_EQ(DirectoryReply{}.kind_name(), "DIR_ACK");
+  EXPECT_EQ(RequestForBids{}.kind_name(), "RFB");
+  EXPECT_EQ(BidReply{}.kind_name(), "BID");
+  EXPECT_EQ(AwardJob{}.kind_name(), "AWARD");
+  EXPECT_EQ(AwardAck{}.kind_name(), "AWARD_ACK");
+  EXPECT_EQ(UploadFiles{}.kind_name(), "UPLOAD");
+  EXPECT_EQ(JobEvicted{}.kind_name(), "EVICTED");
+  EXPECT_EQ(JobCompleteNotice{}.kind_name(), "JOB_DONE");
+  EXPECT_EQ(RegisterDaemon{}.kind_name(), "REGISTER");
+  EXPECT_EQ(PollRequest{}.kind_name(), "POLL");
+  EXPECT_EQ(PollReply{}.kind_name(), "POLL_ACK");
+  EXPECT_EQ(AuthVerifyRequest{}.kind_name(), "AUTH_REQ");
+  EXPECT_EQ(AuthVerifyReply{}.kind_name(), "AUTH_ACK");
+  EXPECT_EQ(ContractSettled{}.kind_name(), "SETTLED");
+  EXPECT_EQ(RegisterJobMonitor{}.kind_name(), "AS_REG");
+  EXPECT_EQ(JobStatusUpdate{}.kind_name(), "AS_UPDATE");
+  EXPECT_EQ(WatchJob{}.kind_name(), "WATCH");
+  EXPECT_EQ(WatchReply{}.kind_name(), "WATCH_ACK");
+  EXPECT_EQ(SubmitJobRequest{}.kind_name(), "SUBMIT");
+  EXPECT_EQ(SubmitJobReply{}.kind_name(), "SUBMIT_ACK");
+}
+
+TEST(Protocol, TypedKindsMatchStaticKind) {
+  // message_cast and the dispatch switches rely on kind() always agreeing
+  // with the static kKind tag.
+  EXPECT_EQ(LoginRequest{}.kind(), LoginRequest::kKind);
+  EXPECT_EQ(BidReply{}.kind(), BidReply::kKind);
+  EXPECT_EQ(AwardJob{}.kind(), AwardJob::kKind);
+  EXPECT_EQ(WatchReply{}.kind(), WatchReply::kKind);
+  EXPECT_EQ(SubmitJobRequest{}.kind(), sim::MessageKind::kSubmit);
+  EXPECT_EQ(JobEvicted{}.kind(), sim::MessageKind::kEvicted);
 }
 
 TEST(Protocol, UploadSizeScalesWithMegabytes) {

@@ -95,19 +95,19 @@ TEST(Phases, TimeToFinishOnIntegratesPhases) {
 }
 
 TEST(Phases, ClusterManagerCompletesPhasedJob) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.total_procs = 10;
-  cluster::ClusterManager cm{engine, machine,
+  cluster::ClusterManager cm{ctx, machine,
                              std::make_unique<sched::EquipartitionStrategy>(),
                              AdaptiveCosts{.reconfig_seconds = 0.0,
                                            .checkpoint_seconds = 0.0,
                                            .restart_seconds = 0.0}};
   ASSERT_TRUE(cm.submit(UserId{1}, phased_contract()).has_value());
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 1u);
-  EXPECT_NEAR(engine.now(), 500.0, 1e-6);
+  EXPECT_NEAR(ctx.engine().now(), 500.0, 1e-6);
 }
 
 TEST(Phases, SchedulerWakesAtBoundary) {
@@ -115,20 +115,20 @@ TEST(Phases, SchedulerWakesAtBoundary) {
   // job crosses into its communication-bound phase nothing changes for
   // equipartition allocations, but the engine must have processed an event
   // at t=100 (the boundary wake-up).
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.total_procs = 10;
-  cluster::ClusterManager cm{engine, machine,
+  cluster::ClusterManager cm{ctx, machine,
                              std::make_unique<sched::EquipartitionStrategy>(),
                              AdaptiveCosts{.reconfig_seconds = 0.0,
                                            .checkpoint_seconds = 0.0,
                                            .restart_seconds = 0.0}};
   ASSERT_TRUE(cm.submit(UserId{1}, phased_contract()).has_value());
   bool seen_boundary_event = false;
-  engine.schedule_at(100.0, [&] { seen_boundary_event = true; });
-  engine.run(100.0);
+  ctx.engine().schedule_at(100.0, [&] { seen_boundary_event = true; });
+  ctx.engine().run(100.0);
   EXPECT_TRUE(seen_boundary_event);
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 1u);
 }

@@ -8,7 +8,7 @@ namespace faucets::market {
 namespace {
 
 struct Fixture {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   std::unique_ptr<cluster::ClusterManager> cm;
 
@@ -16,7 +16,7 @@ struct Fixture {
     machine.total_procs = procs;
     machine.cost_per_cpu_second = 0.001;
     cm = std::make_unique<cluster::ClusterManager>(
-        engine, machine, std::make_unique<sched::EquipartitionStrategy>(),
+        ctx, machine, std::make_unique<sched::EquipartitionStrategy>(),
         job::AdaptiveCosts{.reconfig_seconds = 0.0, .checkpoint_seconds = 0.0,
                            .restart_seconds = 0.0});
   }
@@ -24,13 +24,13 @@ struct Fixture {
   BidContext context(const qos::QosContract& contract,
                      const sched::AdmissionDecision& admission,
                      const PriceHistory* history = nullptr) const {
-    BidContext ctx;
-    ctx.now = engine.now();
-    ctx.cm = cm.get();
-    ctx.contract = &contract;
-    ctx.admission = &admission;
-    ctx.grid_history = history;
-    return ctx;
+    BidContext out;
+    out.now = ctx.now();
+    out.cm = cm.get();
+    out.contract = &contract;
+    out.admission = &admission;
+    out.grid_history = history;
+    return out;
   }
 };
 

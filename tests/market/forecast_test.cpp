@@ -58,10 +58,10 @@ TEST(Forecast, ExtrapolatesAndClamps) {
 }
 
 TEST(FuturesBid, RisingMarketRaisesBid) {
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.total_procs = 100;
-  cluster::ClusterManager cm{engine, machine,
+  cluster::ClusterManager cm{ctx, machine,
                              std::make_unique<sched::EquipartitionStrategy>()};
   auto contract = qos::make_contract(4, 32, 1000.0);
   contract.payoff = qos::PayoffFunction::deadline(3600.0, 7200.0, 10.0, 5.0, 0.0);
@@ -73,13 +73,13 @@ TEST(FuturesBid, RisingMarketRaisesBid) {
   for (int i = 0; i <= 20; ++i) falling.record(rec(i * 5.0, 2.0 - 0.05 * i));
 
   auto make_ctx = [&](const PriceHistory* h) {
-    BidContext ctx;
-    ctx.now = 100.0;
-    ctx.cm = &cm;
-    ctx.contract = &contract;
-    ctx.admission = &admission;
-    ctx.grid_history = h;
-    return ctx;
+    BidContext bid;
+    bid.now = 100.0;
+    bid.cm = &cm;
+    bid.contract = &contract;
+    bid.admission = &admission;
+    bid.grid_history = h;
+    return bid;
   };
 
   FuturesBidGenerator gen;

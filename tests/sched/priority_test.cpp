@@ -27,8 +27,8 @@ qos::QosContract job_with_priority(int priority, int min_procs = 20,
 }
 
 TEST(Priority, HigherPriorityPreemptsLower) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PriorityStrategy>(), zero_costs()};
   // Two rigid low-priority jobs fill the machine.
   ASSERT_TRUE(cm.submit(UserId{1}, job_with_priority(0, 50, 50)));
@@ -44,7 +44,7 @@ TEST(Priority, HigherPriorityPreemptsLower) {
   }
   EXPECT_EQ(high_procs, 80);
   EXPECT_EQ(cm.queued_count(), 2u) << "both 50-proc jobs preempted";
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 3u) << "preempted jobs restart later";
 }
@@ -52,8 +52,8 @@ TEST(Priority, HigherPriorityPreemptsLower) {
 TEST(Priority, NoPreemptionKeepsRunnersRunning) {
   PriorityStrategyParams params;
   params.allow_preemption = false;
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PriorityStrategy>(params),
                              zero_costs()};
   ASSERT_TRUE(cm.submit(UserId{1}, job_with_priority(0, 50, 50)));
@@ -62,14 +62,14 @@ TEST(Priority, NoPreemptionKeepsRunnersRunning) {
   // High priority waits: nobody is preempted.
   EXPECT_EQ(cm.running_count(), 2u);
   EXPECT_EQ(cm.queued_count(), 1u);
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 3u);
 }
 
 TEST(Priority, EqualPriorityKeepsSubmissionOrder) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PriorityStrategy>(), zero_costs()};
   ASSERT_TRUE(cm.submit(UserId{1}, job_with_priority(0, 60, 60)));
   ASSERT_TRUE(cm.submit(UserId{2}, job_with_priority(0, 60, 60)));
@@ -78,8 +78,8 @@ TEST(Priority, EqualPriorityKeepsSubmissionOrder) {
 }
 
 TEST(Priority, AdaptiveJobsShrinkBeforePreemption) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PriorityStrategy>(), zero_costs()};
   // Malleable background job expands to the machine.
   ASSERT_TRUE(cm.submit(UserId{1}, job_with_priority(0, 20, 100)));
@@ -117,8 +117,8 @@ TEST(Priority, FairUsageLetsStarvedUserIn) {
   auto* strat = strategy.get();
   strat->charge_usage(UserId{1}, 10000.0);  // effective priority -100
 
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100), std::move(strategy),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100), std::move(strategy),
                              zero_costs()};
   ASSERT_TRUE(cm.submit(UserId{1}, job_with_priority(0, 60, 60)));
   EXPECT_EQ(cm.running_count(), 1u);
@@ -133,8 +133,8 @@ TEST(Priority, FairUsageLetsStarvedUserIn) {
 }
 
 TEST(Priority, AdmissionEstimatesShareAmongPeers) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PriorityStrategy>(), zero_costs()};
   const auto d = cm.query(job_with_priority(0, 10, 100, 1000.0));
   EXPECT_TRUE(d.accept);

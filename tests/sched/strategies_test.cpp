@@ -1,5 +1,5 @@
 // Tests for FCFS, EASY backfill and the profit-driven payoff strategy,
-// driven through a real ClusterManager inside the event engine.
+// driven through a real ClusterManager inside the event ctx.engine().
 #include <gtest/gtest.h>
 
 #include "src/cluster/server.hpp"
@@ -31,8 +31,8 @@ TEST(RigidRequest, PolicySizes) {
 }
 
 TEST(Fcfs, HeadOfLineBlocking) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<FcfsStrategy>(RigidRequest::kMax),
                              zero_costs()};
   // J1 takes 60 procs for 100 s; J2 needs 50 (blocked); J3 needs 10 and
@@ -42,14 +42,14 @@ TEST(Fcfs, HeadOfLineBlocking) {
   ASSERT_TRUE(cm.submit(UserId{3}, qos::make_contract(10, 10, 100.0, 1.0, 1.0)));
   EXPECT_EQ(cm.running_count(), 1u);
   EXPECT_EQ(cm.queued_count(), 2u);
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 3u);
 }
 
 TEST(Fcfs, StartsJobsInOrderWhenTheyFit) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<FcfsStrategy>(RigidRequest::kMax),
                              zero_costs()};
   ASSERT_TRUE(cm.submit(UserId{1}, qos::make_contract(40, 40, 400.0, 1.0, 1.0)));
@@ -58,8 +58,8 @@ TEST(Fcfs, StartsJobsInOrderWhenTheyFit) {
 }
 
 TEST(Backfill, FillsAroundReservation) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<BackfillStrategy>(RigidRequest::kMax),
                              zero_costs()};
   // J1: 60 procs 100 s. J2: 50 procs (blocked; reservation at t=100).
@@ -68,14 +68,14 @@ TEST(Backfill, FillsAroundReservation) {
   ASSERT_TRUE(cm.submit(UserId{2}, qos::make_contract(50, 50, 500.0, 1.0, 1.0)));
   ASSERT_TRUE(cm.submit(UserId{3}, qos::make_contract(10, 10, 100.0, 1.0, 1.0)));
   EXPECT_EQ(cm.running_count(), 2u) << "J3 should backfill";
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 3u);
 }
 
 TEST(Backfill, DoesNotDelayReservation) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<BackfillStrategy>(RigidRequest::kMax),
                              zero_costs()};
   // J1: 30 procs until t=100. J2 (head): 90 procs, reserved at t=100 with
@@ -86,14 +86,14 @@ TEST(Backfill, DoesNotDelayReservation) {
   ASSERT_TRUE(cm.submit(UserId{3}, qos::make_contract(40, 40, 8000.0, 1.0, 1.0)));
   EXPECT_EQ(cm.running_count(), 1u)
       << "a long 40-proc job would steal the reservation's processors";
-  engine.run();
+  ctx.engine().run();
   cm.finish_metrics();
   EXPECT_EQ(cm.metrics().completed(), 3u);
 }
 
 TEST(Payoff, AcceptsProfitableJob) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PayoffStrategy>(), zero_costs()};
   auto c = qos::make_contract(10, 50, 1000.0, 1.0, 1.0);
   c.payoff = qos::PayoffFunction::deadline(500.0, 1000.0, 100.0, 40.0, 10.0);
@@ -103,8 +103,8 @@ TEST(Payoff, AcceptsProfitableJob) {
 }
 
 TEST(Payoff, RejectsUnprofitableDeadline) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PayoffStrategy>(), zero_costs()};
   // Deadline already impossible: even at max procs the job needs 100 s but
   // the hard deadline is at 10 s.
@@ -117,8 +117,8 @@ TEST(Payoff, RejectsUnprofitableDeadline) {
 TEST(Payoff, ZeroLookaheadRejectsWhenBusy) {
   PayoffStrategyParams params;
   params.lookahead = 0.0;
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PayoffStrategy>(params), zero_costs()};
   // Fill the machine with a rigid flat-payoff job.
   auto filler = qos::make_contract(100, 100, 10000.0, 1.0, 1.0);
@@ -133,8 +133,8 @@ TEST(Payoff, ZeroLookaheadRejectsWhenBusy) {
 TEST(Payoff, LookaheadAcceptsFutureWindow) {
   PayoffStrategyParams params;
   params.lookahead = 1000.0;
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PayoffStrategy>(params), zero_costs()};
   auto filler = qos::make_contract(100, 100, 10000.0, 1.0, 1.0);  // done at 100 s
   filler.payoff = qos::PayoffFunction::flat(1.0);
@@ -147,8 +147,8 @@ TEST(Payoff, LookaheadAcceptsFutureWindow) {
 }
 
 TEST(Payoff, HighPayoffJobShrinksLowPriority) {
-  sim::Engine engine;
-  cluster::ClusterManager cm{engine, machine_of(100),
+  sim::SimContext ctx;
+  cluster::ClusterManager cm{ctx, machine_of(100),
                              std::make_unique<PayoffStrategy>(), zero_costs()};
   // Background job happily expands to the machine.
   auto bg = qos::make_contract(20, 100, 50000.0, 1.0, 1.0);
@@ -178,9 +178,9 @@ TEST(Payoff, DisplacementLossBlocksHarmfulJob) {
   PayoffStrategyParams free_params;
   free_params.charge_displacement_loss = false;
 
-  auto build = [&](PayoffStrategyParams p, sim::Engine& engine) {
+  auto build = [&](PayoffStrategyParams p, sim::SimContext& ctx) {
     return std::make_unique<cluster::ClusterManager>(
-        engine, machine_of(100), std::make_unique<PayoffStrategy>(p), zero_costs());
+        ctx, machine_of(100), std::make_unique<PayoffStrategy>(p), zero_costs());
   };
 
   // A deadline job holds the machine with little slack; a tiny-payoff job
@@ -191,14 +191,14 @@ TEST(Payoff, DisplacementLossBlocksHarmfulJob) {
   auto cheap = qos::make_contract(50, 50, 5000.0, 1.0, 1.0);
   cheap.payoff = qos::PayoffFunction::flat(0.5);
 
-  sim::Engine e1;
-  auto cm1 = build(charging, e1);
+  sim::SimContext c1;
+  auto cm1 = build(charging, c1);
   ASSERT_TRUE(cm1->submit(UserId{1}, valuable));
   EXPECT_FALSE(cm1->query(cheap).accept)
       << "0.5 payoff cannot compensate a 1000-payoff deadline miss";
 
-  sim::Engine e2;
-  auto cm2 = build(free_params, e2);
+  sim::SimContext c2;
+  auto cm2 = build(free_params, c2);
   ASSERT_TRUE(cm2->submit(UserId{1}, valuable));
   EXPECT_TRUE(cm2->query(cheap).accept)
       << "without loss accounting the window exists and payoff is positive";

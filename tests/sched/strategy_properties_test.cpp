@@ -122,16 +122,16 @@ class AdmissionProperties : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(AdmissionProperties, OversizedAlwaysRejectedFittingAlwaysAnswered) {
   const auto cases = all_strategies();
   const auto& c = cases[GetParam()];
-  sim::Engine engine;
+  sim::SimContext ctx;
   cluster::MachineSpec machine;
   machine.total_procs = 64;
-  cluster::ClusterManager cm{engine, machine, c.factory()};
+  cluster::ClusterManager cm{ctx, machine, c.factory()};
 
   EXPECT_FALSE(cm.query(qos::make_contract(65, 128, 1000.0)).accept)
       << c.name << " accepted an impossible job";
   const auto fitting = cm.query(qos::make_contract(4, 32, 1000.0));
   if (fitting.accept) {
-    EXPECT_GE(fitting.estimated_completion, engine.now());
+    EXPECT_GE(fitting.estimated_completion, ctx.engine().now());
     EXPECT_LT(fitting.estimated_completion, 1e300);
   }
 }

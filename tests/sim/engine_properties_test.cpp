@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/sim/engine.hpp"
@@ -77,6 +79,88 @@ TEST_P(EngineProperties, TimeNeverGoesBackward) {
   engine.schedule_at(0.0, [&] { spawn(40); });
   engine.run();
   EXPECT_TRUE(monotone);
+}
+
+TEST_P(EngineProperties, InterleavedScheduleCancelRunStaysOrdered) {
+  // Random mix of schedule / cancel / step while the simulation advances:
+  // execution must still follow (time, seq), cancelled events never fire,
+  // and the slot pool must stay bounded by the peak number of live events.
+  Rng rng{GetParam() * 31 + 7};
+  Engine engine;
+  struct Live {
+    EventHandle handle;
+    std::uint64_t tag;
+  };
+  std::vector<Live> live;
+  std::vector<std::pair<double, std::uint64_t>> executed;
+  std::vector<bool> cancelled(4000, false);
+  std::vector<int> fire_count(4000, 0);
+  std::uint64_t next_tag = 0;
+  std::size_t peak_live = 0;
+
+  for (int round = 0; round < 2000; ++round) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.5 && next_tag < 4000) {
+      const std::uint64_t tag = next_tag++;
+      const double t = engine.now() + rng.uniform(0.0, 10.0);
+      auto h = engine.schedule_at(
+          t, [&executed, &fire_count, &engine, tag] {
+            executed.emplace_back(engine.now(), tag);
+            ++fire_count[tag];
+          });
+      live.push_back({h, tag});
+    } else if (roll < 0.7 && !live.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+      if (live[idx].handle.active()) {
+        cancelled[live[idx].tag] = true;
+        live[idx].handle.cancel();
+        EXPECT_FALSE(live[idx].handle.active());
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      (void)engine.step();
+    }
+    peak_live = std::max(peak_live, engine.pending());
+  }
+  engine.run();
+
+  // Every scheduled event fired exactly once unless cancelled.
+  for (std::uint64_t tag = 0; tag < next_tag; ++tag) {
+    EXPECT_EQ(fire_count[tag], cancelled[tag] ? 0 : 1) << "tag " << tag;
+  }
+  // Execution times are monotone (ties allowed; seq order is covered by the
+  // dedicated ordering test — interleaved scheduling makes tags non-monotone).
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    EXPECT_LE(executed[i - 1].first, executed[i].first);
+  }
+  // The pool recycles retired slots: it never grows past the peak number of
+  // simultaneously pending events.
+  EXPECT_LE(engine.pool_slots(), peak_live);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST_P(EngineProperties, PoolReusesSlotsAcrossGenerations) {
+  Engine engine;
+  Rng rng{GetParam() * 101 + 3};
+  // Repeatedly schedule-and-drain; the pool must plateau at the batch size.
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 20; ++i) {
+      handles.push_back(
+          engine.schedule_after(rng.uniform(0.0, 1.0), [] {}));
+    }
+    for (auto& h : handles) {
+      if (rng.bernoulli(0.5)) h.cancel();
+    }
+    engine.run();
+    // Stale handles from this wave are inert forever.
+    for (auto& h : handles) {
+      EXPECT_FALSE(h.active());
+      h.cancel();
+    }
+  }
+  EXPECT_LE(engine.pool_slots(), 20u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperties,

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace faucets::sim {
@@ -122,6 +125,82 @@ TEST(Engine, PendingCountsUncancelledEvents) {
   e.schedule_at(1.0, [] {});
   e.schedule_at(2.0, [] {});
   EXPECT_EQ(e.pending(), 2u);
+}
+
+TEST(Engine, HandleInactiveAfterFire) {
+  // Regression: a handle used to stay "active" after its event executed,
+  // so a later cancel() could hit an unrelated event reusing the storage.
+  Engine e;
+  EventHandle h = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(h.active());
+  e.run();
+  EXPECT_FALSE(h.active()) << "a fired event is spent; its handle must go inert";
+}
+
+TEST(Engine, StaleHandleCannotCancelRecycledSlot) {
+  Engine e;
+  EventHandle first = e.schedule_at(1.0, [] {});
+  first.cancel();
+  // The pool reuses the freed slot for the next event; the generation bump
+  // must keep the old handle from touching it.
+  bool fired = false;
+  EventHandle second = e.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_EQ(e.pool_slots(), 1u) << "cancelled slot should be recycled";
+  first.cancel();  // stale: must be a no-op
+  EXPECT_TRUE(second.active());
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, StaleHandleAfterFireCannotCancelRecycledSlot) {
+  Engine e;
+  EventHandle first = e.schedule_at(1.0, [] {});
+  e.run();
+  bool fired = false;
+  EventHandle second = e.schedule_at(2.0, [&] { fired = true; });
+  first.cancel();  // refers to the same slot, older generation
+  EXPECT_FALSE(first.active());
+  EXPECT_TRUE(second.active());
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelRemovesFromPending) {
+  Engine e;
+  EventHandle h = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  h.cancel();
+  EXPECT_EQ(e.pending(), 1u) << "cancel removes the event eagerly";
+}
+
+TEST(Engine, CallbackMayCancelItsOwnHandle) {
+  // The slot is retired before the callback runs, so self-cancel is inert.
+  Engine e;
+  EventHandle h;
+  h = e.schedule_at(1.0, [&] { h.cancel(); });
+  e.run();
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_FALSE(h.active());
+}
+
+TEST(Engine, MoveOnlyCapturesWork) {
+  Engine e;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  e.schedule_at(1.0, [p = std::move(payload), &seen] { seen = *p; });
+  e.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(Engine, LargeCapturesFallBackToHeapAndStillRun) {
+  Engine e;
+  std::array<double, 16> big{};  // 128 bytes: over the inline buffer
+  big[15] = 3.5;
+  double seen = 0.0;
+  e.schedule_at(1.0, [big, &seen] { seen = big[15]; });
+  e.run();
+  EXPECT_EQ(seen, 3.5);
 }
 
 }  // namespace

@@ -5,29 +5,34 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/context.hpp"
+#include "src/sim/trace.hpp"
+
 namespace faucets::sim {
 namespace {
 
 struct Ping final : Message {
+  static constexpr MessageKind kKind = MessageKind::kPoll;
   int payload = 0;
   explicit Ping(int p = 0) : payload(p) {}
-  [[nodiscard]] std::string_view kind() const noexcept override { return "PING"; }
+  [[nodiscard]] MessageKind kind() const noexcept override { return kKind; }
 };
 
 struct BigMessage final : Message {
+  static constexpr MessageKind kKind = MessageKind::kCustom;
   std::size_t bytes;
   explicit BigMessage(std::size_t b) : bytes(b) {}
-  [[nodiscard]] std::string_view kind() const noexcept override { return "BIG"; }
+  [[nodiscard]] MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return bytes; }
 };
 
 class Recorder final : public Entity {
  public:
-  Recorder(std::string name, Engine& engine) : Entity(std::move(name), engine) {}
+  Recorder(std::string name, SimContext& ctx) : Entity(std::move(name), ctx) {}
   void on_message(const Message& msg) override {
-    arrivals.emplace_back(now(), std::string(msg.kind()));
-    if (const auto* ping = dynamic_cast<const Ping*>(&msg)) {
-      payloads.push_back(ping->payload);
+    arrivals.emplace_back(now(), std::string(msg.kind_name()));
+    if (msg.kind() == Ping::kKind) {
+      payloads.push_back(message_cast<Ping>(msg).payload);
     }
   }
   std::vector<std::pair<double, std::string>> arrivals;
@@ -36,14 +41,14 @@ class Recorder final : public Entity {
 
 class NetworkTest : public ::testing::Test {
  protected:
-  Engine engine;
-  NetworkConfig config{};
-  Network net{engine, config};
+  SimContext ctx;
+  Engine& engine = ctx.engine();
+  Network& net = ctx.network();
 };
 
 TEST_F(NetworkTest, AttachAssignsDistinctIds) {
-  Recorder a{"a", engine};
-  Recorder b{"b", engine};
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
   net.attach(a);
   net.attach(b);
   EXPECT_NE(a.id(), b.id());
@@ -52,8 +57,8 @@ TEST_F(NetworkTest, AttachAssignsDistinctIds) {
 }
 
 TEST_F(NetworkTest, DeliversAfterBaseLatency) {
-  Recorder a{"a", engine};
-  Recorder b{"b", engine};
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
   net.attach(a);
   net.attach(b);
   net.send(a, b.id(), std::make_unique<Ping>(42));
@@ -65,7 +70,7 @@ TEST_F(NetworkTest, DeliversAfterBaseLatency) {
 }
 
 TEST_F(NetworkTest, SelfSendUsesLocalLatency) {
-  Recorder a{"a", engine};
+  Recorder a{"a", ctx};
   net.attach(a);
   net.send(a, a.id(), std::make_unique<Ping>());
   engine.run();
@@ -74,8 +79,8 @@ TEST_F(NetworkTest, SelfSendUsesLocalLatency) {
 }
 
 TEST_F(NetworkTest, BandwidthDelaysLargeMessages) {
-  Recorder a{"a", engine};
-  Recorder b{"b", engine};
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
   net.attach(a);
   net.attach(b);
   net.send(a, b.id(), std::make_unique<BigMessage>(static_cast<std::size_t>(1.25e8)));
@@ -84,9 +89,9 @@ TEST_F(NetworkTest, BandwidthDelaysLargeMessages) {
   EXPECT_NEAR(b.arrivals[0].first, 1.010, 1e-9);  // 1 s of transfer + latency
 }
 
-TEST_F(NetworkTest, DetachedEntityDropsMessages) {
-  Recorder a{"a", engine};
-  Recorder b{"b", engine};
+TEST_F(NetworkTest, DetachedReceiverDropsMessages) {
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
   net.attach(a);
   net.attach(b);
   net.send(a, b.id(), std::make_unique<Ping>());
@@ -97,9 +102,50 @@ TEST_F(NetworkTest, DetachedEntityDropsMessages) {
   EXPECT_EQ(net.messages_delivered(), 0u);
 }
 
+TEST_F(NetworkTest, DetachedReceiverDropIsTraced) {
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
+  net.attach(a);
+  net.attach(b);
+  net.send(a, b.id(), std::make_unique<Ping>());
+  const EntityId gone = b.id();
+  net.detach(gone);
+  engine.run();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  bool traced = false;
+  for (const auto& rec : ctx.trace().records()) {
+    if (rec.category == "net" && rec.entity == gone &&
+        rec.detail.find("drop POLL") != std::string::npos) {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced) << "dropped delivery must leave a trace record";
+}
+
+TEST_F(NetworkTest, DetachedSenderDropsAndTraces) {
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
+  net.attach(a);
+  net.attach(b);
+  net.detach(a.id());
+  net.send(a, b.id(), std::make_unique<Ping>());
+  engine.run();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(net.messages_sent(), 0u) << "a detached sender cannot inject traffic";
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  bool traced = false;
+  for (const auto& rec : ctx.trace().records()) {
+    if (rec.category == "net" &&
+        rec.detail.find("sender detached") != std::string::npos) {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced);
+}
+
 TEST_F(NetworkTest, CountersTrackTraffic) {
-  Recorder a{"a", engine};
-  Recorder b{"b", engine};
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
   net.attach(a);
   net.attach(b);
   net.send(a, b.id(), std::make_unique<Ping>());
@@ -112,28 +158,49 @@ TEST_F(NetworkTest, CountersTrackTraffic) {
   EXPECT_EQ(net.messages_sent(), 0u);
 }
 
-TEST_F(NetworkTest, MessageMetadataFilledIn) {
-  Recorder a{"a", engine};
-  Recorder b{"b", engine};
+TEST_F(NetworkTest, PerKindCountersTrackTraffic) {
+  Recorder a{"a", ctx};
+  Recorder b{"b", ctx};
   net.attach(a);
   net.attach(b);
-  EntityId from_seen;
+  net.send(a, b.id(), std::make_unique<Ping>());
+  net.send(a, b.id(), std::make_unique<Ping>());
+  net.send(b, a.id(), std::make_unique<BigMessage>(16));
+  engine.run();
+  EXPECT_EQ(net.sent_of(MessageKind::kPoll), 2u);
+  EXPECT_EQ(net.delivered_of(MessageKind::kPoll), 2u);
+  EXPECT_EQ(net.sent_of(MessageKind::kCustom), 1u);
+  EXPECT_EQ(net.delivered_of(MessageKind::kCustom), 1u);
+  EXPECT_EQ(net.sent_of(MessageKind::kBid), 0u);
+  // Drops count as sent but not delivered for that kind.
+  net.detach(b.id());
+  net.send(a, b.id(), std::make_unique<Ping>());
+  engine.run();
+  EXPECT_EQ(net.sent_of(MessageKind::kPoll), 3u);
+  EXPECT_EQ(net.delivered_of(MessageKind::kPoll), 2u);
+  net.reset_counters();
+  EXPECT_EQ(net.sent_of(MessageKind::kPoll), 0u);
+  EXPECT_EQ(net.delivered_of(MessageKind::kCustom), 0u);
+}
+
+TEST_F(NetworkTest, MessageMetadataFilledIn) {
+  Recorder a{"a", ctx};
+  net.attach(a);
   class Checker final : public Entity {
    public:
-    Checker(Engine& e) : Entity("c", e) {}
+    explicit Checker(SimContext& c) : Entity("c", c) {}
     void on_message(const Message& msg) override {
       from = msg.from;
       sent_at = msg.sent_at;
     }
     EntityId from;
     double sent_at = -1.0;
-  } checker{engine};
+  } checker{ctx};
   net.attach(checker);
   engine.schedule_at(5.0, [&] { net.send(a, checker.id(), std::make_unique<Ping>()); });
   engine.run();
   EXPECT_EQ(checker.from, a.id());
   EXPECT_EQ(checker.sent_at, 5.0);
-  (void)from_seen;
 }
 
 TEST_F(NetworkTest, FindUnknownReturnsNull) {
