@@ -1,0 +1,114 @@
+// Experiment E9c (DESIGN.md §7): observability hot-path microbenchmarks —
+// typed events/second into the ring buffer (the figure BENCH_trace.json
+// records), recording across wraparound, histogram observation, and the
+// cached-counter increment entities use on message paths. google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace {
+
+using namespace faucets;
+
+// The headline workload: record typed job events into a warm ring. The ring
+// is sized so the run wraps many times — eviction is part of the hot path.
+void BM_TraceRecord(benchmark::State& state) {
+  obs::TraceBuffer buf{static_cast<std::size_t>(state.range(0))};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    buf.record(obs::job_event(static_cast<double>(i), EntityId{1},
+                              obs::TraceEventKind::kJobStarted, ClusterId{2},
+                              JobId{i}, UserId{3}, 16));
+    ++i;
+  }
+  benchmark::DoNotOptimize(buf.total_recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRecord)->Arg(1 << 10)->Arg(1 << 16);
+
+// Alternating payload kinds: the union write must stay branch-cheap.
+void BM_TraceRecordMixedPayloads(benchmark::State& state) {
+  obs::TraceBuffer buf{1 << 14};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    switch (i & 3u) {
+      case 0:
+        buf.record(obs::job_event(static_cast<double>(i), EntityId{1},
+                                  obs::TraceEventKind::kJobCompleted,
+                                  ClusterId{0}, JobId{i}, UserId{2}, 8));
+        break;
+      case 1:
+        buf.record(obs::market_event(static_cast<double>(i), EntityId{1},
+                                     obs::TraceEventKind::kBidIssued,
+                                     RequestId{i}, BidId{i}, 0.25));
+        break;
+      case 2:
+        buf.record(obs::net_event(static_cast<double>(i), EntityId{1},
+                                  EntityId{2}, 3,
+                                  obs::DropReason::kReceiverDetached));
+        break;
+      default:
+        buf.record(obs::auth_event(static_cast<double>(i), EntityId{1},
+                                   obs::TraceEventKind::kAuthOk, UserId{4},
+                                   RequestId{i}));
+        break;
+    }
+    ++i;
+  }
+  benchmark::DoNotOptimize(buf.total_recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRecordMixedPayloads);
+
+// Reading the ring back out, the exporters' access pattern.
+void BM_TraceForEach(benchmark::State& state) {
+  obs::TraceBuffer buf{1 << 16};
+  for (std::uint64_t i = 0; i < (1u << 17); ++i) {
+    buf.record(obs::job_event(static_cast<double>(i), EntityId{1},
+                              obs::TraceEventKind::kJobStarted, ClusterId{0},
+                              JobId{i}, UserId{0}, 4));
+  }
+  for (auto _ : state) {
+    double sum = 0.0;
+    buf.for_each([&](const obs::TraceEvent& ev) { sum += ev.time; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(buf.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_TraceForEach);
+
+// One histogram observation: lower_bound over 16 bucket edges plus the
+// min/max/sum bookkeeping. This is what every completion pays.
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram hist{obs::exponential_buckets(1.0, 2.0, 16)};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hist.observe(static_cast<double>((i * 2654435761u) % 100000) / 100.0);
+    ++i;
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+// Cached Counter* increment — the per-message cost the Network pays after
+// resolving instruments once at construction.
+void BM_CounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* ctr = &registry.counter("faucets_bench_messages_total");
+  for (auto _ : state) {
+    ctr->inc();
+    benchmark::DoNotOptimize(ctr);
+  }
+  benchmark::DoNotOptimize(ctr->value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterInc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

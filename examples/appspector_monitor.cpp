@@ -80,5 +80,13 @@ int main() {
             << ", AppSpector monitored " << grid.appspector().monitored_jobs()
             << " job(s), served " << grid.appspector().watch_requests()
             << " watch requests\n";
+
+  // The span timeline: the job's full causal history (submission → RFB →
+  // bids → award → queue → run → completion) straight from the
+  // observability layer, no log parsing required.
+  std::cout << "\nlifecycle spans for job 0:\n";
+  for (const auto& line : grid.appspector().job_timeline(ClusterId{0}, JobId{0})) {
+    std::cout << "  " << line << "\n";
+  }
   return 0;
 }

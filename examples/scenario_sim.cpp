@@ -1,12 +1,20 @@
 // Command-line grid simulator: run any scenario file through the full
-// Faucets market (the command-line client surface of §2).
+// Faucets market (the command-line client surface of §2), optionally
+// exporting the observability layer's state afterwards:
 //
 //   ./examples/scenario_sim my_grid.ini
 //   ./examples/scenario_sim            # runs the built-in demo scenario
+//   ./examples/scenario_sim --trace-jsonl trace.jsonl
+//                           --metrics metrics.prom
+//                           --chrome-trace trace.json   # open in Perfetto
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "src/core/scenario.hpp"
+#include "src/obs/exporters.hpp"
 
 namespace {
 
@@ -46,16 +54,61 @@ jobs = 150
 load = 0.75
 )ini";
 
+struct Options {
+  std::optional<std::string> scenario_file;
+  std::optional<std::string> trace_jsonl;
+  std::optional<std::string> metrics;
+  std::optional<std::string> chrome_trace;
+};
+
+/// Accepts both `--flag path` and `--flag=path`.
+bool take_flag(const std::string& arg, int argc, char** argv, int& i,
+               const std::string& flag, std::optional<std::string>& out) {
+  if (arg == flag) {
+    if (i + 1 >= argc) throw std::invalid_argument(flag + " needs a path");
+    out = argv[++i];
+    return true;
+  }
+  const std::string prefix = flag + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (take_flag(arg, argc, argv, i, "--trace-jsonl", opts.trace_jsonl)) continue;
+    if (take_flag(arg, argc, argv, i, "--metrics", opts.metrics)) continue;
+    if (take_flag(arg, argc, argv, i, "--chrome-trace", opts.chrome_trace)) continue;
+    if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown option " + arg);
+    }
+    opts.scenario_file = arg;
+  }
+  return opts;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::invalid_argument("cannot open output file " + path);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    const Options opts = parse_args(argc, argv);
     faucets::core::Scenario scenario = [&] {
-      if (argc > 1) {
-        std::ifstream file{argv[1]};
+      if (opts.scenario_file) {
+        std::ifstream file{*opts.scenario_file};
         if (!file) {
-          throw std::invalid_argument(std::string("cannot open scenario file ") +
-                                      argv[1]);
+          throw std::invalid_argument("cannot open scenario file " +
+                                      *opts.scenario_file);
         }
         return faucets::core::Scenario::parse(faucets::ConfigFile::parse(file));
       }
@@ -66,8 +119,31 @@ int main(int argc, char** argv) {
     std::cout << "Simulating " << scenario.clusters.size() << " Compute Servers ("
               << scenario.total_procs() << " processors), "
               << scenario.workload.job_count << " jobs...\n\n";
-    const auto report = scenario.run();
+    auto grid = scenario.make_grid();
+    const auto report = grid->run(scenario.make_requests());
     faucets::core::print_report(std::cout, report);
+
+    if (opts.trace_jsonl) {
+      auto out = open_out(*opts.trace_jsonl);
+      faucets::obs::write_trace_jsonl(out, grid->obs().trace());
+      std::cout << "wrote typed trace to " << *opts.trace_jsonl << "\n";
+    }
+    if (opts.metrics) {
+      auto out = open_out(*opts.metrics);
+      faucets::obs::write_prometheus(out, grid->obs().metrics());
+      std::cout << "wrote metrics to " << *opts.metrics << "\n";
+    }
+    if (opts.chrome_trace) {
+      auto out = open_out(*opts.chrome_trace);
+      faucets::obs::ChromeTraceOptions chrome;
+      for (const auto& c : scenario.clusters) {
+        chrome.cluster_names.push_back(c.machine.name);
+      }
+      faucets::obs::write_chrome_trace(out, grid->obs().spans(),
+                                       grid->obs().trace(), chrome);
+      std::cout << "wrote Chrome trace to " << *opts.chrome_trace
+                << " (load it at https://ui.perfetto.dev)\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

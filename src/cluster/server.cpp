@@ -12,6 +12,10 @@ namespace {
 constexpr double kInf = 1e300;
 /// Relative tolerance for "the job is done".
 constexpr double kDoneTolerance = 1e-6;
+
+std::string labelled(const std::string& base, const std::string& cluster) {
+  return base + "{cluster=\"" + cluster + "\"}";
+}
 }  // namespace
 
 ClusterManager::ClusterManager(sim::SimContext& ctx, MachineSpec machine,
@@ -25,7 +29,55 @@ ClusterManager::ClusterManager(sim::SimContext& ctx, MachineSpec machine,
       id_(id),
       metrics_(machine_.total_procs) {
   if (!strategy_) throw std::invalid_argument("ClusterManager needs a strategy");
+  auto& reg = ctx_->metrics();
+  completed_ctr_ = &reg.counter(labelled("faucets_cm_jobs_completed_total", machine_.name),
+                                "Jobs finished on this Compute Server");
+  rejected_ctr_ = &reg.counter(labelled("faucets_cm_jobs_rejected_total", machine_.name),
+                               "Submissions refused at admission");
+  busy_gauge_ = &reg.gauge(labelled("faucets_cm_busy_procs", machine_.name),
+                           "Processors currently allocated to jobs");
+  wait_hist_ = &reg.histogram(labelled("faucets_job_wait_seconds", machine_.name),
+                              obs::exponential_buckets(1.0, 2.0, 16),
+                              "Queue wait time of completed jobs");
+  slowdown_hist_ = &reg.histogram(labelled("faucets_job_slowdown", machine_.name),
+                                  obs::exponential_buckets(1.0, 1.5, 16),
+                                  "Bounded slowdown of completed jobs");
+  occupancy_hist_ = &reg.histogram(labelled("faucets_cm_occupancy", machine_.name),
+                                   obs::linear_buckets(0.05, 0.05, 20),
+                                   "Fraction of processors busy, sampled at "
+                                   "every allocation change");
   metrics_.record_busy(engine_->now(), 0);
+}
+
+void ClusterManager::emit(obs::TraceEventKind kind, JobId job, UserId user,
+                          int procs) {
+  ctx_->trace().record(obs::job_event(engine_->now(), EntityId{id_.value()}, kind,
+                                      id_, job, user, procs));
+}
+
+void ClusterManager::observe_busy(double now, int busy) {
+  metrics_.record_busy(now, busy);
+  busy_gauge_->set(busy);
+  if (machine_.total_procs > 0) {
+    occupancy_hist_->observe(static_cast<double>(busy) /
+                             static_cast<double>(machine_.total_procs));
+  }
+}
+
+void ClusterManager::close_job_spans(JobId id, obs::SpanKind kind, double now) {
+  const auto it = job_spans_.find(id);
+  if (it == job_spans_.end()) return;
+  auto& spans = ctx_->spans();
+  const SpanId open = [&] {
+    if (it->second.run.valid()) {
+      const obs::Span* run = spans.find(it->second.run);
+      if (run != nullptr && run->open()) return it->second.run;
+    }
+    return it->second.queue;
+  }();
+  spans.end_span(open, now);
+  spans.instant_span(kind, now, EntityId{id_.value()}, open);
+  job_spans_.erase(it);
 }
 
 sched::SchedulerContext ClusterManager::context() const {
@@ -48,24 +100,27 @@ sched::AdmissionDecision ClusterManager::query(const qos::QosContract& contract)
   return strategy_->admit(context(), contract);
 }
 
-void ClusterManager::trace_event(const std::string& detail) {
-  if (trace_ != nullptr) {
-    trace_->record(engine_->now(), EntityId{id_.value()}, "job", detail);
-  }
-}
-
 std::optional<JobId> ClusterManager::submit(UserId owner,
-                                            const qos::QosContract& contract) {
+                                            const qos::QosContract& contract,
+                                            SpanId parent) {
   const auto decision = query(contract);
   if (!decision.accept) {
     metrics_.on_rejected();
-    trace_event("reject: " + decision.reason);
+    rejected_ctr_->inc();
+    emit(obs::TraceEventKind::kJobRejected, JobId{}, owner, contract.min_procs);
     FAUCETS_DEBUG("cm") << machine_.name << " rejected job: " << decision.reason;
     return std::nullopt;
   }
   const JobId id = job_ids_.next();
-  trace_event("accept job " + std::to_string(id.value()));
-  auto j = std::make_unique<job::Job>(id, owner, contract, engine_->now());
+  const double now = engine_->now();
+  emit(obs::TraceEventKind::kJobAccepted, id, owner, contract.min_procs);
+  auto& spans = ctx_->spans();
+  JobSpans js;
+  js.queue = spans.start_span(obs::SpanKind::kQueue, now, EntityId{id_.value()}, parent);
+  spans.set_user(js.queue, owner);
+  spans.bind_job(js.queue, id_, id);
+  job_spans_.emplace(id, js);
+  auto j = std::make_unique<job::Job>(id, owner, contract, now);
   j->mark_queued();
   jobs_.emplace(id, std::move(j));
   queued_.push_back(id);
@@ -80,6 +135,7 @@ void ClusterManager::advance_all() {
 
 void ClusterManager::apply_allocations(const std::vector<sched::Allocation>& allocations) {
   const double now = engine_->now();
+  auto& spans = ctx_->spans();
 
   // Apply shrinks and vacates first so capacity is never exceeded, then
   // expansions and starts.
@@ -93,17 +149,20 @@ void ClusterManager::apply_allocations(const std::vector<sched::Allocation>& all
             : std::clamp(a.procs, j.contract().min_procs, j.contract().max_procs);
     if (target == j.procs()) return;
 
+    JobSpans& js = job_spans_[a.job];
     const bool was_running = j.procs() > 0;
     if (!was_running && target > 0) {
       if (j.start_time() < 0.0) {
         j.start(now, target, machine_.speed_factor, costs_);
-        trace_event("start job " + std::to_string(a.job.value()) + " procs=" +
-                    std::to_string(target));
+        emit(obs::TraceEventKind::kJobStarted, a.job, j.owner(), target);
       } else {
         j.reallocate(now, target);
-        trace_event("resume job " + std::to_string(a.job.value()) + " procs=" +
-                    std::to_string(target));
+        emit(obs::TraceEventKind::kJobResumed, a.job, j.owner(), target);
       }
+      spans.end_span(js.queue, now);
+      js.run = spans.start_span(obs::SpanKind::kRun, now, EntityId{id_.value()},
+                                js.queue);
+      spans.set_value(js.run, target);
       std::erase(queued_, a.job);
       running_.push_back(a.job);
       // Keep running_ in submit order for deterministic contexts.
@@ -113,13 +172,18 @@ void ClusterManager::apply_allocations(const std::vector<sched::Allocation>& all
       std::erase(running_, a.job);
       queued_.push_back(a.job);
       std::sort(queued_.begin(), queued_.end());
-      trace_event("vacate job " + std::to_string(a.job.value()));
+      emit(obs::TraceEventKind::kJobVacated, a.job, j.owner(), 0);
+      spans.end_span(js.run, now);
+      js.queue = spans.start_span(obs::SpanKind::kQueue, now, EntityId{id_.value()},
+                                  js.run);
+      js.run = SpanId{};
     } else if (was_running) {
       const bool shrink = target < j.procs();
       j.reallocate(now, target);
-      trace_event((shrink ? "shrink job " : "expand job ") +
-                  std::to_string(a.job.value()) + " procs=" +
-                  std::to_string(target));
+      emit(shrink ? obs::TraceEventKind::kJobShrunk : obs::TraceEventKind::kJobExpanded,
+           a.job, j.owner(), target);
+      spans.instant_span(obs::SpanKind::kReconfig, now, EntityId{id_.value()},
+                         js.run, target);
     }
   };
 
@@ -140,7 +204,7 @@ void ClusterManager::apply_allocations(const std::vector<sched::Allocation>& all
                            std::to_string(busy) + " > " +
                            std::to_string(machine_.total_procs));
   }
-  metrics_.record_busy(now, busy);
+  observe_busy(now, busy);
 }
 
 void ClusterManager::reschedule() {
@@ -181,11 +245,15 @@ void ClusterManager::handle_completions() {
     j.complete(now);
     std::erase(running_, id);
     metrics_.on_completed(j);
-    trace_event("complete job " + std::to_string(id.value()));
+    completed_ctr_->inc();
+    wait_hist_->observe(j.wait_time());
+    slowdown_hist_->observe(j.bounded_slowdown());
+    emit(obs::TraceEventKind::kJobCompleted, id, j.owner(), j.procs());
+    close_job_spans(id, obs::SpanKind::kComplete, now);
     FAUCETS_DEBUG("cm") << machine_.name << " completed job " << id;
     if (on_complete_) on_complete_(j);
   }
-  metrics_.record_busy(now, busy_procs());
+  observe_busy(now, busy_procs());
   reschedule();
 }
 
@@ -206,11 +274,12 @@ std::optional<ClusterManager::Evicted> ClusterManager::evict_job(JobId id) {
   out.owner = j.owner();
   out.contract = j.contract();
   out.completed_work = j.total_work() - j.remaining_work();
+  emit(obs::TraceEventKind::kJobEvicted, id, j.owner(), j.procs());
+  close_job_spans(id, obs::SpanKind::kEvicted, now);
   std::erase(running_, id);
   std::erase(queued_, id);
   jobs_.erase(it);
-  trace_event("evict job " + std::to_string(id.value()));
-  metrics_.record_busy(now, busy_procs());
+  observe_busy(now, busy_procs());
   reschedule();
   return out;
 }
@@ -231,14 +300,20 @@ std::vector<ClusterManager::Evicted> ClusterManager::evict_all() {
 void ClusterManager::halt() {
   completion_timer_.cancel();
   const double now = engine_->now();
-  for (JobId id : running_) jobs_.at(id)->mark_failed(now);
-  for (JobId id : queued_) jobs_.at(id)->mark_failed(now);
-  for (std::size_t i = 0; i < running_.size() + queued_.size(); ++i) {
+  std::vector<JobId> lost;
+  lost.reserve(running_.size() + queued_.size());
+  lost.insert(lost.end(), running_.begin(), running_.end());
+  lost.insert(lost.end(), queued_.begin(), queued_.end());
+  for (JobId id : lost) {
+    job::Job& j = *jobs_.at(id);
+    j.mark_failed(now);
     metrics_.on_failed();
+    emit(obs::TraceEventKind::kJobFailed, id, j.owner(), 0);
+    close_job_spans(id, obs::SpanKind::kFailed, now);
   }
   running_.clear();
   queued_.clear();
-  metrics_.record_busy(now, 0);
+  observe_busy(now, 0);
   on_complete_ = nullptr;
 }
 

@@ -4,7 +4,9 @@
 // progress through the discrete-event engine.
 //
 // The CM is usable standalone (scheduler experiments E1-E4) and behind a
-// FaucetsDaemon in the full market (E5-E8).
+// FaucetsDaemon in the full market (E5-E8). Every lifecycle transition is
+// emitted as a typed trace event and mirrored into queue/run spans, so one
+// job's history is queryable from ctx.spans() without string parsing.
 #pragma once
 
 #include <functional>
@@ -19,7 +21,6 @@
 #include "src/sched/scheduler.hpp"
 #include "src/sim/context.hpp"
 #include "src/sim/engine.hpp"
-#include "src/sim/trace.hpp"
 #include "src/util/ids.hpp"
 
 namespace faucets::cluster {
@@ -39,7 +40,11 @@ class ClusterManager {
   [[nodiscard]] sched::AdmissionDecision query(const qos::QosContract& contract) const;
 
   /// Submit a job now. Returns its id if admitted, nullopt if refused.
-  std::optional<JobId> submit(UserId owner, const qos::QosContract& contract);
+  /// `parent` (when valid) is the causal span the queue span hangs off —
+  /// the daemon passes the client's award span so the whole submit → bid →
+  /// award → schedule chain links up.
+  std::optional<JobId> submit(UserId owner, const qos::QosContract& contract,
+                              SpanId parent = {});
 
   /// Invoked with every job that completes (the daemon uses this to notify
   /// the client and AppSpector).
@@ -94,17 +99,25 @@ class ClusterManager {
 
   [[nodiscard]] const sched::Strategy& strategy() const noexcept { return *strategy_; }
 
-  /// Attach a trace recorder; every job lifecycle event is logged to it
-  /// (category "job"). The caller keeps ownership; pass nullptr to detach.
-  void set_trace(sim::TraceRecorder* trace) noexcept { trace_ = trace; }
-
  private:
+  /// The open queue/run spans of one live job.
+  struct JobSpans {
+    SpanId queue;
+    SpanId run;
+  };
+
   void reschedule();
   void apply_allocations(const std::vector<sched::Allocation>& allocations);
   void arm_completion_timer();
   void handle_completions();
   [[nodiscard]] sched::SchedulerContext context() const;
   void advance_all();
+
+  void emit(obs::TraceEventKind kind, JobId job, UserId user, int procs);
+  void observe_busy(double now, int busy);
+  /// Close whichever of the job's spans is open and append a terminal
+  /// instant of `kind` under it.
+  void close_job_spans(JobId id, obs::SpanKind kind, double now);
 
   sim::SimContext* ctx_;
   sim::Engine* engine_;
@@ -117,13 +130,20 @@ class ClusterManager {
   std::unordered_map<JobId, std::unique_ptr<job::Job>> jobs_;
   std::vector<JobId> running_;  // submit order
   std::vector<JobId> queued_;   // submit order
+  std::unordered_map<JobId, JobSpans> job_spans_;
   sched::MetricsCollector metrics_;
   sim::EventHandle completion_timer_;
   std::function<void(const job::Job&)> on_complete_;
-  sim::TraceRecorder* trace_ = nullptr;
   bool rescheduling_ = false;
 
-  void trace_event(const std::string& detail);
+  // Registry instruments (labelled with this cluster's machine name),
+  // resolved once at construction.
+  obs::Counter* completed_ctr_;
+  obs::Counter* rejected_ctr_;
+  obs::Gauge* busy_gauge_;
+  obs::Histogram* wait_hist_;
+  obs::Histogram* slowdown_hist_;
+  obs::Histogram* occupancy_hist_;
 };
 
 }  // namespace faucets::cluster

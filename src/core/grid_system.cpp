@@ -76,8 +76,6 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
 GridSystem::~GridSystem() = default;
 
 GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) {
-  jobs_submitted_ += requests.size();
-
   // Split the stream per user and hand each client its share.
   std::vector<std::vector<job::JobRequest>> per_user(clients_.size());
   for (auto& req : requests) {
@@ -130,7 +128,17 @@ GridReport GridSystem::report() const {
   out.network_bytes = ctx_.network().bytes_sent();
   out.messages_sent_by_kind = ctx_.network().sent_by_kind();
   out.messages_delivered_by_kind = ctx_.network().delivered_by_kind();
-  out.jobs_submitted = jobs_submitted_;
+
+  // Grid-wide totals come straight from the metrics registry: every client
+  // and daemon increments the shared instruments, so the report no longer
+  // re-plumbs ad-hoc counters through each layer.
+  const obs::MetricsRegistry& metrics = ctx_.metrics();
+  out.jobs_submitted = metrics.counter_value("faucets_grid_jobs_submitted_total");
+  out.jobs_completed = metrics.counter_value("faucets_grid_jobs_completed_total");
+  out.jobs_unplaced = metrics.counter_value("faucets_grid_jobs_unplaced_total");
+  out.migrations = metrics.counter_value("faucets_grid_migrations_total");
+  out.watchdog_restarts =
+      metrics.counter_value("faucets_grid_watchdog_restarts_total");
 
   for (const auto& d : daemons_) {
     ClusterReport c;
@@ -154,12 +162,8 @@ GridReport GridSystem::report() const {
 
   Samples latency;
   for (const auto& cl : clients_) {
-    out.jobs_completed += cl->completed();
-    out.jobs_unplaced += cl->unplaced();
     out.total_spent += cl->total_spent();
     out.total_client_payoff += cl->total_payoff();
-    out.migrations += cl->migrations();
-    out.watchdog_restarts += cl->watchdog_restarts();
     for (double v : cl->award_latency().values()) latency.add(v);
   }
   out.mean_award_latency = latency.mean();

@@ -116,6 +116,8 @@ class GridSystem {
   [[nodiscard]] sim::Engine& engine() noexcept { return ctx_.engine(); }
   [[nodiscard]] sim::Network& network() noexcept { return ctx_.network(); }
   [[nodiscard]] sim::TraceSink& trace() noexcept { return ctx_.trace(); }
+  [[nodiscard]] obs::Observability& obs() noexcept { return ctx_.obs(); }
+  [[nodiscard]] const obs::Observability& obs() const noexcept { return ctx_.obs(); }
   [[nodiscard]] CentralServer& central() noexcept { return *central_; }
   [[nodiscard]] AppSpector& appspector() noexcept { return *appspector_; }
   [[nodiscard]] BrokerAgent* broker() noexcept { return broker_.get(); }
@@ -140,7 +142,6 @@ class GridSystem {
   std::unique_ptr<BrokerAgent> broker_;
   std::vector<std::unique_ptr<FaucetsDaemon>> daemons_;
   std::vector<std::unique_ptr<FaucetsClient>> clients_;
-  std::uint64_t jobs_submitted_ = 0;
 };
 
 }  // namespace faucets::core

@@ -158,10 +158,17 @@ int Scenario::total_procs() const {
   return total;
 }
 
+std::unique_ptr<GridSystem> Scenario::make_grid() const {
+  return std::make_unique<GridSystem>(grid, clusters, workload.user_count);
+}
+
+std::vector<job::JobRequest> Scenario::make_requests() const {
+  return job::WorkloadGenerator{workload, seed}.generate();
+}
+
 GridReport Scenario::run() {
-  GridSystem system{grid, clusters, workload.user_count};
-  auto requests = job::WorkloadGenerator{workload, seed}.generate();
-  return system.run(std::move(requests));
+  auto system = make_grid();
+  return system->run(make_requests());
 }
 
 void print_report(std::ostream& os, const GridReport& report) {

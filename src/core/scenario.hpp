@@ -50,6 +50,14 @@ struct Scenario {
   /// Build the grid, generate the workload, run to completion.
   [[nodiscard]] GridReport run();
 
+  /// Build the grid without running it. Callers that need the grid alive
+  /// after the run — to export traces, metrics, or span timelines — use
+  /// this together with make_requests() instead of run().
+  [[nodiscard]] std::unique_ptr<GridSystem> make_grid() const;
+
+  /// Generate this scenario's workload (deterministic in `seed`).
+  [[nodiscard]] std::vector<job::JobRequest> make_requests() const;
+
   /// Total processors across all clusters (used for load calibration).
   [[nodiscard]] int total_procs() const;
 };

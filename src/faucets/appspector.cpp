@@ -18,6 +18,23 @@ const AppSpector::JobView* AppSpector::find(ClusterId cluster, JobId job) const 
   return it == jobs_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> AppSpector::job_timeline(ClusterId cluster, JobId job) const {
+  std::vector<std::string> out;
+  for (const obs::Span* span : context().spans().for_job(cluster, job)) {
+    std::ostringstream line;
+    line << "[" << span->start;
+    if (span->open()) {
+      line << " ..)";
+    } else {
+      line << " " << span->end << ")";
+    }
+    line << " " << obs::to_string(span->kind);
+    if (span->value != 0.0) line << " value=" << span->value;
+    out.push_back(line.str());
+  }
+  return out;
+}
+
 void AppSpector::on_message(const sim::Message& msg) {
   switch (msg.kind()) {
     case sim::MessageKind::kMonitorRegister: {

@@ -9,6 +9,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/faucets/protocol.hpp"
 #include "src/sim/network.hpp"
@@ -36,6 +37,12 @@ class AppSpector final : public sim::Entity {
   [[nodiscard]] std::size_t monitored_jobs() const noexcept { return jobs_.size(); }
   [[nodiscard]] const JobView* find(ClusterId cluster, JobId job) const;
   [[nodiscard]] std::uint64_t watch_requests() const noexcept { return watch_requests_; }
+
+  /// One formatted line per lifecycle span of the job, drawn from the
+  /// observability layer's span tracker (RFB → bids → award → queue/run →
+  /// reconfigs → terminal state), oldest first. Empty if the job was never
+  /// bound to a span tree.
+  [[nodiscard]] std::vector<std::string> job_timeline(ClusterId cluster, JobId job) const;
 
  private:
   struct Key {

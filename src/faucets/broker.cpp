@@ -58,6 +58,7 @@ void BrokerAgent::handle_submit(const proto::SubmitJobRequest& msg) {
   pending.password = msg.password;
   pending.criteria = msg.criteria;
   pending.contract = msg.contract;
+  pending.root = msg.span;
   pending_.emplace(id, std::move(pending));
 
   auto dir = std::make_unique<proto::DirectoryRequest>();
@@ -76,6 +77,11 @@ void BrokerAgent::handle_directory(const proto::DirectoryReply& msg) {
     return;
   }
   pending.expected_bids = msg.servers.size();
+  pending.rfb = context().spans().start_span(obs::SpanKind::kRfb, now(), id(),
+                                             pending.root);
+  context().trace().record(obs::market_event(
+      now(), id(), obs::TraceEventKind::kRfbIssued, msg.request, BidId{},
+      static_cast<double>(msg.servers.size())));
   for (const auto& server : msg.servers) {
     auto rfb = std::make_unique<proto::RequestForBids>();
     rfb->request = msg.request;
@@ -93,6 +99,10 @@ void BrokerAgent::handle_bid(const proto::BidReply& msg) {
   if (it == pending_.end()) return;
   Pending& pending = it->second;
   if (pending.evaluated) return;
+  if (!msg.bid.declined) {
+    context().spans().instant_span(obs::SpanKind::kBid, now(), id(),
+                                   pending.rfb, msg.bid.price);
+  }
   pending.bids.push_back(msg.bid);
   if (pending.bids.size() >= pending.expected_bids) evaluate(msg.request);
 }
@@ -122,6 +132,12 @@ void BrokerAgent::evaluate(RequestId id) {
 
   const market::Bid& winner = candidates[*choice];
   pending.promised_completion = winner.promised_completion;
+  auto& spans = context().spans();
+  spans.end_span(pending.rfb, now());
+  pending.award = spans.start_span(
+      obs::SpanKind::kAward, now(), this->id(),
+      pending.rfb.valid() ? pending.rfb : pending.root);
+  spans.set_value(pending.award, winner.price);
   auto award = std::make_unique<proto::AwardJob>();
   award->request = id;  // broker-side id: AwardAck correlates back to us
   award->bid = winner.id;
@@ -131,6 +147,7 @@ void BrokerAgent::evaluate(RequestId id) {
   award->notify = pending.client;              // notices bypass the broker
   award->notify_request = pending.client_request;
   award->contract = pending.contract;
+  award->span = pending.award;
   network_->send(*this, winner.daemon, std::move(award));
 }
 
@@ -141,6 +158,8 @@ void BrokerAgent::handle_award_ack(const proto::AwardAck& msg) {
 
   if (!msg.accepted) {
     // Two-phase retry on the next-best bid.
+    context().spans().end_span(pending.award, now());
+    pending.award = SpanId{};
     for (const auto& b : pending.bids) {
       if (!b.declined && b.daemon == msg.from) pending.refused.push_back(b.id);
     }
@@ -149,6 +168,7 @@ void BrokerAgent::handle_award_ack(const proto::AwardAck& msg) {
   }
 
   ++placed_;
+  context().spans().end_span(pending.award, now());
   auto reply = std::make_unique<proto::SubmitJobReply>();
   reply->request = pending.client_request;
   reply->placed = true;
@@ -168,6 +188,9 @@ void BrokerAgent::fail(RequestId id, std::string reason) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   ++failed_;
+  auto& spans = context().spans();
+  spans.end_span(it->second.rfb, now());
+  spans.end_span(it->second.award, now());
   auto reply = std::make_unique<proto::SubmitJobReply>();
   reply->request = it->second.client_request;
   reply->placed = false;

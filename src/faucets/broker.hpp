@@ -49,6 +49,9 @@ class BrokerAgent final : public sim::Entity {
     double promised_completion = 0.0;
     sim::EventHandle timeout;
     std::vector<BidId> refused;
+    SpanId root;   // the client's kSubmission span, carried in SubmitJobRequest
+    SpanId rfb;    // current RFB round, child of root
+    SpanId award;  // current award attempt
   };
 
   void handle_submit(const proto::SubmitJobRequest& msg);

@@ -10,6 +10,11 @@ namespace faucets {
 CentralServer::CentralServer(sim::SimContext& ctx, CentralServerConfig config)
     : sim::Entity("faucets-server", ctx), network_(&ctx.network()), config_(config) {
   network_->attach(*this);
+  auto& metrics = ctx.metrics();
+  auth_ok_ctr_ = &metrics.counter("faucets_auth_ok_total",
+                                  "Successful logins and credential checks");
+  auth_denied_ctr_ = &metrics.counter("faucets_auth_denied_total",
+                                      "Rejected logins and credential checks");
   ledger_.set_debt_limit(config_.barter_debt_limit);
   ledger_.set_clock(&now_cache_);
   if (config_.poll_interval > 0.0) {
@@ -118,6 +123,14 @@ void CentralServer::on_message(const sim::Message& msg) {
   }
 }
 
+void CentralServer::record_auth(bool ok, UserId user, RequestId request) {
+  (ok ? auth_ok_ctr_ : auth_denied_ctr_)->inc();
+  context().trace().record(obs::auth_event(
+      now(), id(),
+      ok ? obs::TraceEventKind::kAuthOk : obs::TraceEventKind::kAuthDenied, user,
+      request));
+}
+
 void CentralServer::handle_login(const proto::LoginRequest& msg) {
   auto reply = std::make_unique<proto::LoginReply>();
   const auto user = users_.verify(msg.username, msg.password);
@@ -126,6 +139,7 @@ void CentralServer::handle_login(const proto::LoginRequest& msg) {
     reply->user = *user;
     reply->session = sessions_.open(*user);
   }
+  record_auth(reply->ok, user.value_or(UserId{}), RequestId{});
   FAUCETS_DEBUG("fs") << "login " << msg.username << (reply->ok ? " ok" : " DENIED");
   network_->send(*this, msg.from, std::move(reply));
 }
@@ -230,6 +244,7 @@ void CentralServer::handle_auth_verify(const proto::AuthVerifyRequest& msg) {
   const auto user = users_.verify(msg.username, msg.password);
   reply->ok = user.has_value();
   if (user) reply->user = *user;
+  record_auth(reply->ok, user.value_or(UserId{}), msg.request);
   network_->send(*this, msg.from, std::move(reply));
 }
 

@@ -114,8 +114,13 @@ class CentralServer final : public sim::Entity {
   void handle_settled(const proto::ContractSettled& msg);
   void poll_daemons();
 
+  void record_auth(bool ok, UserId user, RequestId request);
+
   sim::Network* network_;
   CentralServerConfig config_;
+
+  obs::Counter* auth_ok_ctr_ = nullptr;
+  obs::Counter* auth_denied_ctr_ = nullptr;
 
   UserDatabase users_;
   SessionManager sessions_;

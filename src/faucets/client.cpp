@@ -16,6 +16,23 @@ FaucetsClient::FaucetsClient(sim::SimContext& ctx, EntityId central,
       evaluator_(std::move(evaluator)),
       config_(std::move(config)) {
   network_->attach(*this);
+  auto& reg = ctx.metrics();
+  submitted_ctr_ = &reg.counter("faucets_grid_jobs_submitted_total",
+                                "Submissions entering the market");
+  completed_ctr_ = &reg.counter("faucets_grid_jobs_completed_total",
+                                "Jobs whose completion notice reached a client");
+  unplaced_ctr_ = &reg.counter("faucets_grid_jobs_unplaced_total",
+                               "Submissions no cluster would take");
+  migrations_ctr_ = &reg.counter("faucets_grid_migrations_total",
+                                 "Jobs moved after an eviction notice");
+  watchdog_ctr_ = &reg.counter("faucets_grid_watchdog_restarts_total",
+                               "Jobs restarted by the completion watchdog");
+  bid_latency_hist_ = &reg.histogram("faucets_bid_latency_seconds",
+                                     obs::exponential_buckets(0.001, 2.0, 16),
+                                     "Submission to each bid's arrival");
+  award_latency_hist_ = &reg.histogram("faucets_award_latency_seconds",
+                                       obs::exponential_buckets(0.001, 2.0, 16),
+                                       "Submission to confirmed award");
 }
 
 void FaucetsClient::login() {
@@ -51,11 +68,15 @@ void FaucetsClient::submit(const qos::QosContract& contract) {
   PendingJob pending;
   pending.outcome_index = outcomes_.size();
   pending.contract = contract;
-  pending_.emplace(request, std::move(pending));
+  pending.root = context().spans().start_span(obs::SpanKind::kSubmission, now(), id());
+  context().spans().set_user(pending.root, user_);
+  submitted_ctr_->inc();
 
   SubmissionOutcome outcome;
   outcome.submit_time = now();
+  outcome.span = pending.root;
   outcomes_.push_back(outcome);
+  pending_.emplace(request, std::move(pending));
 
   if (config_.broker.has_value()) {
     send_brokered(request);
@@ -106,6 +127,12 @@ void FaucetsClient::resubmit(RequestId request) {
   pending.refused.clear();
   pending.timeout.cancel();
   pending.watchdog.cancel();
+  // Close out the previous round's market spans; the next directory reply
+  // opens a fresh RFB span under the same submission root.
+  context().spans().end_span(pending.rfb, now());
+  context().spans().end_span(pending.award, now());
+  pending.rfb = SpanId{};
+  pending.award = SpanId{};
   outcomes_[pending.outcome_index].status = SubmissionOutcome::Status::kPending;
 
   if (config_.broker.has_value()) {
@@ -127,6 +154,10 @@ void FaucetsClient::handle_evicted(const proto::JobEvicted& msg) {
   // market. Deadlines stay absolute — lost time is lost.
   pending.contract = pending.contract.reduced_by(msg.completed_work);
   ++migrations_;
+  migrations_ctr_->inc();
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kJobMigrated,
+                                             msg.request, BidId{}, 0.0));
   FAUCETS_INFO("fc") << config_.username << ": job evicted, resubmitting "
                      << pending.contract.total_work() << " remaining work";
   resubmit(msg.request);
@@ -160,6 +191,12 @@ void FaucetsClient::handle_directory(const proto::DirectoryReply& msg) {
 
   // Broadcast the request-for-bids to every matching daemon (§5.1's current
   // implementation).
+  pending.rfb = context().spans().start_span(obs::SpanKind::kRfb, now(), id(),
+                                             pending.root);
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kRfbIssued,
+                                             msg.request, BidId{},
+                                             static_cast<double>(msg.servers.size())));
   pending.expected_bids = msg.servers.size();
   for (const auto& server : msg.servers) {
     auto rfb = std::make_unique<proto::RequestForBids>();
@@ -179,6 +216,12 @@ void FaucetsClient::handle_bid(const proto::BidReply& msg) {
   PendingJob& pending = it->second;
   if (pending.evaluated) return;  // late bid after timeout evaluation
   pending.bids.push_back(msg.bid);
+  if (!msg.bid.declined) {
+    context().spans().instant_span(obs::SpanKind::kBid, now(), id(), pending.rfb,
+                                   msg.bid.price);
+    bid_latency_hist_->observe(now() -
+                               outcomes_[pending.outcome_index].submit_time);
+  }
   if (pending.bids.size() >= pending.expected_bids) evaluate(msg.request);
 }
 
@@ -236,6 +279,12 @@ void FaucetsClient::evaluate(RequestId request) {
 
   const market::Bid& winner = candidates[*choice];
   pending.promised_completion = winner.promised_completion;
+  auto& spans = context().spans();
+  spans.end_span(pending.rfb, now());
+  pending.award = spans.start_span(
+      obs::SpanKind::kAward, now(), id(),
+      pending.rfb.valid() ? pending.rfb : pending.root);
+  spans.set_value(pending.award, winner.price);
   auto award = std::make_unique<proto::AwardJob>();
   award->request = request;
   award->bid = winner.id;
@@ -243,6 +292,7 @@ void FaucetsClient::evaluate(RequestId request) {
   award->password = config_.password;
   award->user = user_;
   award->contract = pending.contract;
+  award->span = pending.award;
   outcomes_[pending.outcome_index].cluster = winner.cluster;
   outcomes_[pending.outcome_index].price = winner.price;
   network_->send(*this, winner.daemon, std::move(award));
@@ -256,6 +306,8 @@ void FaucetsClient::handle_award_ack(const proto::AwardAck& msg) {
   if (!msg.accepted) {
     // Two-phase retry: mark every bid from the refusing cluster as dead
     // and re-evaluate the rest.
+    context().spans().end_span(pending.award, now());
+    pending.award = SpanId{};
     for (const auto& b : pending.bids) {
       if (!b.declined && b.cluster == outcomes_[pending.outcome_index].cluster) {
         pending.refused.push_back(b.id);
@@ -285,6 +337,10 @@ void FaucetsClient::arm_watchdog(RequestId request, double promised_completion) 
       return;
     }
     ++watchdog_restarts_;
+    watchdog_ctr_->inc();
+    context().trace().record(
+        obs::market_event(now(), id(), obs::TraceEventKind::kWatchdogRestart,
+                          request, BidId{}, 0.0));
     FAUCETS_WARN("fc") << config_.username
                        << ": watchdog fired, restarting lost job";
     resubmit(request);
@@ -303,7 +359,13 @@ void FaucetsClient::on_placed(RequestId request, double price, ClusterId cluster
   outcome.award_time = now();
   outcome.price = price;
   outcome.cluster = cluster;
+  outcome.job = job;
   award_latency_.add(outcome.award_time - outcome.submit_time);
+  award_latency_hist_->observe(outcome.award_time - outcome.submit_time);
+  context().spans().end_span(pending.award, now());
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kJobPlaced,
+                                             request, BidId{}, price));
 
   arm_watchdog(request, promised_completion);
 
@@ -328,6 +390,7 @@ void FaucetsClient::send_brokered(RequestId request) {
   msg->user = user_;
   msg->criteria = config_.criteria;
   msg->contract = it->second.contract;
+  msg->span = it->second.root;
   network_->send(*this, *config_.broker, std::move(msg));
 }
 
@@ -357,6 +420,8 @@ void FaucetsClient::handle_complete(const proto::JobCompleteNotice& msg) {
   total_spent_ += msg.price_charged;
   total_payoff_ += outcome.payoff;
   ++completed_;
+  completed_ctr_->inc();
+  context().spans().end_span(pending.root, now());
   pending_.erase(it);
 }
 
@@ -364,8 +429,18 @@ void FaucetsClient::finish_request(RequestId request,
                                    SubmissionOutcome::Status status) {
   auto it = pending_.find(request);
   if (it == pending_.end()) return;
-  outcomes_[it->second.outcome_index].status = status;
+  PendingJob& pending = it->second;
+  outcomes_[pending.outcome_index].status = status;
   ++unplaced_;
+  unplaced_ctr_->inc();
+  auto& spans = context().spans();
+  spans.end_span(pending.rfb, now());
+  spans.end_span(pending.award, now());
+  spans.instant_span(obs::SpanKind::kUnplaced, now(), id(), pending.root);
+  spans.end_span(pending.root, now());
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kJobUnplaced,
+                                             request, BidId{}, 0.0));
   pending_.erase(it);
 }
 

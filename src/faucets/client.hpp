@@ -46,6 +46,8 @@ struct SubmissionOutcome {
   enum class Status { kPending, kPlaced, kNoServers, kNoBids, kAllRefused, kCompleted };
   Status status = Status::kPending;
   ClusterId cluster;
+  JobId job;                  // daemon-side id, valid once placed
+  SpanId span;                // root submission span in ctx.spans()
   double price = 0.0;
   double submit_time = 0.0;
   double award_time = 0.0;    // when the contract was confirmed
@@ -106,6 +108,9 @@ class FaucetsClient final : public sim::Entity {
     double normal_unit_price = 0.0;  // regulation band from the directory
     double price_band = 0.0;
     std::vector<BidId> refused;  // bids whose award was refused (two-phase)
+    SpanId root;   // kSubmission span, open until a terminal outcome
+    SpanId rfb;    // current RFB round
+    SpanId award;  // current award attempt
   };
 
   void login();
@@ -149,6 +154,15 @@ class FaucetsClient final : public sim::Entity {
   std::uint64_t migrations_ = 0;
   std::uint64_t watchdog_restarts_ = 0;
   std::uint64_t regulated_out_ = 0;
+
+  // Grid-wide registry instruments (shared across clients).
+  obs::Counter* submitted_ctr_ = nullptr;
+  obs::Counter* completed_ctr_ = nullptr;
+  obs::Counter* unplaced_ctr_ = nullptr;
+  obs::Counter* migrations_ctr_ = nullptr;
+  obs::Counter* watchdog_ctr_ = nullptr;
+  obs::Histogram* bid_latency_hist_ = nullptr;
+  obs::Histogram* award_latency_hist_ = nullptr;
 };
 
 }  // namespace faucets

@@ -21,6 +21,17 @@ FaucetsDaemon::FaucetsDaemon(sim::SimContext& ctx, ClusterId cluster,
       appspector_(appspector),
       config_(config) {
   network_->attach(*this);
+  auto& reg = ctx.metrics();
+  bids_issued_ctr_ = &reg.counter("faucets_market_bids_issued_total",
+                                  "Bids offered across all daemons");
+  bids_declined_ctr_ = &reg.counter("faucets_market_bids_declined_total",
+                                    "RFBs answered with a decline");
+  awards_confirmed_ctr_ = &reg.counter("faucets_market_awards_confirmed_total",
+                                       "Awards the two-phase commit confirmed");
+  awards_refused_ctr_ = &reg.counter("faucets_market_awards_refused_total",
+                                     "Awards refused (stale bid or state change)");
+  revenue_gauge_ = &reg.gauge("faucets_market_revenue_total",
+                              "Revenue collected from settled contracts");
   // Namespace bid ids by cluster so they are unique grid-wide.
   bid_ids_.reset(cluster_.value() << 32);
   cm_->set_completion_callback([this](const job::Job& j) { on_job_complete(j); });
@@ -115,6 +126,10 @@ void FaucetsDaemon::handle_auth_reply(const proto::AuthVerifyReply& msg) {
     reply->request = rfb.request;
     reply->bid = market::Bid::decline(cluster_, id());
     ++bids_declined_;
+    bids_declined_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kBidDeclined,
+                                               rfb.request, BidId{}, 0.0));
     network_->send(*this, rfb.client, std::move(reply));
     return;
   }
@@ -140,6 +155,10 @@ void FaucetsDaemon::answer_rfb(const PendingRfb& rfb) {
   if (!multiplier) {
     reply->bid = market::Bid::decline(cluster_, id());
     ++bids_declined_;
+    bids_declined_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kBidDeclined,
+                                               rfb.request, BidId{}, 0.0));
   } else {
     const BidId bid_id = bid_ids_.next();
     reply->bid = market::make_bid(bid_id, *cm_, id(), rfb.contract, admission,
@@ -147,6 +166,11 @@ void FaucetsDaemon::answer_rfb(const PendingRfb& rfb) {
     issued_bids_.emplace(
         bid_id, IssuedBid{rfb.contract, reply->bid.price, reply->bid.expires_at});
     ++bids_issued_;
+    bids_issued_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kBidIssued,
+                                               rfb.request, bid_id,
+                                               reply->bid.price));
   }
   network_->send(*this, rfb.client, std::move(reply));
 }
@@ -160,6 +184,10 @@ void FaucetsDaemon::handle_award(const proto::AwardJob& msg) {
     reply->accepted = false;
     reply->reason = "bid unknown or expired";
     ++awards_refused_;
+    awards_refused_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kAwardRefused,
+                                               msg.request, msg.bid, 0.0));
     network_->send(*this, msg.from, std::move(reply));
     return;
   }
@@ -167,11 +195,15 @@ void FaucetsDaemon::handle_award(const proto::AwardJob& msg) {
   // Two-phase commit (§5.3): re-check admission — a more lucrative job may
   // have arrived since the bid was issued.
   const UserId user = msg.user;
-  const auto job_id = cm_->submit(user, bid_it->second.contract);
+  const auto job_id = cm_->submit(user, bid_it->second.contract, msg.span);
   if (!job_id) {
     reply->accepted = false;
     reply->reason = "cluster state changed since bid";
     ++awards_refused_;
+    awards_refused_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kAwardRefused,
+                                               msg.request, msg.bid, 0.0));
     issued_bids_.erase(bid_it);
     network_->send(*this, msg.from, std::move(reply));
     return;
@@ -181,6 +213,11 @@ void FaucetsDaemon::handle_award(const proto::AwardJob& msg) {
   reply->job = *job_id;
   reply->price = bid_it->second.price;
   ++awards_confirmed_;
+  awards_confirmed_ctr_->inc();
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kAwardConfirmed,
+                                             msg.request, msg.bid,
+                                             bid_it->second.price));
   // Notices go to the client itself even when a broker placed the award.
   const EntityId notify = msg.notify.valid() ? msg.notify : msg.from;
   const RequestId notify_request =
@@ -234,6 +271,7 @@ void FaucetsDaemon::on_job_complete(const job::Job& job) {
   running_.erase(it);
 
   revenue_ += info.price;
+  revenue_gauge_->add(info.price);
 
   // Notify the client (output files travel with the notice).
   auto notice = std::make_unique<proto::JobCompleteNotice>();

@@ -119,6 +119,13 @@ class FaucetsDaemon final : public sim::Entity {
   std::uint64_t bids_declined_ = 0;
   std::uint64_t awards_confirmed_ = 0;
   std::uint64_t awards_refused_ = 0;
+
+  // Grid-wide market counters (shared across daemons via the registry).
+  obs::Counter* bids_issued_ctr_ = nullptr;
+  obs::Counter* bids_declined_ctr_ = nullptr;
+  obs::Counter* awards_confirmed_ctr_ = nullptr;
+  obs::Counter* awards_refused_ctr_ = nullptr;
+  obs::Gauge* revenue_gauge_ = nullptr;
 };
 
 }  // namespace faucets

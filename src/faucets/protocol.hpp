@@ -99,6 +99,9 @@ struct AwardJob final : sim::Message {
   EntityId notify;
   RequestId notify_request;
   qos::QosContract contract;
+  /// Causal link for observability: the awarder's award span, which the
+  /// daemon hands to the CM so the job's queue/run spans parent correctly.
+  SpanId span;
   static constexpr sim::MessageKind kKind = sim::MessageKind::kAward;
   [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
@@ -176,6 +179,9 @@ struct SubmitJobRequest final : sim::Message {
   UserId user;
   SelectionCriteria criteria = SelectionCriteria::kLeastCost;
   qos::QosContract contract;
+  /// Causal link for observability: the client's root submission span, so
+  /// the broker's RFB/award spans hang off the right tree.
+  SpanId span;
   static constexpr sim::MessageKind kKind = sim::MessageKind::kSubmit;
   [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1280; }

@@ -1,0 +1,38 @@
+// Serializers for the observability bundle.
+//
+//  - write_trace_jsonl: one JSON object per line per trace event.
+//  - write_prometheus: Prometheus text exposition of the metrics snapshot.
+//  - write_chrome_trace: Chrome trace-event JSON (open in Perfetto or
+//    chrome://tracing). One process track per cluster with a thread per job,
+//    plus a "market" process whose threads are client submissions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/ids.hpp"
+
+namespace faucets::obs {
+
+class TraceBuffer;
+class MetricsRegistry;
+class SpanTracker;
+
+void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace);
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& metrics);
+
+struct ChromeTraceOptions {
+  /// Display names for cluster process tracks, parallel-indexed by
+  /// ClusterId value; clusters beyond the list fall back to "cluster-N".
+  std::vector<std::string> cluster_names;
+  /// Simulated seconds are scaled by this factor into trace microseconds.
+  double us_per_sim_second = 1e6;
+};
+
+void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
+                        const TraceBuffer& trace,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace faucets::obs

@@ -1,0 +1,99 @@
+#include "src/obs/metrics.hpp"
+
+namespace faucets::obs {
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(edge);
+    edge *= factor;
+  }
+  return out;
+}
+
+std::vector<double> linear_buckets(double start, double width, std::size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(start + width * static_cast<double>(i));
+  }
+  return out;
+}
+
+MetricsRegistry::Owned* MetricsRegistry::find_entry(const std::string& name,
+                                                    Type type) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  Owned& e = entries_[it->second];
+  // A name identifies exactly one instrument; re-registering under a
+  // different type is a programming error we surface loudly in debug builds.
+  return e.type == type ? &e : nullptr;
+}
+
+const MetricsRegistry::Owned* MetricsRegistry::find_entry(
+    const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, std::string help) {
+  if (Owned* e = find_entry(name, Type::kCounter)) return *e->counter;
+  Owned e;
+  e.name = name;
+  e.help = std::move(help);
+  e.type = Type::kCounter;
+  e.counter = std::make_unique<Counter>();
+  Counter& ref = *e.counter;
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, std::string help) {
+  if (Owned* e = find_entry(name, Type::kGauge)) return *e->gauge;
+  Owned e;
+  e.name = name;
+  e.help = std::move(help);
+  e.type = Type::kGauge;
+  e.gauge = std::make_unique<Gauge>();
+  Gauge& ref = *e.gauge;
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      std::string help) {
+  if (Owned* e = find_entry(name, Type::kHistogram)) return *e->histogram;
+  Owned e;
+  e.name = name;
+  e.help = std::move(help);
+  e.type = Type::kHistogram;
+  e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram& ref = *e.histogram;
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const Owned* e = find_entry(name);
+  return (e != nullptr && e->type == Type::kCounter) ? e->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const Owned* e = find_entry(name);
+  return (e != nullptr && e->type == Type::kGauge) ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const Owned* e = find_entry(name);
+  return (e != nullptr && e->type == Type::kHistogram) ? e->histogram.get()
+                                                       : nullptr;
+}
+
+}  // namespace faucets::obs

@@ -1,0 +1,38 @@
+// The observability bundle SimContext owns: one trace ring, one metrics
+// registry, one span tracker per simulation. Entities reach it through
+// ctx.trace() / ctx.metrics() / ctx.spans(); exporters (src/obs/exporters.hpp)
+// serialize it after the run.
+#pragma once
+
+#include <cstddef>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/spans.hpp"
+#include "src/obs/trace.hpp"
+
+namespace faucets::obs {
+
+struct ObservabilityConfig {
+  /// Ring capacity in events; rounded up to a power of two.
+  std::size_t trace_capacity = 1 << 16;
+};
+
+class Observability {
+ public:
+  explicit Observability(ObservabilityConfig config = {})
+      : trace_(config.trace_capacity) {}
+
+  [[nodiscard]] TraceBuffer& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceBuffer& trace() const noexcept { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] SpanTracker& spans() noexcept { return spans_; }
+  [[nodiscard]] const SpanTracker& spans() const noexcept { return spans_; }
+
+ private:
+  TraceBuffer trace_;
+  MetricsRegistry metrics_;
+  SpanTracker spans_;
+};
+
+}  // namespace faucets::obs

@@ -1,14 +1,34 @@
 #include "src/sim/network.hpp"
 
-#include <string>
 #include <utility>
 
-#include "src/sim/trace.hpp"
+#include "src/obs/observability.hpp"
 
 namespace faucets::sim {
 
-Network::Network(Engine& engine, NetworkConfig config, TraceRecorder* trace)
-    : engine_(&engine), config_(config), trace_(trace) {}
+Network::Network(Engine& engine, NetworkConfig config, obs::Observability* obs)
+    : engine_(&engine), config_(config), obs_(obs) {
+  register_metrics();
+}
+
+void Network::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  sent_ctr_ = delivered_ctr_ = dropped_ctr_ = bytes_ctr_ = nullptr;
+  register_metrics();
+}
+
+void Network::register_metrics() {
+  if (obs_ == nullptr) return;
+  auto& m = obs_->metrics();
+  sent_ctr_ = &m.counter("faucets_net_messages_sent_total",
+                         "Messages put on the wire");
+  delivered_ctr_ = &m.counter("faucets_net_messages_delivered_total",
+                              "Messages handed to a receiver");
+  dropped_ctr_ = &m.counter("faucets_net_messages_dropped_total",
+                            "Messages lost to a detached sender or receiver");
+  bytes_ctr_ = &m.counter("faucets_net_bytes_sent_total",
+                          "Payload bytes put on the wire");
+}
 
 EntityId Network::attach(Entity& entity) {
   const EntityId id{next_id_++};
@@ -31,16 +51,13 @@ double Network::delay(EntityId from, EntityId to, std::size_t bytes) const noexc
   return d;
 }
 
-void Network::drop(MessageKind kind, EntityId from, EntityId to, std::string_view why) {
+void Network::drop(MessageKind kind, EntityId at, EntityId peer,
+                   obs::DropReason reason) {
   ++messages_dropped_;
-  if (trace_ != nullptr) {
-    std::string detail = "drop ";
-    detail += to_string(kind);
-    detail += " from=";
-    detail += from.valid() ? std::to_string(from.value()) : "<invalid>";
-    detail += ": ";
-    detail += why;
-    trace_->record(engine_->now(), to, "net", std::move(detail));
+  if (obs_ != nullptr) {
+    obs_->trace().record(obs::net_event(engine_->now(), at, peer,
+                                        static_cast<std::uint8_t>(kind), reason));
+    dropped_ctr_->inc();
   }
 }
 
@@ -48,7 +65,7 @@ void Network::send(const Entity& from, EntityId to, MessagePtr msg) {
   const MessageKind kind = msg->kind();
   if (entities_.find(from.id()) == entities_.end()) {
     // A detached (crashed) entity cannot put anything on the wire.
-    drop(kind, from.id(), to, "sender detached");
+    drop(kind, from.id(), to, obs::DropReason::kSenderDetached);
     return;
   }
   msg->from = from.id();
@@ -59,17 +76,22 @@ void Network::send(const Entity& from, EntityId to, MessagePtr msg) {
   ++per_entity_traffic_[from.id()];
   ++per_entity_traffic_[to];
   bytes_sent_ += msg->size_bytes();
+  if (sent_ctr_ != nullptr) {
+    sent_ctr_->inc();
+    bytes_ctr_->inc(msg->size_bytes());
+  }
   const double d = delay(from.id(), to, msg->size_bytes());
   // SmallFunction accepts move-only captures, so the message rides in the
   // delivery event itself — no shared_ptr box, no extra allocation.
   engine_->schedule_after(d, [this, to, kind, msg = std::move(msg)]() {
     Entity* target = find(to);
     if (target == nullptr) {
-      drop(kind, msg->from, to, "receiver detached");
+      drop(kind, to, msg->from, obs::DropReason::kReceiverDetached);
       return;
     }
     ++messages_delivered_;
     ++delivered_by_kind_[static_cast<std::size_t>(kind)];
+    if (delivered_ctr_ != nullptr) delivered_ctr_->inc();
     target->on_message(*msg);
   });
 }
@@ -84,6 +106,12 @@ void Network::reset_counters() noexcept {
   sent_by_kind_.fill(0);
   delivered_by_kind_.fill(0);
   per_entity_traffic_.clear();
+  if (sent_ctr_ != nullptr) {
+    sent_ctr_->reset();
+    delivered_ctr_->reset();
+    dropped_ctr_->reset();
+    bytes_ctr_->reset();
+  }
 }
 
 }  // namespace faucets::sim

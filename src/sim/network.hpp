@@ -5,16 +5,21 @@
 
 #include <array>
 #include <cstdint>
-#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/entity.hpp"
 
-namespace faucets::sim {
+namespace faucets::obs {
+class Observability;
+class Counter;
+class Gauge;
+class Histogram;
+}
 
-class TraceRecorder;
+namespace faucets::sim {
 
 /// Latency/bandwidth parameters of the simulated WAN connecting the grid.
 struct NetworkConfig {
@@ -31,19 +36,19 @@ struct NetworkConfig {
 class Network {
  public:
   explicit Network(Engine& engine, NetworkConfig config = {},
-                   TraceRecorder* trace = nullptr);
+                   obs::Observability* obs = nullptr);
 
   /// Register an entity; assigns its EntityId. The caller keeps ownership.
   EntityId attach(Entity& entity);
 
   /// Remove an entity (e.g. a Compute Server going down). In-flight messages
-  /// to it are dropped on delivery (traced under category "net").
+  /// to it are dropped on delivery (traced as kNetDrop events).
   void detach(EntityId id);
 
   /// Send a message; ownership transfers. Fills in from/to/sent_at and
   /// schedules delivery after the modeled delay. Messages from a detached
-  /// sender or to a receiver gone by delivery time are dropped with a trace
-  /// record and counted in messages_dropped().
+  /// sender or to a receiver gone by delivery time are dropped with a typed
+  /// kNetDrop trace event and counted in messages_dropped().
   void send(const Entity& from, EntityId to, MessagePtr msg);
 
   [[nodiscard]] Entity* find(EntityId id) const;
@@ -69,8 +74,8 @@ class Network {
     return delivered_by_kind_[static_cast<std::size_t>(kind)];
   }
 
-  /// Where dropped-message trace records go; may be null (no tracing).
-  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+  /// Where drop events and fabric counters go; may be null (no observability).
+  void set_observability(obs::Observability* obs);
 
   /// Delay a payload of `bytes` experiences between `from` and `to`.
   [[nodiscard]] double delay(EntityId from, EntityId to, std::size_t bytes) const noexcept;
@@ -79,11 +84,18 @@ class Network {
   void reset_counters() noexcept;
 
  private:
-  void drop(MessageKind kind, EntityId from, EntityId to, std::string_view why);
+  void drop(MessageKind kind, EntityId at, EntityId peer, obs::DropReason reason);
+  void register_metrics();
 
   Engine* engine_;
   NetworkConfig config_;
-  TraceRecorder* trace_;
+  obs::Observability* obs_;
+  // Registry instruments, resolved once so the send path never does a
+  // by-name lookup. Null when obs_ is null.
+  obs::Counter* sent_ctr_ = nullptr;
+  obs::Counter* delivered_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::Counter* bytes_ctr_ = nullptr;
   std::unordered_map<EntityId, Entity*> entities_;
   std::unordered_map<EntityId, std::uint64_t> per_entity_traffic_;
   std::uint64_t next_id_ = 0;

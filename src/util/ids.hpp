@@ -59,6 +59,7 @@ struct BidTag {};
 struct EntityTag {};
 struct SessionTag {};
 struct RequestTag {};
+struct SpanTag {};
 
 using JobId = Id<JobTag>;
 using ClusterId = Id<ClusterTag>;
@@ -67,6 +68,9 @@ using BidId = Id<BidTag>;
 using EntityId = Id<EntityTag>;
 using SessionId = Id<SessionTag>;
 using RequestId = Id<RequestTag>;
+/// Identifier of one lifecycle span in obs::SpanTracker. Lives here so the
+/// wire protocol can carry span links without depending on the obs headers.
+using SpanId = Id<SpanTag>;
 
 }  // namespace faucets
 

@@ -19,16 +19,22 @@ class Logging {
   static std::string_view name(LogLevel level) noexcept;
 };
 
-/// One log statement; flushes the composed line on destruction.
+/// One log statement; flushes the composed line on destruction. The enabled
+/// check is latched once in the constructor: a disabled line composes nothing
+/// at all, and an enabled one reaches std::clog as a single write so lines
+/// from concurrent experiment sweeps cannot interleave mid-line.
 class LogLine {
  public:
-  LogLine(LogLevel level, std::string_view component) : level_(level) {
-    stream_ << "[" << Logging::name(level) << "] " << component << ": ";
+  LogLine(LogLevel level, std::string_view component)
+      : enabled_(Logging::enabled(level)) {
+    if (enabled_) {
+      stream_ << "[" << Logging::name(level) << "] " << component << ": ";
+    }
   }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
   ~LogLine() {
-    if (Logging::enabled(level_)) {
+    if (enabled_) {
       stream_ << '\n';
       std::clog << stream_.str();
     }
@@ -36,12 +42,12 @@ class LogLine {
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    if (Logging::enabled(level_)) stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
-  LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

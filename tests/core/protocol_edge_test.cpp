@@ -96,7 +96,6 @@ TEST(Determinism, IdenticalSeedsIdenticalReports) {
 
 TEST(Trace, ClusterManagerEmitsLifecycleEvents) {
   sim::SimContext ctx;
-  sim::TraceRecorder trace;
   cluster::MachineSpec m;
   m.total_procs = 64;
   cluster::ClusterManager cm{ctx, m,
@@ -104,43 +103,49 @@ TEST(Trace, ClusterManagerEmitsLifecycleEvents) {
                              job::AdaptiveCosts{.reconfig_seconds = 0.0,
                                                 .checkpoint_seconds = 0.0,
                                                 .restart_seconds = 0.0}};
-  cm.set_trace(&trace);
   ASSERT_TRUE(cm.submit(UserId{1}, qos::make_contract(4, 64, 3200.0, 1.0, 1.0)));
   ASSERT_TRUE(cm.submit(UserId{2}, qos::make_contract(4, 64, 6400.0, 1.0, 1.0)));
   ctx.engine().run();
 
-  const auto events = trace.filter("job");
-  ASSERT_FALSE(events.empty());
-  auto contains = [&](const std::string& needle) {
-    for (const auto& e : events) {
-      if (e.detail.find(needle) != std::string::npos) return true;
-    }
-    return false;
+  auto has = [&](obs::TraceEventKind kind, JobId job) {
+    bool found = false;
+    ctx.trace().for_each([&](const obs::TraceEvent& ev) {
+      if (ev.kind == kind && obs::payload_of(ev.kind) == obs::TracePayload::kJob &&
+          ev.payload.job.job == job) {
+        found = true;
+      }
+    });
+    return found;
   };
-  EXPECT_TRUE(contains("accept job 0"));
-  EXPECT_TRUE(contains("start job 0"));
-  EXPECT_TRUE(contains("shrink job 0")) << "second arrival shrinks the first";
-  EXPECT_TRUE(contains("expand job 1")) << "first completion expands the second";
-  EXPECT_TRUE(contains("complete job 0"));
-  EXPECT_TRUE(contains("complete job 1"));
-  // Times are non-decreasing.
-  for (std::size_t i = 1; i < events.size(); ++i) {
-    EXPECT_LE(events[i - 1].time, events[i].time);
-  }
+  EXPECT_TRUE(has(obs::TraceEventKind::kJobAccepted, JobId{0}));
+  EXPECT_TRUE(has(obs::TraceEventKind::kJobStarted, JobId{0}));
+  EXPECT_TRUE(has(obs::TraceEventKind::kJobShrunk, JobId{0}))
+      << "second arrival shrinks the first";
+  EXPECT_TRUE(has(obs::TraceEventKind::kJobExpanded, JobId{1}))
+      << "first completion expands the second";
+  EXPECT_TRUE(has(obs::TraceEventKind::kJobCompleted, JobId{0}));
+  EXPECT_TRUE(has(obs::TraceEventKind::kJobCompleted, JobId{1}));
+  // Times are non-decreasing across the whole buffer.
+  double last = 0.0;
+  ctx.trace().for_each([&](const obs::TraceEvent& ev) {
+    EXPECT_LE(last, ev.time);
+    last = ev.time;
+  });
 }
 
 TEST(Trace, RejectionIsTraced) {
   sim::SimContext ctx;
-  sim::TraceRecorder trace;
   cluster::MachineSpec m;
   m.total_procs = 8;
   cluster::ClusterManager cm{ctx, m,
                              std::make_unique<sched::EquipartitionStrategy>()};
-  cm.set_trace(&trace);
   EXPECT_FALSE(cm.submit(UserId{1}, qos::make_contract(64, 64, 100.0)).has_value());
-  const auto events = trace.filter("job");
-  ASSERT_EQ(events.size(), 1u);
-  EXPECT_NE(events[0].detail.find("reject"), std::string::npos);
+  const auto rejected = ctx.trace().filter(obs::TraceEventKind::kJobRejected);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].payload.job.user, UserId{1});
+  EXPECT_EQ(ctx.metrics().counter_value(
+                "faucets_cm_jobs_rejected_total{cluster=\"cluster\"}"),
+            1u);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// Exporter smoke tests: JSONL line shape, Prometheus text conventions
+// (HELP/TYPE once per base name, cumulative le buckets, labels preserved),
+// and the Chrome trace-event JSON structure Perfetto expects.
+#include "src/obs/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/spans.hpp"
+#include "src/obs/trace.hpp"
+
+namespace faucets::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Jsonl, OneObjectPerEventWithPayloadFields) {
+  TraceBuffer trace{64};
+  trace.record(job_event(1.5, EntityId{3}, TraceEventKind::kJobStarted,
+                         ClusterId{0}, JobId{7}, UserId{2}, 16));
+  trace.record(market_event(2.0, EntityId{4}, TraceEventKind::kBidIssued,
+                            RequestId{9}, BidId{1}, 0.125));
+  trace.record(net_event(3.0, EntityId{5}, EntityId{6}, 2,
+                         DropReason::kSenderDetached));
+  trace.record(auth_event(4.0, EntityId{7}, TraceEventKind::kAuthDenied,
+                          UserId{}, RequestId{8}));
+
+  std::ostringstream out;
+  write_trace_jsonl(out, trace);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"JOB_STARTED\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"job\":7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"procs\":16"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"price\":0.125"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"reason\":\"sender_detached\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"user\":null"), std::string::npos)
+      << "invalid ids serialize as JSON null";
+}
+
+TEST(Prometheus, TextFormatConventions) {
+  MetricsRegistry reg;
+  reg.counter("faucets_jobs_total", "All jobs").inc(5);
+  reg.gauge("faucets_busy_procs{cluster=\"turing\"}", "Busy procs").set(12.0);
+  Histogram& h = reg.histogram("faucets_wait_seconds{cluster=\"turing\"}",
+                               {1.0, 10.0}, "Wait time");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  // A second cluster shares the base name: HELP/TYPE must appear once.
+  reg.histogram("faucets_wait_seconds{cluster=\"hopper\"}", {1.0, 10.0});
+
+  std::ostringstream out;
+  write_prometheus(out, reg);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# HELP faucets_jobs_total All jobs"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE faucets_jobs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("faucets_jobs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("faucets_busy_procs{cluster=\"turing\"} 12"),
+            std::string::npos);
+
+  EXPECT_EQ(count_of(text, "# TYPE faucets_wait_seconds histogram"), 1u)
+      << "TYPE is announced once per base name, not per label set";
+  // Cumulative buckets with the label set merged in front of le.
+  EXPECT_NE(text.find("faucets_wait_seconds_bucket{cluster=\"turing\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("faucets_wait_seconds_bucket{cluster=\"turing\",le=\"10\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("faucets_wait_seconds_bucket{cluster=\"turing\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("faucets_wait_seconds_sum{cluster=\"turing\"} 105.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("faucets_wait_seconds_count{cluster=\"turing\"} 3"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, TracksSlicesAndInstants) {
+  SpanTracker spans;
+  TraceBuffer trace{64};
+
+  // One full submission: root -> rfb (2 bids) -> award -> queue -> run ->
+  // complete, on cluster 0.
+  const SpanId root = spans.start_span(SpanKind::kSubmission, 0.0, EntityId{1});
+  spans.set_user(root, UserId{4});
+  const SpanId rfb = spans.start_span(SpanKind::kRfb, 0.1, EntityId{1}, root);
+  spans.instant_span(SpanKind::kBid, 0.2, EntityId{1}, rfb, 0.5);
+  spans.instant_span(SpanKind::kBid, 0.3, EntityId{1}, rfb, 0.6);
+  spans.end_span(rfb, 0.4);
+  const SpanId award = spans.start_span(SpanKind::kAward, 0.4, EntityId{1}, rfb);
+  spans.end_span(award, 0.5);
+  const SpanId queue = spans.start_span(SpanKind::kQueue, 0.5, EntityId{2}, award);
+  spans.bind_job(queue, ClusterId{0}, JobId{0});
+  spans.end_span(queue, 1.0);
+  const SpanId run = spans.start_span(SpanKind::kRun, 1.0, EntityId{2}, queue);
+  spans.end_span(run, 9.0);
+  spans.instant_span(SpanKind::kComplete, 9.0, EntityId{2}, run);
+
+  trace.record(net_event(5.0, EntityId{9}, EntityId{10}, 1,
+                         DropReason::kReceiverDetached));
+
+  ChromeTraceOptions options;
+  options.cluster_names = {"turing", "hopper"};  // hopper stays idle
+  std::ostringstream out;
+  write_chrome_trace(out, spans, trace, options);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  // One process per named cluster even when idle, plus the market process.
+  EXPECT_NE(text.find("\"name\":\"market\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"cluster turing\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"cluster hopper\""), std::string::npos);
+  // Job thread on the cluster track, named after the job.
+  EXPECT_NE(text.find("\"name\":\"job 0\""), std::string::npos);
+  // Market-side slices carry the submission tid; cluster-side carry pid 100.
+  EXPECT_NE(text.find("\"name\":\"submission\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"run\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":100"), std::string::npos);
+  // Instants for bids and the net drop.
+  EXPECT_GE(count_of(text, "\"ph\":\"i\""), 3u);
+  // Durations in microseconds: the run span is 8 sim-seconds.
+  EXPECT_NE(text.find("\"dur\":8000000"), std::string::npos);
+  // Parent links are preserved in args.
+  EXPECT_NE(text.find("\"parent\":" + std::to_string(rfb.value())),
+            std::string::npos);
+  // Valid JSON shape: closes the array and object.
+  EXPECT_NE(text.find("\n]}"), std::string::npos);
+}
+
+TEST(ChromeTrace, OpenSpansClampToHorizon) {
+  SpanTracker spans;
+  TraceBuffer trace{16};
+  const SpanId root = spans.start_span(SpanKind::kSubmission, 1.0, EntityId{1});
+  (void)root;  // never ended: still open at export time
+  trace.record(market_event(11.0, EntityId{1}, TraceEventKind::kRfbIssued,
+                            RequestId{0}, BidId{}, 3.0));
+
+  std::ostringstream out;
+  write_chrome_trace(out, spans, trace, {});
+  // Horizon is 11 s, span starts at 1 s -> clamped duration 10 s.
+  EXPECT_NE(out.str().find("\"dur\":10000000"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyInputsProduceValidSkeleton) {
+  SpanTracker spans;
+  TraceBuffer trace{1};
+  std::ostringstream out;
+  write_chrome_trace(out, spans, trace, {});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"market\""), std::string::npos);
+  EXPECT_NE(text.find("]}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faucets::obs

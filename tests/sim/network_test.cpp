@@ -5,8 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/context.hpp"
-#include "src/sim/trace.hpp"
 
 namespace faucets::sim {
 namespace {
@@ -113,13 +113,15 @@ TEST_F(NetworkTest, DetachedReceiverDropIsTraced) {
   engine.run();
   EXPECT_EQ(net.messages_dropped(), 1u);
   bool traced = false;
-  for (const auto& rec : ctx.trace().records()) {
-    if (rec.category == "net" && rec.entity == gone &&
-        rec.detail.find("drop POLL") != std::string::npos) {
+  ctx.trace().for_each([&](const obs::TraceEvent& ev) {
+    if (ev.kind == obs::TraceEventKind::kNetDrop && ev.entity == gone &&
+        ev.payload.net.message_kind ==
+            static_cast<std::uint8_t>(MessageKind::kPoll) &&
+        ev.payload.net.reason == obs::DropReason::kReceiverDetached) {
       traced = true;
     }
-  }
-  EXPECT_TRUE(traced) << "dropped delivery must leave a trace record";
+  });
+  EXPECT_TRUE(traced) << "dropped delivery must leave a typed trace event";
 }
 
 TEST_F(NetworkTest, DetachedSenderDropsAndTraces) {
@@ -134,12 +136,12 @@ TEST_F(NetworkTest, DetachedSenderDropsAndTraces) {
   EXPECT_EQ(net.messages_sent(), 0u) << "a detached sender cannot inject traffic";
   EXPECT_EQ(net.messages_dropped(), 1u);
   bool traced = false;
-  for (const auto& rec : ctx.trace().records()) {
-    if (rec.category == "net" &&
-        rec.detail.find("sender detached") != std::string::npos) {
+  ctx.trace().for_each([&](const obs::TraceEvent& ev) {
+    if (ev.kind == obs::TraceEventKind::kNetDrop &&
+        ev.payload.net.reason == obs::DropReason::kSenderDetached) {
       traced = true;
     }
-  }
+  });
   EXPECT_TRUE(traced);
 }
 
