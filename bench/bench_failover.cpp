@@ -69,7 +69,7 @@ int main() {
 
   for (const auto& row : rows) {
     core::GridConfig config;
-    config.client_watchdog_margin = row.watchdog;
+    if (row.watchdog >= 0.0) config.client_watchdog_margin = row.watchdog;
     core::GridSystem grid{config, make_clusters(), 8};
     auto reqs = workload(111);
     const double horizon = reqs.back().submit_time;

@@ -75,6 +75,74 @@ print(f"trace.json: {len(events)} events, {len(procs)} process tracks, "
       f"{len(job_slices)} cluster slices")
 PY
 
+echo "==> scenario_sim chaos run (10% loss + mid-run cluster crash, fixed seed)"
+CHAOS_DIR="build-release-bench/chaos-artifacts"
+mkdir -p "${CHAOS_DIR}"
+# The watchdog matters: without it, jobs running on the crashed cluster are
+# lost silently and never reach a terminal state (tests/core/failover_test.cpp
+# CrashWithoutWatchdogTimesOut documents that legacy behavior).
+cat > "${CHAOS_DIR}/chaos.ini" <<'INI'
+[grid]
+users = 6
+brokered = true
+watchdog = 600
+seed = 2004
+
+[cluster]
+name = turing
+procs = 256
+cost = 0.0008
+strategy = payoff
+bidgen = utilization
+
+[cluster]
+name = hopper
+procs = 256
+cost = 0.0005
+strategy = equipartition
+bidgen = baseline
+
+[cluster]
+name = lovelace
+procs = 512
+cost = 0.0012
+strategy = payoff
+bidgen = baseline
+
+[workload]
+jobs = 120
+load = 0.6
+INI
+./build-release-bench/examples/scenario_sim "${CHAOS_DIR}/chaos.ini" \
+  --loss 0.1 \
+  --crash-at 0:2000:6000 \
+  --until 1000000 \
+  --metrics "${CHAOS_DIR}/metrics.prom"
+
+python3 - "${CHAOS_DIR}" <<'PY'
+import sys
+d = sys.argv[1]
+counters = {}
+for line in open(f"{d}/metrics.prom"):
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, value = line.rpartition(" ")
+    counters[name.strip()] = float(value)
+
+submitted = counters["faucets_grid_jobs_submitted_total"]
+completed = counters["faucets_grid_jobs_completed_total"]
+unplaced = counters["faucets_grid_jobs_unplaced_total"]
+assert submitted > 0, "chaos run submitted nothing"
+assert completed + unplaced == submitted, (
+    f"stranded jobs: {submitted} submitted, {completed} completed, "
+    f"{unplaced} unplaced")
+assert counters["faucets_retry_attempts_total"] > 0, (
+    "10% loss must force visible retries")
+print(f"chaos: {submitted:.0f} submitted = {completed:.0f} completed + "
+      f"{unplaced:.0f} unplaced, "
+      f"{counters['faucets_retry_attempts_total']:.0f} retries")
+PY
+
 if [[ "${SKIP_BENCH}" == "1" ]]; then
   echo "==> bench skipped (--skip-bench)"
   exit 0

@@ -47,18 +47,20 @@ class Watcher final : public sim::Entity {
 }  // namespace
 
 int main() {
-  std::vector<core::ClusterSetup> clusters;
   core::ClusterSetup setup;
   setup.machine.name = "monitored";
   setup.machine.total_procs = 128;
   setup.strategy = [] { return std::make_unique<sched::EquipartitionStrategy>(); };
   setup.bid_generator = [] { return std::make_unique<market::BaselineBidGenerator>(); };
 
-  core::GridConfig config;
-  config.daemon.monitor_interval = 60.0;  // periodic AppSpector pushes
-  std::vector<core::ClusterSetup> cs;
-  cs.push_back(std::move(setup));
-  core::GridSystem grid{config, std::move(cs), 1};
+  DaemonConfig daemon;
+  daemon.monitor_interval = 60.0;  // periodic AppSpector pushes
+  auto grid_ptr = core::GridBuilder()
+                      .daemon(daemon)
+                      .cluster(std::move(setup))
+                      .users(1)
+                      .build();
+  core::GridSystem& grid = *grid_ptr;
   grid.central().register_application("namd");
 
   Watcher watcher{grid.context(), grid.appspector().id()};

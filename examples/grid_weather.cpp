@@ -13,7 +13,7 @@
 using namespace faucets;
 
 int main() {
-  std::vector<core::ClusterSetup> clusters;
+  core::GridBuilder builder;
   for (int i = 0; i < 4; ++i) {
     core::ClusterSetup setup;
     setup.machine.name = "c" + std::to_string(i);
@@ -23,10 +23,10 @@ int main() {
     setup.bid_generator = [] {
       return std::make_unique<market::UtilizationBidGenerator>();
     };
-    clusters.push_back(std::move(setup));
+    builder.cluster(std::move(setup));
   }
-  core::GridConfig config;
-  core::GridSystem grid{config, std::move(clusters), 8};
+  auto grid_ptr = builder.users(8).build();
+  core::GridSystem& grid = *grid_ptr;
 
   // A demand wave: quiet start, rush hour in the middle, quiet end.
   job::WorkloadParams params;

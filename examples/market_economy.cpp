@@ -13,7 +13,7 @@
 using namespace faucets;
 
 int main() {
-  std::vector<core::ClusterSetup> clusters;
+  core::GridBuilder builder;
   const char* names[] = {"flat-a", "flat-b", "util-a", "util-b", "mkt-a", "mkt-b"};
   for (int i = 0; i < 6; ++i) {
     core::ClusterSetup setup;
@@ -37,11 +37,11 @@ int main() {
         return std::make_unique<market::MarketAwareBidGenerator>(1.0, 0.5, 2.0, 0.4);
       };
     }
-    clusters.push_back(std::move(setup));
+    builder.cluster(std::move(setup));
   }
 
-  core::GridConfig config;
-  core::GridSystem grid{config, std::move(clusters), /*user_count=*/12};
+  auto grid_ptr = builder.users(12).build();
+  core::GridSystem& grid = *grid_ptr;
 
   job::WorkloadParams params;
   params.job_count = 300;

@@ -7,11 +7,22 @@
 //   ./examples/scenario_sim --trace-jsonl trace.jsonl
 //                           --metrics metrics.prom
 //                           --chrome-trace trace.json   # open in Perfetto
+//
+// Chaos testing (overrides any [faults] section in the scenario):
+//
+//   ./examples/scenario_sim --loss 0.1 --jitter 0.5
+//                           --crash-at 0:120:300      # cluster:at[:restart]
+//                           --partition 1:50:90       # cluster:from:until
+//                           --until 36000             # hard stop, seconds
+#include <cstddef>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "src/sim/engine.hpp"
 
 #include "src/core/scenario.hpp"
 #include "src/obs/exporters.hpp"
@@ -59,7 +70,42 @@ struct Options {
   std::optional<std::string> trace_jsonl;
   std::optional<std::string> metrics;
   std::optional<std::string> chrome_trace;
+  std::optional<std::string> loss;
+  std::optional<std::string> jitter;
+  std::optional<std::string> partition;  // CLUSTER:FROM:UNTIL
+  std::optional<std::string> crash_at;   // CLUSTER:AT[:RESTART]
+  std::optional<std::string> until;
 };
+
+/// Split "a:b[:c]" into its numeric fields.
+std::vector<double> split_colon_numbers(const std::string& flag,
+                                        const std::string& value,
+                                        std::size_t min_fields,
+                                        std::size_t max_fields) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t colon = value.find(':', start);
+    const std::string field = value.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start);
+    try {
+      out.push_back(std::stod(field));
+    } catch (const std::exception&) {
+      throw std::invalid_argument(flag + ": bad number '" + field + "' in '" +
+                                  value + "'");
+    }
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (out.size() < min_fields || out.size() > max_fields) {
+    throw std::invalid_argument(flag + " expects " + std::to_string(min_fields) +
+                                (max_fields > min_fields
+                                     ? ".." + std::to_string(max_fields)
+                                     : "") +
+                                " colon-separated fields, got '" + value + "'");
+  }
+  return out;
+}
 
 /// Accepts both `--flag path` and `--flag=path`.
 bool take_flag(const std::string& arg, int argc, char** argv, int& i,
@@ -84,6 +130,11 @@ Options parse_args(int argc, char** argv) {
     if (take_flag(arg, argc, argv, i, "--trace-jsonl", opts.trace_jsonl)) continue;
     if (take_flag(arg, argc, argv, i, "--metrics", opts.metrics)) continue;
     if (take_flag(arg, argc, argv, i, "--chrome-trace", opts.chrome_trace)) continue;
+    if (take_flag(arg, argc, argv, i, "--loss", opts.loss)) continue;
+    if (take_flag(arg, argc, argv, i, "--jitter", opts.jitter)) continue;
+    if (take_flag(arg, argc, argv, i, "--partition", opts.partition)) continue;
+    if (take_flag(arg, argc, argv, i, "--crash-at", opts.crash_at)) continue;
+    if (take_flag(arg, argc, argv, i, "--until", opts.until)) continue;
     if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option " + arg);
     }
@@ -116,11 +167,31 @@ int main(int argc, char** argv) {
       return faucets::core::Scenario::parse_string(kDemoScenario);
     }();
 
+    // Chaos flags override the scenario's [faults] section.
+    if (opts.loss) scenario.grid.faults.loss_rate = std::stod(*opts.loss);
+    if (opts.jitter) scenario.grid.faults.jitter = std::stod(*opts.jitter);
+    if (opts.partition) {
+      const auto f =
+          split_colon_numbers("--partition", *opts.partition, 3, 3);
+      scenario.grid.partitions.push_back(
+          {static_cast<std::size_t>(f[0]), f[1], f[2]});
+    }
+    if (opts.crash_at) {
+      const auto f = split_colon_numbers("--crash-at", *opts.crash_at, 2, 3);
+      faucets::core::CrashSchedule crash;
+      crash.cluster = static_cast<std::size_t>(f[0]);
+      crash.at = f[1];
+      if (f.size() == 3) crash.restart_at = f[2];
+      scenario.grid.crashes.push_back(crash);
+    }
+    const double until =
+        opts.until ? std::stod(*opts.until) : faucets::sim::Engine::kForever;
+
     std::cout << "Simulating " << scenario.clusters.size() << " Compute Servers ("
               << scenario.total_procs() << " processors), "
               << scenario.workload.job_count << " jobs...\n\n";
     auto grid = scenario.make_grid();
-    const auto report = grid->run(scenario.make_requests());
+    const auto report = grid->run(scenario.make_requests(), until);
     faucets::core::print_report(std::cout, report);
 
     if (opts.trace_jsonl) {

@@ -128,6 +128,54 @@ std::optional<JobId> ClusterManager::submit(UserId owner,
   return id;
 }
 
+std::optional<ReservationId> ClusterManager::reserve(const qos::QosContract& contract,
+                                                     double lease_until) {
+  const auto decision = query(contract);
+  if (!decision.accept) return std::nullopt;
+  const ReservationId id = reservation_ids_.next();
+  Reservation r;
+  r.contract = contract;
+  r.until = lease_until;
+  r.expiry = engine_->schedule_at(lease_until, [this, id] { expire_reservation(id); });
+  reservations_.emplace(id, std::move(r));
+  return id;
+}
+
+std::optional<JobId> ClusterManager::commit_reservation(ReservationId id, UserId owner,
+                                                        SpanId parent) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return std::nullopt;
+  const qos::QosContract contract = it->second.contract;
+  it->second.expiry.cancel();
+  reservations_.erase(it);
+  // submit() re-runs admission: the machine may have shrunk or filled up
+  // since the reserve (e.g. a competing commit landed first).
+  return submit(owner, contract, parent);
+}
+
+bool ClusterManager::release_reservation(ReservationId id) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return false;
+  it->second.expiry.cancel();
+  reservations_.erase(it);
+  return true;
+}
+
+void ClusterManager::release_all_reservations() {
+  for (auto& [id, r] : reservations_) r.expiry.cancel();
+  reservations_.clear();
+}
+
+void ClusterManager::expire_reservation(ReservationId id) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return;
+  reservations_.erase(it);
+  ctx_->trace().record(obs::market_event(engine_->now(), EntityId{id_.value()},
+                                         obs::TraceEventKind::kLeaseExpired,
+                                         RequestId{id.value()}, BidId{}, 0.0));
+  if (on_lease_expired_) on_lease_expired_(id);
+}
+
 void ClusterManager::advance_all() {
   const double now = engine_->now();
   for (JobId id : running_) jobs_.at(id)->advance_to(now);
@@ -313,8 +361,10 @@ void ClusterManager::halt() {
   }
   running_.clear();
   queued_.clear();
+  release_all_reservations();
   observe_busy(now, 0);
   on_complete_ = nullptr;
+  on_lease_expired_ = nullptr;
 }
 
 int ClusterManager::busy_procs() const noexcept {
@@ -337,6 +387,14 @@ double ClusterManager::projected_utilization(double from, double to) const {
     const double runtime = j.time_to_finish_on(j.contract().min_procs);
     const double span = std::min(runtime, to - from);
     if (span > 0.0 && runtime < kInf) proc_seconds += j.contract().min_procs * span;
+  }
+  // Reserved-but-uncommitted capacity counts too, so concurrent bidders see
+  // the held lease priced into the utilization signal.
+  for (const auto& [rid, r] : reservations_) {
+    const double runtime =
+        r.contract.estimated_runtime(r.contract.min_procs, machine_.speed_factor);
+    const double span = std::min(runtime, to - from);
+    if (span > 0.0) proc_seconds += r.contract.min_procs * span;
   }
   const double capacity = static_cast<double>(machine_.total_procs) * (to - from);
   return std::min(1.0, proc_seconds / capacity);

@@ -52,6 +52,38 @@ class ClusterManager {
     on_complete_ = std::move(cb);
   }
 
+  // --- two-phase award reservations (§5.2 deferred commit) -----------------
+  /// Reserve capacity for a winning bid: admission is checked now and the
+  /// contract is held until `lease_until` (absolute sim time). If no commit
+  /// arrives by then the lease expires, the capacity returns to the market,
+  /// and the lease-expired callback fires. Reserved work is visible to
+  /// projected_utilization so subsequent bids price the held capacity in.
+  [[nodiscard]] std::optional<ReservationId> reserve(const qos::QosContract& contract,
+                                                     double lease_until);
+
+  /// Turn a reservation into a real job. Admission is re-checked (the
+  /// machine may have changed since the reserve); on refusal the
+  /// reservation is consumed and nullopt returned, so the awarder re-bids.
+  std::optional<JobId> commit_reservation(ReservationId id, UserId owner,
+                                          SpanId parent = {});
+
+  /// Abort a reservation (client gave up, or the award went elsewhere).
+  /// Returns false when the id is unknown or already expired. Idempotent.
+  bool release_reservation(ReservationId id);
+
+  /// Drop every outstanding lease (daemon crash/shutdown path).
+  void release_all_reservations();
+
+  [[nodiscard]] std::size_t active_reservations() const noexcept {
+    return reservations_.size();
+  }
+
+  /// Fires when a lease expires without a commit (the daemon uses this to
+  /// forget the associated bid bookkeeping).
+  void set_lease_expired_callback(std::function<void(ReservationId)> cb) {
+    on_lease_expired_ = std::move(cb);
+  }
+
   // --- checkpoint / eviction (§3, §4.1) ------------------------------------
   /// What survives an eviction: enough to resubmit the job elsewhere.
   struct Evicted {
@@ -106,6 +138,15 @@ class ClusterManager {
     SpanId run;
   };
 
+  /// One outstanding capacity lease of the two-phase award.
+  struct Reservation {
+    qos::QosContract contract;
+    double until = 0.0;
+    sim::EventHandle expiry;
+  };
+
+  void expire_reservation(ReservationId id);
+
   void reschedule();
   void apply_allocations(const std::vector<sched::Allocation>& allocations);
   void arm_completion_timer();
@@ -134,6 +175,9 @@ class ClusterManager {
   sched::MetricsCollector metrics_;
   sim::EventHandle completion_timer_;
   std::function<void(const job::Job&)> on_complete_;
+  IdGenerator<ReservationId> reservation_ids_;
+  std::unordered_map<ReservationId, Reservation> reservations_;
+  std::function<void(ReservationId)> on_lease_expired_;
   bool rescheduling_ = false;
 
   // Registry instruments (labelled with this cluster's machine name),

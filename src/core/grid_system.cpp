@@ -26,10 +26,14 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
   central_ = std::make_unique<CentralServer>(ctx_, config_.central);
   appspector_ = std::make_unique<AppSpector>(ctx_);
   if (config_.brokered_submission) {
-    broker_ = std::make_unique<BrokerAgent>(ctx_, central_->id());
+    BrokerConfig broker_config;
+    broker_config.retry = config_.retry;
+    broker_ = std::make_unique<BrokerAgent>(ctx_, central_->id(), broker_config);
   }
 
   // Stand up one daemon + cluster manager per Compute Server.
+  DaemonConfig daemon_config = config_.daemon;
+  daemon_config.retry = config_.retry;
   for (std::size_t i = 0; i < clusters.size(); ++i) {
     ClusterSetup& setup = clusters[i];
     const ClusterId cluster_id{i};
@@ -37,13 +41,27 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
         ctx_, setup.machine, setup.strategy(), setup.costs, cluster_id);
     auto daemon = std::make_unique<FaucetsDaemon>(
         ctx_, cluster_id, std::move(cm), setup.bid_generator(),
-        central_->id(), appspector_->id(), config_.daemon);
+        central_->id(), appspector_->id(), daemon_config);
     daemon->set_grid_history(&central_->price_history());
     daemon->register_with_central();
     if (config_.central.billing == BillingMode::kBarter) {
       central_->open_barter_account(cluster_id, setup.barter_credits);
     }
     daemons_.push_back(std::move(daemon));
+  }
+
+  // Fault plan: cluster-indexed partitions resolve to daemon entities now
+  // that the daemons exist; crashes (and restarts) become scheduled events.
+  sim::FaultConfig faults = config_.faults;
+  for (const auto& p : config_.partitions) {
+    faults.partitions.push_back(
+        {daemons_.at(p.cluster)->id(), p.from, p.until});
+  }
+  const bool chaos = faults.any() || !config_.crashes.empty();
+  ctx_.network().set_faults(std::move(faults));
+  for (const auto& c : config_.crashes) {
+    schedule_cluster_shutdown(c.cluster, c.at, c.graceful);
+    if (c.restart_at) schedule_cluster_restart(c.cluster, *c.restart_at);
   }
 
   // One client per user, each with an account at the Central Server. Users
@@ -60,6 +78,11 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     cc.username = username;
     cc.password = password;
     cc.watchdog_margin = config_.client_watchdog_margin;
+    cc.retry = config_.retry;
+    // Under chaos a lost bid round must not strand the job: give clients a
+    // full backoff schedule of fresh RFB rounds. Fault-free grids keep the
+    // paper's one-shot market.
+    cc.bid_rounds = chaos ? config_.retry.max_attempts : 1;
     if (config_.clients_prefer_home) cc.home_cluster = home;
     if (broker_) {
       cc.broker = broker_->id();
@@ -119,6 +142,50 @@ void GridSystem::schedule_cluster_shutdown(std::size_t i, double when,
       daemon->crash();
     }
   });
+}
+
+void GridSystem::schedule_cluster_restart(std::size_t i, double when) {
+  FaucetsDaemon* daemon = daemons_.at(i).get();
+  ctx_.engine().schedule_at(when, [daemon] { daemon->restart(); });
+}
+
+std::unique_ptr<GridSystem> GridBuilder::build() {
+  if (clusters_.empty()) {
+    throw std::invalid_argument("GridBuilder: at least one cluster is required");
+  }
+  if (users_ == 0) {
+    throw std::invalid_argument("GridBuilder: at least one user is required");
+  }
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const ClusterSetup& setup = clusters_[i];
+    const std::string where = "GridBuilder: cluster " + std::to_string(i);
+    if (setup.machine.total_procs <= 0) {
+      throw std::invalid_argument(where + " (" + setup.machine.name +
+                                  ") has no processors");
+    }
+    if (!setup.strategy) {
+      throw std::invalid_argument(where + " is missing a strategy factory");
+    }
+    if (!setup.bid_generator) {
+      throw std::invalid_argument(where + " is missing a bid generator factory");
+    }
+  }
+  for (const auto& c : config_.crashes) {
+    if (c.cluster >= clusters_.size()) {
+      throw std::invalid_argument("GridBuilder: crash schedule names cluster " +
+                                  std::to_string(c.cluster) + " but only " +
+                                  std::to_string(clusters_.size()) + " exist");
+    }
+  }
+  for (const auto& p : config_.partitions) {
+    if (p.cluster >= clusters_.size()) {
+      throw std::invalid_argument("GridBuilder: partition names cluster " +
+                                  std::to_string(p.cluster) + " but only " +
+                                  std::to_string(clusters_.size()) + " exist");
+    }
+  }
+  return std::make_unique<GridSystem>(std::move(config_), std::move(clusters_),
+                                      users_);
 }
 
 GridReport GridSystem::report() const {

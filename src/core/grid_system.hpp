@@ -8,6 +8,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,25 @@ struct ClusterSetup {
   double barter_credits = 0.0;  // opening balance in barter mode
 };
 
+/// Take one Compute Server down at `at`. A hard crash drops every running
+/// job and message silently (clients recover via watchdog + re-bid); a
+/// graceful shutdown checkpoints and migrates first (§3). With `restart_at`
+/// the daemon comes back under the same network address and re-registers.
+struct CrashSchedule {
+  std::size_t cluster = 0;
+  double at = 0.0;
+  std::optional<double> restart_at;
+  bool graceful = false;
+};
+
+/// Isolate one Compute Server's daemon from the rest of the grid during
+/// [from, until): every message to or from it is dropped as kPartitioned.
+struct ClusterPartition {
+  std::size_t cluster = 0;
+  double from = 0.0;
+  double until = 0.0;
+};
+
 struct GridConfig {
   CentralServerConfig central{};
   sim::NetworkConfig network{};
@@ -46,14 +66,25 @@ struct GridConfig {
   bool clients_prefer_home = false; // §5.5.3 home-cluster-first submission
   double user_initial_funds = 1e6;
   /// Client babysitting watchdog margin (seconds past the promised
-  /// completion before a silent job is restarted); negative disables.
-  double client_watchdog_margin = -1.0;
+  /// completion before a silent job is restarted). Disengaged = no
+  /// watchdog. (The old `< 0` sentinel is gone; see DESIGN.md §8.)
+  std::optional<double> client_watchdog_margin;
   /// Brokered submission (§5.3): clients hand each job to a broker agent
   /// colocated with the Central Server instead of broadcasting
   /// request-for-bids themselves. `criteria` is the user-specific
   /// selection rule the agent applies.
   bool brokered_submission = false;
   proto::SelectionCriteria broker_criteria = proto::SelectionCriteria::kLeastCost;
+  /// Deterministic fault injection (message loss, delay jitter, entity
+  /// partitions keyed by EntityId). Cluster-indexed partitions and crashes
+  /// go in `partitions` / `crashes` below; they are resolved to daemon
+  /// entities once the grid is built.
+  sim::FaultConfig faults{};
+  std::vector<ClusterPartition> partitions;
+  std::vector<CrashSchedule> crashes;
+  /// Backoff schedule shared by clients, daemons, and the broker for every
+  /// retried exchange (login, directory, registration, reserve/commit).
+  RetryPolicy retry{};
 };
 
 /// Per-cluster results after a run.
@@ -131,6 +162,11 @@ class GridSystem {
   /// with no eviction notices (clients need the watchdog to recover).
   void schedule_cluster_shutdown(std::size_t i, double when, bool graceful = true);
 
+  /// Bring a crashed cluster `i` back at `when`: the daemon reattaches
+  /// under its old network address and re-registers with the Central
+  /// Server (with retry, in case the registration races a partition).
+  void schedule_cluster_restart(std::size_t i, double when);
+
   /// Build the report from current state (run() calls this at the end).
   [[nodiscard]] GridReport report() const;
 
@@ -142,6 +178,126 @@ class GridSystem {
   std::unique_ptr<BrokerAgent> broker_;
   std::vector<std::unique_ptr<FaucetsDaemon>> daemons_;
   std::vector<std::unique_ptr<FaucetsClient>> clients_;
+};
+
+/// Fluent construction of a GridSystem. Replaces hand-assembled
+/// GridConfig / ClusterSetup aggregates in examples and tests:
+///
+///   auto grid = GridBuilder()
+///                   .central({.poll_interval = 30.0})
+///                   .cluster(spec, fifo_factory, bidgen_factory)
+///                   .users(8)
+///                   .watchdog(60.0)
+///                   .loss(0.10)
+///                   .crash(0, 120.0, /*restart_at=*/300.0)
+///                   .build();
+///
+/// build() validates the assembled grid (at least one cluster, no
+/// zero-processor machines, non-null factories, crash/partition indices in
+/// range) and throws std::invalid_argument with a precise message instead
+/// of failing deep inside the constructor. The old positional
+/// GridSystem(GridConfig, clusters, users) constructor stays available as
+/// the internal representation (benchmarks construct it directly).
+class GridBuilder {
+ public:
+  GridBuilder& central(CentralServerConfig config) {
+    config_.central = std::move(config);
+    return *this;
+  }
+  GridBuilder& network(sim::NetworkConfig config) {
+    config_.network = config;
+    return *this;
+  }
+  GridBuilder& daemon(DaemonConfig config) {
+    config_.daemon = config;
+    return *this;
+  }
+  GridBuilder& evaluator(EvaluatorFactory factory) {
+    config_.evaluator = std::move(factory);
+    return *this;
+  }
+  GridBuilder& users(std::size_t count) {
+    users_ = count;
+    return *this;
+  }
+  GridBuilder& user_funds(double funds) {
+    config_.user_initial_funds = funds;
+    return *this;
+  }
+  /// Engage the babysitting watchdog with the given margin in seconds.
+  GridBuilder& watchdog(double margin) {
+    config_.client_watchdog_margin = margin;
+    return *this;
+  }
+  GridBuilder& prefer_home(bool on = true) {
+    config_.clients_prefer_home = on;
+    return *this;
+  }
+  GridBuilder& brokered(
+      proto::SelectionCriteria criteria = proto::SelectionCriteria::kLeastCost) {
+    config_.brokered_submission = true;
+    config_.broker_criteria = criteria;
+    return *this;
+  }
+  GridBuilder& retry(RetryPolicy policy) {
+    config_.retry = policy;
+    return *this;
+  }
+  /// Replace the whole fault configuration at once.
+  GridBuilder& faults(sim::FaultConfig faults) {
+    config_.faults = std::move(faults);
+    return *this;
+  }
+  /// Drop each message independently with this probability.
+  GridBuilder& loss(double rate) {
+    config_.faults.loss_rate = rate;
+    return *this;
+  }
+  /// Add up to this many seconds of uniform random extra delay per message.
+  GridBuilder& jitter(double seconds) {
+    config_.faults.jitter = seconds;
+    return *this;
+  }
+  GridBuilder& fault_seed(std::uint64_t seed) {
+    config_.faults.seed = seed;
+    return *this;
+  }
+  /// Hard-crash cluster `index` at `at`; optionally restart it later.
+  GridBuilder& crash(std::size_t index, double at,
+                     std::optional<double> restart_at = std::nullopt) {
+    config_.crashes.push_back({index, at, restart_at, /*graceful=*/false});
+    return *this;
+  }
+  /// Gracefully drain cluster `index` at `at` (checkpoint + migrate, §3).
+  GridBuilder& drain(std::size_t index, double at) {
+    config_.crashes.push_back({index, at, std::nullopt, /*graceful=*/true});
+    return *this;
+  }
+  /// Isolate cluster `index`'s daemon from the network during [from, until).
+  GridBuilder& partition(std::size_t index, double from, double until) {
+    config_.partitions.push_back({index, from, until});
+    return *this;
+  }
+  GridBuilder& cluster(ClusterSetup setup) {
+    clusters_.push_back(std::move(setup));
+    return *this;
+  }
+  GridBuilder& cluster(cluster::MachineSpec machine, StrategyFactory strategy,
+                       BidGeneratorFactory bid_generator,
+                       job::AdaptiveCosts costs = {},
+                       double barter_credits = 0.0) {
+    clusters_.push_back({std::move(machine), std::move(strategy),
+                         std::move(bid_generator), costs, barter_credits});
+    return *this;
+  }
+
+  /// Validate and assemble. Throws std::invalid_argument on a bad grid.
+  [[nodiscard]] std::unique_ptr<GridSystem> build();
+
+ private:
+  GridConfig config_;
+  std::vector<ClusterSetup> clusters_;
+  std::size_t users_ = 1;
 };
 
 }  // namespace faucets::core

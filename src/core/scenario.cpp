@@ -86,13 +86,45 @@ Scenario Scenario::parse(const ConfigFile& config) {
     out.grid.central.billing = billing_mode(grid->get_string("billing", "dollars"));
     out.grid.clients_prefer_home = grid->get_bool("prefer_home", false);
     out.grid.brokered_submission = grid->get_bool("brokered", false);
-    out.grid.client_watchdog_margin = grid->get_double("watchdog", -1.0);
-    out.grid.central.price_band = grid->get_double("price_band", 0.0);
+    // Optional knobs keep their INI spelling: a negative watchdog and a
+    // price band <= 1 mean "off", and map onto disengaged optionals.
+    const double watchdog = grid->get_double("watchdog", -1.0);
+    if (watchdog >= 0.0) out.grid.client_watchdog_margin = watchdog;
+    const double band = grid->get_double("price_band", 0.0);
+    if (band > 1.0) out.grid.central.price_band = band;
     out.grid.evaluator =
         evaluator_factory(grid->get_string("evaluator", "least-cost"));
     out.seed = static_cast<std::uint64_t>(grid->get_int("seed", 42));
   } else {
     out.grid.evaluator = evaluator_factory("least-cost");
+  }
+
+  const ConfigSection* faults = config.section("faults");
+  if (faults != nullptr) {
+    out.grid.faults.loss_rate = faults->get_double("loss", 0.0);
+    out.grid.faults.jitter = faults->get_double("jitter", 0.0);
+    out.grid.faults.seed = static_cast<std::uint64_t>(
+        faults->get_int("seed", static_cast<long>(out.grid.faults.seed)));
+    const long crash_cluster = faults->get_int("crash_cluster", -1);
+    if (crash_cluster >= 0) {
+      CrashSchedule crash;
+      crash.cluster = static_cast<std::size_t>(crash_cluster);
+      crash.at = faults->get_double("crash_at", 0.0);
+      const double restart = faults->get_double("crash_restart", -1.0);
+      if (restart >= 0.0) crash.restart_at = restart;
+      out.grid.crashes.push_back(crash);
+    }
+    const long part_cluster = faults->get_int("partition_cluster", -1);
+    if (part_cluster >= 0) {
+      out.grid.partitions.push_back(
+          {static_cast<std::size_t>(part_cluster),
+           faults->get_double("partition_from", 0.0),
+           faults->get_double("partition_until", 0.0)});
+    }
+    out.grid.retry.max_attempts = static_cast<int>(
+        faults->get_int("retry_attempts", out.grid.retry.max_attempts));
+    out.grid.retry.base_timeout =
+        faults->get_double("retry_base", out.grid.retry.base_timeout);
   }
 
   const auto cluster_sections = config.sections("cluster");
@@ -116,6 +148,21 @@ Scenario Scenario::parse(const ConfigFile& config) {
     setup.barter_credits = section->get_double("credits", 0.0);
     out.clusters.push_back(std::move(setup));
     ++index;
+  }
+
+  for (const auto& crash : out.grid.crashes) {
+    if (crash.cluster >= out.clusters.size()) {
+      throw std::invalid_argument("[faults] crash_cluster " +
+                                  std::to_string(crash.cluster) +
+                                  " is out of range");
+    }
+  }
+  for (const auto& part : out.grid.partitions) {
+    if (part.cluster >= out.clusters.size()) {
+      throw std::invalid_argument("[faults] partition_cluster " +
+                                  std::to_string(part.cluster) +
+                                  " is out of range");
+    }
   }
 
   const ConfigSection* wl = config.section("workload");

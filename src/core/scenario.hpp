@@ -7,10 +7,23 @@
 //   users = 8
 //   brokered = false
 //   evaluator = least-cost   # least-cost | earliest-completion | surplus
-//   watchdog = -1            # seconds; negative disables
+//   watchdog = -1            # seconds; omit or negative = no watchdog
 //   prefer_home = false
-//   price_band = 0           # §5.5.1 regulation; <=1 disables
+//   price_band = 0           # §5.5.1 regulation; omit or <=1 = off
 //   seed = 42
+//
+//   [faults]                 # optional: deterministic chaos (see DESIGN.md §8)
+//   loss = 0.1               # per-message drop probability
+//   jitter = 0.5             # extra uniform random delay, seconds
+//   seed = 4203018869        # fault RNG seed (independent of workload seed)
+//   crash_cluster = 0        # hard-crash this cluster...
+//   crash_at = 120           # ...at this time...
+//   crash_restart = 300      # ...and restart it here (omit = stays down)
+//   partition_cluster = 1    # isolate this cluster's daemon...
+//   partition_from = 50      # ...during [from, until)
+//   partition_until = 90
+//   retry_attempts = 4       # backoff schedule for every exchange
+//   retry_base = 5.0
 //
 //   [cluster]                # one block per Compute Server
 //   name = turing

@@ -153,10 +153,9 @@ void CentralServer::handle_directory(const proto::DirectoryRequest& msg) {
     auto reply = std::make_unique<proto::DirectoryReply>();
     reply->request = msg.request;
     reply->servers = std::move(local);
-    if (config_.price_band > 1.0) {
+    if (config_.price_band && *config_.price_band > 1.0) {
       if (const auto normal = price_history_.average_unit_price(now())) {
-        reply->normal_unit_price = *normal;
-        reply->price_band = config_.price_band;
+        reply->regulation = proto::PriceBand{*normal, *config_.price_band};
       }
     }
     network_->send(*this, msg.from, std::move(reply));
@@ -207,10 +206,9 @@ void CentralServer::finish_federated(RequestId id) {
   auto reply = std::make_unique<proto::DirectoryReply>();
   reply->request = query.client_request;
   reply->servers = std::move(query.servers);
-  if (config_.price_band > 1.0) {
+  if (config_.price_band && *config_.price_band > 1.0) {
     if (const auto normal = price_history_.average_unit_price(now())) {
-      reply->normal_unit_price = *normal;
-      reply->price_band = config_.price_band;
+      reply->regulation = proto::PriceBand{*normal, *config_.price_band};
     }
   }
   network_->send(*this, query.client, std::move(reply));

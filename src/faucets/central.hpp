@@ -35,8 +35,9 @@ struct CentralServerConfig {
   double barter_debt_limit = 0.0;
   /// Market regulation (§5.5.1): bids priced outside
   /// [normal/price_band, normal*price_band] are rejected by clients.
-  /// <= 1 disables regulation.
-  double price_band = 0.0;
+  /// Disengaged (or <= 1) = no regulation. (The `price_band = 0` sentinel
+  /// is gone from the public surface; see DESIGN.md §8.)
+  std::optional<double> price_band;
 };
 
 class CentralServer final : public sim::Entity {

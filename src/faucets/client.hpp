@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/faucets/protocol.hpp"
+#include "src/faucets/retry.hpp"
 #include "src/job/workload.hpp"
 #include "src/market/evaluation.hpp"
 #include "src/sim/network.hpp"
@@ -32,8 +33,15 @@ struct ClientConfig {
   double default_input_mb = 8.0;
   /// Babysitting watchdog (§1, §3): if a placed job's promised completion
   /// passes by this margin without a completion notice, assume the server
-  /// died and resubmit from scratch. Negative disables the watchdog.
-  double watchdog_margin = -1.0;
+  /// died and resubmit from scratch. Disengaged = no watchdog. (The old
+  /// `watchdog_margin < 0` sentinel is gone; see DESIGN.md §8.)
+  std::optional<double> watchdog_margin;
+  /// Backoff schedule for login, directory, and reserve/commit exchanges.
+  RetryPolicy retry;
+  /// How many full RFB rounds to run before a job without a viable bid is
+  /// declared unplaced. 1 = the paper's one-shot market; chaos scenarios
+  /// raise it so a partition that heals gets a fresh round (re-bid).
+  int bid_rounds = 1;
   /// Brokered submission (§5.3): when set, the client sends one
   /// SubmitJobRequest to this broker agent instead of broadcasting
   /// request-for-bids itself. `criteria` replaces the local evaluator.
@@ -43,7 +51,15 @@ struct ClientConfig {
 
 /// Outcome of one submission, for experiment bookkeeping.
 struct SubmissionOutcome {
-  enum class Status { kPending, kPlaced, kNoServers, kNoBids, kAllRefused, kCompleted };
+  enum class Status {
+    kPending,
+    kPlaced,
+    kNoServers,
+    kNoBids,
+    kAllRefused,
+    kCompleted,
+    kTimedOut,  // a retry schedule was exhausted (partition / crash)
+  };
   Status status = Status::kPending;
   ClusterId cluster;
   JobId job;                  // daemon-side id, valid once placed
@@ -96,33 +112,62 @@ class FaucetsClient final : public sim::Entity {
   void on_message(const sim::Message& msg) override;
 
  private:
+  /// Where one request is in the two-phase award handshake.
+  enum class AwardPhase { kNone, kReserving, kCommitting };
+
   struct PendingJob {
     std::size_t outcome_index = 0;
     qos::QosContract contract;
     std::vector<market::Bid> bids;
     std::size_t expected_bids = 0;
     bool evaluated = false;
+    bool awaiting_directory = false;  // dedup late/duplicate directory replies
     sim::EventHandle timeout;
     sim::EventHandle watchdog;
     double promised_completion = 0.0;
-    double normal_unit_price = 0.0;  // regulation band from the directory
-    double price_band = 0.0;
+    std::optional<proto::PriceBand> regulation;  // from the directory (§5.5.1)
     std::vector<BidId> refused;  // bids whose award was refused (two-phase)
+    // Two-phase award state: the winning bid being reserved/committed.
+    AwardPhase phase = AwardPhase::kNone;
+    BidId winner_bid;
+    EntityId winner_daemon;
+    double winner_price = 0.0;
+    ReservationId reservation;
+    RetryState dir_retry;    // directory (or brokered submit) exchange
+    RetryState award_retry;  // reserve/commit exchange
+    int round = 0;           // completed RFB rounds (for bid_rounds)
+    std::uint32_t submit_attempt = 0;  // bumped on each genuine resubmission
     SpanId root;   // kSubmission span, open until a terminal outcome
     SpanId rfb;    // current RFB round
     SpanId award;  // current award attempt
   };
 
   void login();
+  void send_login();
   void submit(const qos::QosContract& contract);
   void handle_login(const proto::LoginReply& msg);
   void handle_directory(const proto::DirectoryReply& msg);
   void handle_bid(const proto::BidReply& msg);
+  void handle_reserve_reply(const proto::ReserveReply& msg);
   void handle_award_ack(const proto::AwardAck& msg);
   void handle_complete(const proto::JobCompleteNotice& msg);
   void handle_evicted(const proto::JobEvicted& msg);
   void handle_submit_reply(const proto::SubmitJobReply& msg);
+  void send_directory_request(RequestId request);
   void send_brokered(RequestId request);
+  void send_reserve(RequestId request);
+  void send_commit(RequestId request);
+  void on_directory_timeout(RequestId request);
+  void on_award_timeout(RequestId request);
+  /// The current winner's daemon is unresponsive or refused: mark its bids
+  /// dead and pick the next-best bid (or finish the round).
+  void give_up_on_winner(RequestId request);
+  void record_retry(RequestId request, sim::MessageKind kind, EntityId peer,
+                    int attempt);
+  void record_timeout(sim::MessageKind kind, EntityId peer);
+  /// Terminal outcome for a contract that never reached the market (login
+  /// retries exhausted), so submitted == completed + unplaced still holds.
+  void fail_unsubmitted(const qos::QosContract& contract);
   void arm_watchdog(RequestId request, double promised_completion);
   void on_placed(RequestId request, double price, ClusterId cluster,
                  EntityId daemon, JobId job, double promised_completion);
@@ -139,6 +184,8 @@ class FaucetsClient final : public sim::Entity {
   std::optional<SessionId> session_;
   UserId user_;
   bool login_sent_ = false;
+  bool login_failed_ = false;  // retry schedule exhausted; submissions fail fast
+  RetryState login_retry_;
   std::deque<qos::QosContract> pre_login_queue_;
 
   IdGenerator<RequestId> request_ids_;
@@ -161,6 +208,9 @@ class FaucetsClient final : public sim::Entity {
   obs::Counter* unplaced_ctr_ = nullptr;
   obs::Counter* migrations_ctr_ = nullptr;
   obs::Counter* watchdog_ctr_ = nullptr;
+  obs::Counter* retry_attempts_ctr_ = nullptr;
+  obs::Counter* retry_timeouts_ctr_ = nullptr;
+  obs::Counter* retry_exhausted_ctr_ = nullptr;
   obs::Histogram* bid_latency_hist_ = nullptr;
   obs::Histogram* award_latency_hist_ = nullptr;
 };

@@ -34,18 +34,44 @@ FaucetsDaemon::FaucetsDaemon(sim::SimContext& ctx, ClusterId cluster,
                               "Revenue collected from settled contracts");
   // Namespace bid ids by cluster so they are unique grid-wide.
   bid_ids_.reset(cluster_.value() << 32);
-  cm_->set_completion_callback([this](const job::Job& j) { on_job_complete(j); });
+  wire_cm_callbacks();
   if (config_.monitor_interval > 0.0) {
     monitor_timer_ = this->engine().schedule_after(config_.monitor_interval,
                                                    [this] { push_monitor_updates(); });
   }
 }
 
+void FaucetsDaemon::wire_cm_callbacks() {
+  cm_->set_completion_callback([this](const job::Job& j) { on_job_complete(j); });
+  cm_->set_lease_expired_callback([this](ReservationId r) { on_lease_expired(r); });
+}
+
 void FaucetsDaemon::register_with_central() {
+  register_retry_.reset();
+  send_registration();
+}
+
+void FaucetsDaemon::send_registration() {
   auto msg = std::make_unique<proto::RegisterDaemon>();
   msg->cluster = cluster_;
   msg->machine = cm_->machine();
   network_->send(*this, central_, std::move(msg));
+  // Registration must survive a lossy WAN: retry with backoff until the
+  // Central Server acknowledges, otherwise this cluster never appears in
+  // any directory.
+  const double timeout = register_retry_.arm(config_.retry);
+  register_retry_.set_timer(engine().schedule_after(timeout, [this] {
+    if (register_retry_.exhausted(config_.retry)) {
+      context().trace().record(obs::market_event(
+          now(), id(), obs::TraceEventKind::kRetryExhausted, RequestId{}, BidId{},
+          static_cast<double>(register_retry_.attempts())));
+      return;
+    }
+    context().trace().record(obs::market_event(
+        now(), id(), obs::TraceEventKind::kRetryAttempt, RequestId{}, BidId{},
+        static_cast<double>(register_retry_.attempts())));
+    send_registration();
+  }));
 }
 
 void FaucetsDaemon::drain_and_shutdown() {
@@ -62,15 +88,39 @@ void FaucetsDaemon::drain_and_shutdown() {
     network_->send(*this, it->second.client, std::move(notice));
     running_.erase(it);
   }
+  cm_->release_all_reservations();
+  reservations_.clear();
+  reserved_bids_.clear();
+  committed_.clear();
+  register_retry_.reset();
   monitor_timer_.cancel();
   network_->detach(id());
 }
 
 void FaucetsDaemon::crash() {
-  cm_->halt();
+  cm_->halt();  // also releases every reservation lease
   running_.clear();
+  issued_bids_.clear();
+  reservations_.clear();
+  reserved_bids_.clear();
+  committed_.clear();
+  pending_auth_.clear();
+  auth_usernames_.clear();
+  register_retry_.reset();
   monitor_timer_.cancel();
   network_->detach(id());
+}
+
+void FaucetsDaemon::restart() {
+  network_->reattach(*this);
+  // halt() cleared the CM callbacks; a restarted daemon must hear about
+  // completions and expiring leases again.
+  wire_cm_callbacks();
+  register_with_central();
+  if (config_.monitor_interval > 0.0) {
+    monitor_timer_ = engine().schedule_after(config_.monitor_interval,
+                                             [this] { push_monitor_updates(); });
+  }
 }
 
 void FaucetsDaemon::on_message(const sim::Message& msg) {
@@ -84,14 +134,23 @@ void FaucetsDaemon::on_message(const sim::Message& msg) {
     case sim::MessageKind::kAward:
       handle_award(sim::message_cast<proto::AwardJob>(msg));
       break;
+    case sim::MessageKind::kReserve:
+      handle_reserve(sim::message_cast<proto::ReserveRequest>(msg));
+      break;
+    case sim::MessageKind::kCommit:
+      handle_commit(sim::message_cast<proto::CommitRequest>(msg));
+      break;
     case sim::MessageKind::kUpload:
       handle_upload(sim::message_cast<proto::UploadFiles>(msg));
       break;
     case sim::MessageKind::kPoll:
       handle_poll(sim::message_cast<proto::PollRequest>(msg));
       break;
+    case sim::MessageKind::kRegisterAck:
+      register_retry_.settle();
+      break;
     default:
-      break;  // RegisterAck needs no action.
+      break;
   }
 }
 
@@ -237,6 +296,164 @@ void FaucetsDaemon::handle_award(const proto::AwardJob& msg) {
     network_->send(*this, appspector_, std::move(reg));
   }
   network_->send(*this, msg.from, std::move(reply));
+}
+
+void FaucetsDaemon::refuse_award(EntityId to, RequestId request, BidId bid,
+                                 std::string reason) {
+  auto reply = std::make_unique<proto::AwardAck>();
+  reply->request = request;
+  reply->accepted = false;
+  reply->reason = std::move(reason);
+  ++awards_refused_;
+  awards_refused_ctr_->inc();
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kAwardRefused,
+                                             request, bid, 0.0));
+  network_->send(*this, to, std::move(reply));
+}
+
+void FaucetsDaemon::handle_reserve(const proto::ReserveRequest& msg) {
+  // Duplicate reserve (our reply was lost and the client retried): re-send
+  // the identical acceptance so the retry converges instead of refusing.
+  if (auto dup = reserved_bids_.find(msg.bid); dup != reserved_bids_.end()) {
+    const ReservedAward& held = reservations_.at(dup->second);
+    auto reply = std::make_unique<proto::ReserveReply>();
+    reply->request = msg.request;
+    reply->accepted = true;
+    reply->reservation = dup->second;
+    reply->price = held.price;
+    reply->lease_until = held.lease_until;
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  auto reply = std::make_unique<proto::ReserveReply>();
+  reply->request = msg.request;
+
+  auto bid_it = issued_bids_.find(msg.bid);
+  if (bid_it == issued_bids_.end() || bid_it->second.expires_at < now()) {
+    reply->accepted = false;
+    reply->reason = "bid unknown or expired";
+    ++awards_refused_;
+    awards_refused_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kAwardRefused,
+                                               msg.request, msg.bid, 0.0));
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  const double lease_until = now() + config_.reservation_lease;
+  const auto reservation = cm_->reserve(bid_it->second.contract, lease_until);
+  if (!reservation) {
+    reply->accepted = false;
+    reply->reason = "cluster state changed since bid";
+    ++awards_refused_;
+    awards_refused_ctr_->inc();
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kAwardRefused,
+                                               msg.request, msg.bid, 0.0));
+    issued_bids_.erase(bid_it);
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  ReservedAward held;
+  held.bid = msg.bid;
+  held.request = msg.request;
+  held.price = bid_it->second.price;
+  held.lease_until = lease_until;
+  held.contract = bid_it->second.contract;
+  held.user = msg.user;
+  reservations_.emplace(*reservation, std::move(held));
+  reserved_bids_.emplace(msg.bid, *reservation);
+  issued_bids_.erase(bid_it);
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kAwardReserved,
+                                             msg.request, msg.bid,
+                                             reservations_.at(*reservation).price));
+
+  reply->accepted = true;
+  reply->reservation = *reservation;
+  reply->price = reservations_.at(*reservation).price;
+  reply->lease_until = lease_until;
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void FaucetsDaemon::handle_commit(const proto::CommitRequest& msg) {
+  // Duplicate commit (our AwardAck was lost): re-send the same acceptance.
+  if (auto dup = committed_.find(msg.reservation); dup != committed_.end()) {
+    if (!msg.commit) return;  // stale abort after a successful commit
+    auto reply = std::make_unique<proto::AwardAck>();
+    reply->request = msg.request;
+    reply->accepted = true;
+    reply->job = dup->second.job;
+    reply->price = dup->second.price;
+    network_->send(*this, msg.from, std::move(reply));
+    return;
+  }
+
+  auto res_it = reservations_.find(msg.reservation);
+  if (res_it == reservations_.end()) {
+    // Abort of something already gone is idempotent; a commit for an
+    // unknown lease (it expired, or we crashed) must be refused so the
+    // client re-bids.
+    if (msg.commit) {
+      refuse_award(msg.from, msg.request, BidId{}, "reservation unknown or expired");
+    }
+    return;
+  }
+
+  const ReservedAward held = res_it->second;
+  reservations_.erase(res_it);
+  reserved_bids_.erase(held.bid);
+
+  if (!msg.commit) {
+    cm_->release_reservation(msg.reservation);
+    context().trace().record(obs::market_event(now(), id(),
+                                               obs::TraceEventKind::kAwardAborted,
+                                               msg.request, held.bid, held.price));
+    return;
+  }
+
+  const auto job_id = cm_->commit_reservation(msg.reservation, held.user, msg.span);
+  if (!job_id) {
+    refuse_award(msg.from, msg.request, held.bid, "cluster state changed since bid");
+    return;
+  }
+
+  ++awards_confirmed_;
+  awards_confirmed_ctr_->inc();
+  context().trace().record(obs::market_event(now(), id(),
+                                             obs::TraceEventKind::kAwardConfirmed,
+                                             msg.request, held.bid, held.price));
+  const EntityId notify = msg.notify.valid() ? msg.notify : msg.from;
+  const RequestId notify_request =
+      msg.notify_request.valid() ? msg.notify_request : held.request;
+  running_.emplace(*job_id, RunningJob{notify, notify_request, held.user, held.price});
+  committed_.emplace(msg.reservation, CommittedAward{*job_id, held.price});
+
+  if (appspector_.valid()) {
+    auto reg = std::make_unique<proto::RegisterJobMonitor>();
+    reg->job = *job_id;
+    reg->cluster = cluster_;
+    reg->user = held.user;
+    reg->application = held.contract.environment.application;
+    network_->send(*this, appspector_, std::move(reg));
+  }
+  auto reply = std::make_unique<proto::AwardAck>();
+  reply->request = msg.request;
+  reply->accepted = true;
+  reply->job = *job_id;
+  reply->price = held.price;
+  network_->send(*this, msg.from, std::move(reply));
+}
+
+void FaucetsDaemon::on_lease_expired(ReservationId reservation) {
+  auto it = reservations_.find(reservation);
+  if (it == reservations_.end()) return;
+  reserved_bids_.erase(it->second.bid);
+  reservations_.erase(it);
 }
 
 void FaucetsDaemon::handle_upload(const proto::UploadFiles& msg) {

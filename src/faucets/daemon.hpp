@@ -13,6 +13,7 @@
 
 #include "src/cluster/server.hpp"
 #include "src/faucets/protocol.hpp"
+#include "src/faucets/retry.hpp"
 #include "src/market/bidgen.hpp"
 #include "src/sim/network.hpp"
 
@@ -28,6 +29,12 @@ struct DaemonConfig {
   /// Interval between AppSpector status pushes for running jobs; 0 = only
   /// on start/completion.
   double monitor_interval = 0.0;
+  /// How long a reserve holds capacity before the lease expires and the
+  /// capacity returns to the market (two-phase award, §5.2).
+  double reservation_lease = 30.0;
+  /// Backoff schedule for the daemon's own exchanges with the Central
+  /// Server (registration).
+  RetryPolicy retry;
 };
 
 class FaucetsDaemon final : public sim::Entity {
@@ -50,6 +57,12 @@ class FaucetsDaemon final : public sim::Entity {
   /// Crash without warning: no checkpoints, no eviction notices. Clients
   /// only recover via their completion watchdog.
   void crash();
+
+  /// Come back after a crash: rejoin the network under the same EntityId
+  /// (directory rows and clients' stored addresses stay valid), re-register
+  /// with the Central Server, and start answering RFBs again. Jobs lost in
+  /// the crash stay lost — their clients re-bid via watchdog/eviction.
+  void restart();
 
   [[nodiscard]] ClusterId cluster_id() const noexcept { return cluster_; }
   [[nodiscard]] cluster::ClusterManager& cm() noexcept { return *cm_; }
@@ -86,15 +99,37 @@ class FaucetsDaemon final : public sim::Entity {
     UserId user;
     double price = 0.0;
   };
+  /// Daemon-side state of one reservation lease awaiting commit.
+  struct ReservedAward {
+    BidId bid;
+    RequestId request;
+    double price = 0.0;
+    double lease_until = 0.0;
+    qos::QosContract contract;
+    UserId user;
+  };
+  /// Remembered outcome of a committed reservation, so a duplicate
+  /// CommitRequest (the client retried because the first AwardAck was lost)
+  /// gets the identical reply instead of a refusal.
+  struct CommittedAward {
+    JobId job;
+    double price = 0.0;
+  };
 
   void handle_rfb(const proto::RequestForBids& msg);
   void handle_auth_reply(const proto::AuthVerifyReply& msg);
   void handle_award(const proto::AwardJob& msg);
+  void handle_reserve(const proto::ReserveRequest& msg);
+  void handle_commit(const proto::CommitRequest& msg);
   void handle_upload(const proto::UploadFiles& msg);
   void handle_poll(const proto::PollRequest& msg);
   void answer_rfb(const PendingRfb& rfb);
   void on_job_complete(const job::Job& job);
+  void on_lease_expired(ReservationId id);
   void push_monitor_updates();
+  void refuse_award(EntityId to, RequestId request, BidId bid, std::string reason);
+  void wire_cm_callbacks();
+  void send_registration();
 
   ClusterId cluster_;
   sim::Network* network_;
@@ -112,7 +147,11 @@ class FaucetsDaemon final : public sim::Entity {
   std::unordered_map<RequestId, std::string> auth_usernames_;
   std::unordered_map<std::string, UserId> auth_cache_;
   std::unordered_map<JobId, RunningJob> running_;
+  std::unordered_map<ReservationId, ReservedAward> reservations_;
+  std::unordered_map<BidId, ReservationId> reserved_bids_;  // dedup ReserveRequest
+  std::unordered_map<ReservationId, CommittedAward> committed_;  // dedup Commit
   sim::EventHandle monitor_timer_;
+  RetryState register_retry_;
 
   double revenue_ = 0.0;
   std::uint64_t bids_issued_ = 0;

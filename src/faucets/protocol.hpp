@@ -5,6 +5,7 @@
 // bandwidth model is meaningful.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,13 +54,19 @@ struct DirectoryRequest final : sim::Message {
   [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
 };
 
+/// Market regulation (§5.5.1): the recent "normal" unit price and the
+/// allowed multiplicative band around it. Carried as std::optional in the
+/// directory reply — absent means no regulation in force (replacing the old
+/// `band <= 0` sentinel encoding).
+struct PriceBand {
+  double normal_unit_price = 0.0;
+  double band = 1.0;
+};
+
 struct DirectoryReply final : sim::Message {
   RequestId request;
   std::vector<ServerInfo> servers;
-  /// Market regulation (§5.5.1): the recent "normal" unit price and the
-  /// allowed band around it. band <= 0 means no regulation in force.
-  double normal_unit_price = 0.0;
-  double price_band = 0.0;
+  std::optional<PriceBand> regulation;
   static constexpr sim::MessageKind kKind = sim::MessageKind::kDirectoryReply;
   [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
   [[nodiscard]] std::size_t size_bytes() const noexcept override {
@@ -119,6 +126,50 @@ struct AwardAck final : sim::Message {
   [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
 };
 
+/// First phase of the deferred two-phase award (§5.2 future work): the
+/// winner asks the daemon to reserve capacity for the winning bid before
+/// committing. The daemon answers with a ReserveReply carrying a lease; if
+/// no CommitRequest arrives before the lease expires, the reservation is
+/// released and the capacity returns to the market.
+struct ReserveRequest final : sim::Message {
+  RequestId request;
+  BidId bid;
+  std::string username;
+  std::string password;
+  UserId user;
+  qos::QosContract contract;
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kReserve;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override { return 1024; }
+};
+
+struct ReserveReply final : sim::Message {
+  RequestId request;
+  bool accepted = false;
+  ReservationId reservation;  // valid when accepted
+  double price = 0.0;         // the price the commit will settle at
+  double lease_until = 0.0;   // sim time the daemon holds the capacity
+  std::string reason;         // when refused
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kReserveAck;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
+};
+
+/// Second phase: confirm (commit=true) turns the reservation into a running
+/// job and the daemon answers with the usual AwardAck; abort (commit=false)
+/// releases the lease immediately with no reply.
+struct CommitRequest final : sim::Message {
+  RequestId request;
+  ReservationId reservation;
+  bool commit = true;
+  /// See AwardJob::notify — broker awards name the client to notify.
+  EntityId notify;
+  RequestId notify_request;
+  /// Causal link for observability, as in AwardJob.
+  SpanId span;
+  static constexpr sim::MessageKind kKind = sim::MessageKind::kCommit;
+  [[nodiscard]] sim::MessageKind kind() const noexcept override { return kKind; }
+};
+
 /// Input file upload FC -> FD ("the client uploads the input files to the
 /// chosen FD and the FD takes over the job"). Size drives the bandwidth
 /// model.
@@ -173,6 +224,10 @@ enum class SelectionCriteria { kLeastCost, kEarliestCompletion, kSurplus };
 /// two-phase award, shielding the client from the flood of bids (§5.3).
 struct SubmitJobRequest final : sim::Message {
   RequestId request;  // client-side id; echoed in the reply and notices
+  /// Distinguishes a retransmission (same attempt, reply was lost -> the
+  /// broker re-sends its cached answer) from a genuine resubmission after an
+  /// eviction or a fresh bidding round (higher attempt -> new market cycle).
+  std::uint32_t attempt = 0;
   SessionId session;
   std::string username;
   std::string password;

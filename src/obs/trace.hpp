@@ -43,6 +43,15 @@ enum class TraceEventKind : std::uint8_t {
   // Grid-level recovery (MarketPayload: the client-side request).
   kJobMigrated,
   kWatchdogRestart,
+  // Two-phase award: reserve -> commit/abort with a daemon-side lease
+  // (MarketPayload; kLeaseExpired carries the reservation id as `request`).
+  kAwardReserved,
+  kAwardAborted,
+  kLeaseExpired,
+  // Retry/timeout state machines (MarketPayload: `price` is the attempt
+  // number that timed out or gave up).
+  kRetryAttempt,
+  kRetryExhausted,
   // Network fabric (NetPayload).
   kNetDrop,
   // Authentication at the Central Server (AuthPayload).
@@ -78,6 +87,11 @@ enum class TracePayload : std::uint8_t { kJob, kMarket, kNet, kAuth };
     case TraceEventKind::kJobUnplaced:
     case TraceEventKind::kJobMigrated:
     case TraceEventKind::kWatchdogRestart:
+    case TraceEventKind::kAwardReserved:
+    case TraceEventKind::kAwardAborted:
+    case TraceEventKind::kLeaseExpired:
+    case TraceEventKind::kRetryAttempt:
+    case TraceEventKind::kRetryExhausted:
       return TracePayload::kMarket;
     case TraceEventKind::kNetDrop:
       return TracePayload::kNet;
@@ -110,6 +124,11 @@ enum class TracePayload : std::uint8_t { kJob, kMarket, kNet, kAuth };
     case TraceEventKind::kJobUnplaced: return "JOB_UNPLACED";
     case TraceEventKind::kJobMigrated: return "JOB_MIGRATED";
     case TraceEventKind::kWatchdogRestart: return "WATCHDOG_RESTART";
+    case TraceEventKind::kAwardReserved: return "AWARD_RESERVED";
+    case TraceEventKind::kAwardAborted: return "AWARD_ABORTED";
+    case TraceEventKind::kLeaseExpired: return "LEASE_EXPIRED";
+    case TraceEventKind::kRetryAttempt: return "RETRY_ATTEMPT";
+    case TraceEventKind::kRetryExhausted: return "RETRY_EXHAUSTED";
     case TraceEventKind::kNetDrop: return "NET_DROP";
     case TraceEventKind::kAuthOk: return "AUTH_OK";
     case TraceEventKind::kAuthDenied: return "AUTH_DENIED";
@@ -117,12 +136,29 @@ enum class TracePayload : std::uint8_t { kJob, kMarket, kNet, kAuth };
   return "?";
 }
 
-/// Why the network dropped a message (NetPayload::reason).
-enum class DropReason : std::uint8_t { kSenderDetached = 0, kReceiverDetached = 1 };
+/// Why the network dropped a message (NetPayload::reason). The first two are
+/// lifecycle drops (an endpoint was gone); the rest are injected or inferred
+/// faults, so exports can tell chaos-testing losses from ordinary shutdowns.
+enum class DropReason : std::uint8_t {
+  kSenderDetached = 0,
+  kReceiverDetached = 1,
+  kFaultInjected = 2,  // seeded random loss from the fault injector
+  kPartitioned = 3,    // an endpoint was inside a partition window
+  kTimeout = 4,        // a sender gave up waiting and retried/aborted
+};
+
+inline constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kTimeout) + 1;
 
 [[nodiscard]] constexpr std::string_view to_string(DropReason reason) noexcept {
-  return reason == DropReason::kSenderDetached ? "sender_detached"
-                                               : "receiver_detached";
+  switch (reason) {
+    case DropReason::kSenderDetached: return "sender_detached";
+    case DropReason::kReceiverDetached: return "receiver_detached";
+    case DropReason::kFaultInjected: return "fault_injected";
+    case DropReason::kPartitioned: return "partitioned";
+    case DropReason::kTimeout: return "timeout";
+  }
+  return "?";
 }
 
 /// One trace record: what happened, to whom, when. 64 bytes, trivially

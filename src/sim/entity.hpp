@@ -30,6 +30,9 @@ enum class MessageKind : std::uint8_t {
   kBid,
   kAward,
   kAwardAck,
+  kReserve,
+  kReserveAck,
+  kCommit,
   kUpload,
   kEvicted,
   kJobDone,
@@ -66,6 +69,9 @@ inline constexpr std::size_t kMessageKindCount =
     case MessageKind::kBid: return "BID";
     case MessageKind::kAward: return "AWARD";
     case MessageKind::kAwardAck: return "AWARD_ACK";
+    case MessageKind::kReserve: return "RESERVE";
+    case MessageKind::kReserveAck: return "RESERVE_ACK";
+    case MessageKind::kCommit: return "COMMIT";
     case MessageKind::kUpload: return "UPLOAD";
     case MessageKind::kEvicted: return "EVICTED";
     case MessageKind::kJobDone: return "JOB_DONE";

@@ -40,6 +40,11 @@ EntityId Network::attach(Entity& entity) {
 
 void Network::detach(EntityId id) { entities_.erase(id); }
 
+void Network::reattach(Entity& entity) {
+  entity.network_ = this;
+  entities_.emplace(entity.id_, &entity);
+}
+
 Entity* Network::find(EntityId id) const {
   auto it = entities_.find(id);
   return it == entities_.end() ? nullptr : it->second;
@@ -54,6 +59,7 @@ double Network::delay(EntityId from, EntityId to, std::size_t bytes) const noexc
 void Network::drop(MessageKind kind, EntityId at, EntityId peer,
                    obs::DropReason reason) {
   ++messages_dropped_;
+  ++dropped_by_reason_[static_cast<std::size_t>(reason)];
   if (obs_ != nullptr) {
     obs_->trace().record(obs::net_event(engine_->now(), at, peer,
                                         static_cast<std::uint8_t>(kind), reason));
@@ -80,7 +86,15 @@ void Network::send(const Entity& from, EntityId to, MessagePtr msg) {
     sent_ctr_->inc();
     bytes_ctr_->inc(msg->size_bytes());
   }
-  const double d = delay(from.id(), to, msg->size_bytes());
+  double d = delay(from.id(), to, msg->size_bytes());
+  // Fault injection happens after the sent-side accounting: a lost message
+  // was genuinely put on the wire, it just never arrives.
+  const FaultInjector::Verdict verdict = faults_.inspect(from.id(), to, engine_->now());
+  if (verdict.drop) {
+    drop(kind, from.id(), to, verdict.reason);
+    return;
+  }
+  d += verdict.extra_delay;
   // SmallFunction accepts move-only captures, so the message rides in the
   // delivery event itself — no shared_ptr box, no extra allocation.
   engine_->schedule_after(d, [this, to, kind, msg = std::move(msg)]() {
@@ -105,6 +119,7 @@ void Network::reset_counters() noexcept {
   messages_sent_ = messages_delivered_ = messages_dropped_ = bytes_sent_ = 0;
   sent_by_kind_.fill(0);
   delivered_by_kind_.fill(0);
+  dropped_by_reason_.fill(0);
   per_entity_traffic_.clear();
   if (sent_ctr_ != nullptr) {
     sent_ctr_->reset();

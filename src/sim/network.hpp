@@ -11,6 +11,7 @@
 #include "src/obs/trace.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/entity.hpp"
+#include "src/sim/faults.hpp"
 
 namespace faucets::obs {
 class Observability;
@@ -45,6 +46,11 @@ class Network {
   /// to it are dropped on delivery (traced as kNetDrop events).
   void detach(EntityId id);
 
+  /// Re-register a previously attached entity under its existing id — a
+  /// crashed daemon coming back keeps its address, so directory entries and
+  /// clients' stored EntityIds stay valid across the restart.
+  void reattach(Entity& entity);
+
   /// Send a message; ownership transfers. Fills in from/to/sent_at and
   /// schedules delivery after the modeled delay. Messages from a detached
   /// sender or to a receiver gone by delivery time are dropped with a typed
@@ -60,6 +66,16 @@ class Network {
   [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  /// Configure deterministic fault injection (loss, jitter, partitions).
+  /// May be called after construction but before (or between) runs.
+  void set_faults(FaultConfig faults) { faults_.configure(std::move(faults)); }
+  [[nodiscard]] const FaultInjector& faults() const noexcept { return faults_; }
+
+  /// Messages dropped for one specific reason (lifecycle or injected).
+  [[nodiscard]] std::uint64_t dropped_of(obs::DropReason reason) const noexcept {
+    return dropped_by_reason_[static_cast<std::size_t>(reason)];
+  }
 
   /// Per-kind traffic counters, indexed by MessageKind.
   using KindCounters = std::array<std::uint64_t, kMessageKindCount>;
@@ -105,6 +121,8 @@ class Network {
   std::uint64_t bytes_sent_ = 0;
   KindCounters sent_by_kind_{};
   KindCounters delivered_by_kind_{};
+  std::array<std::uint64_t, obs::kDropReasonCount> dropped_by_reason_{};
+  FaultInjector faults_;
 };
 
 }  // namespace faucets::sim

@@ -60,6 +60,7 @@ struct EntityTag {};
 struct SessionTag {};
 struct RequestTag {};
 struct SpanTag {};
+struct ReservationTag {};
 
 using JobId = Id<JobTag>;
 using ClusterId = Id<ClusterTag>;
@@ -71,6 +72,8 @@ using RequestId = Id<RequestTag>;
 /// Identifier of one lifecycle span in obs::SpanTracker. Lives here so the
 /// wire protocol can carry span links without depending on the obs headers.
 using SpanId = Id<SpanTag>;
+/// A daemon-side capacity lease in the two-phase award (reserve -> commit).
+using ReservationId = Id<ReservationTag>;
 
 }  // namespace faucets
 

@@ -74,15 +74,17 @@ TEST(Failover, EvictUnknownJobIsNullopt) {
 }
 
 TEST(Failover, GracefulShutdownMigratesJobToSurvivor) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("doomed"));
-  clusters.push_back(make_cluster("survivor"));
   // Make the doomed cluster cheaper so the job lands there first.
-  clusters[0].machine.cost_per_cpu_second = 0.0001;
-  GridSystem grid{config, std::move(clusters), 1};
+  auto doomed = make_cluster("doomed");
+  doomed.machine.cost_per_cpu_second = 0.0001;
+  auto grid_ptr = GridBuilder()
+                      .cluster(std::move(doomed))
+                      .cluster(make_cluster("survivor"))
+                      .drain(0, /*at=*/300.0)
+                      .users(1)
+                      .build();
+  GridSystem& grid = *grid_ptr;
 
-  grid.schedule_cluster_shutdown(0, /*when=*/300.0, /*graceful=*/true);
   const auto report = grid.run({long_job(1000.0)}, /*until=*/1e6);
 
   EXPECT_EQ(report.jobs_completed, 1u);
@@ -96,13 +98,12 @@ TEST(Failover, GracefulShutdownMigratesJobToSurvivor) {
 }
 
 TEST(Failover, MigratedJobPaysOnlyForRemainingWork) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("doomed"));
-  clusters.push_back(make_cluster("survivor"));
-  clusters[0].machine.cost_per_cpu_second = 0.0008;  // same price both
-  clusters[1].machine.cost_per_cpu_second = 0.0008;
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = GridBuilder()
+                      .cluster(make_cluster("doomed"))    // same price both
+                      .cluster(make_cluster("survivor"))
+                      .users(1)
+                      .build();
+  GridSystem& grid = *grid_ptr;
   grid.schedule_cluster_shutdown(0, 500.0, true);
 
   // 64 procs x 1000 s = 64000 proc-seconds; full price 51.2.
@@ -116,15 +117,17 @@ TEST(Failover, MigratedJobPaysOnlyForRemainingWork) {
 }
 
 TEST(Failover, CrashRecoveredByWatchdog) {
-  GridConfig config;
-  config.client_watchdog_margin = 60.0;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("crashy"));
-  clusters.push_back(make_cluster("survivor"));
-  clusters[0].machine.cost_per_cpu_second = 0.0001;  // job lands here
-  GridSystem grid{config, std::move(clusters), 1};
+  auto crashy = make_cluster("crashy");
+  crashy.machine.cost_per_cpu_second = 0.0001;  // job lands here
+  auto grid_ptr = GridBuilder()
+                      .watchdog(60.0)
+                      .cluster(std::move(crashy))
+                      .cluster(make_cluster("survivor"))
+                      .crash(0, 300.0)
+                      .users(1)
+                      .build();
+  GridSystem& grid = *grid_ptr;
 
-  grid.schedule_cluster_shutdown(0, 300.0, /*graceful=*/false);
   const auto report = grid.run({long_job(1000.0)}, /*until=*/1e6);
 
   EXPECT_EQ(report.jobs_completed, 1u);
@@ -134,10 +137,9 @@ TEST(Failover, CrashRecoveredByWatchdog) {
 }
 
 TEST(Failover, CrashWithoutWatchdogTimesOut) {
-  GridConfig config;  // watchdog disabled
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("crashy"));
-  GridSystem grid{config, std::move(clusters), 1};
+  // No watchdog: the builder leaves the margin disengaged by default.
+  auto grid_ptr = GridBuilder().cluster(make_cluster("crashy")).users(1).build();
+  GridSystem& grid = *grid_ptr;
   grid.schedule_cluster_shutdown(0, 300.0, false);
   // The run can only end at the horizon: the job is lost and nobody knows.
   const auto report = grid.run({long_job(1000.0)}, /*until=*/5000.0);

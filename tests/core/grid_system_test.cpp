@@ -43,11 +43,49 @@ TEST(GridSystem, RequiresClustersAndUsers) {
                std::invalid_argument);
 }
 
+TEST(GridBuilder, ValidatesBeforeConstruction) {
+  // No clusters / no users.
+  EXPECT_THROW((void)GridBuilder().build(), std::invalid_argument);
+  EXPECT_THROW((void)GridBuilder().cluster(make_cluster("a", 64)).users(0).build(),
+               std::invalid_argument);
+  // Zero-processor machine.
+  EXPECT_THROW((void)GridBuilder().cluster(make_cluster("empty", 0)).build(),
+               std::invalid_argument);
+  // Missing factories.
+  ClusterSetup no_strategy = make_cluster("b", 64);
+  no_strategy.strategy = nullptr;
+  EXPECT_THROW((void)GridBuilder().cluster(std::move(no_strategy)).build(),
+               std::invalid_argument);
+  ClusterSetup no_bidgen = make_cluster("c", 64);
+  no_bidgen.bid_generator = nullptr;
+  EXPECT_THROW((void)GridBuilder().cluster(std::move(no_bidgen)).build(),
+               std::invalid_argument);
+  // Fault plan naming clusters that do not exist.
+  EXPECT_THROW((void)GridBuilder()
+                   .cluster(make_cluster("d", 64))
+                   .crash(3, 100.0)
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)GridBuilder()
+                   .cluster(make_cluster("e", 64))
+                   .partition(2, 0.0, 10.0)
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(GridBuilder, BuildsAWorkingGrid) {
+  auto grid = GridBuilder()
+                  .cluster(make_cluster("alpha", 64))
+                  .users(1)
+                  .watchdog(120.0)
+                  .build();
+  const auto report = grid->run({simple_request(0.0)});
+  EXPECT_EQ(report.jobs_completed, 1u);
+}
+
 TEST(GridSystem, SingleJobFullProtocol) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("alpha", 64));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = GridBuilder().cluster(make_cluster("alpha", 64)).users(1).build();
+  GridSystem& grid = *grid_ptr;
 
   const auto report = grid.run({simple_request(0.0)});
   EXPECT_EQ(report.jobs_submitted, 1u);
@@ -64,10 +102,8 @@ TEST(GridSystem, SingleJobFullProtocol) {
 }
 
 TEST(GridSystem, JobRegisteredWithAppSpector) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("alpha", 64));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = GridBuilder().cluster(make_cluster("alpha", 64)).users(1).build();
+  GridSystem& grid = *grid_ptr;
   (void)grid.run({simple_request(0.0)});
   EXPECT_EQ(grid.appspector().monitored_jobs(), 1u);
   const auto* view = grid.appspector().find(ClusterId{0}, JobId{0});
@@ -76,11 +112,12 @@ TEST(GridSystem, JobRegisteredWithAppSpector) {
 }
 
 TEST(GridSystem, LeastCostClientPicksCheaperCluster) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("pricey", 64, /*cost=*/0.01));
-  clusters.push_back(make_cluster("cheap", 64, /*cost=*/0.001));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = GridBuilder()
+                      .cluster(make_cluster("pricey", 64, /*cost=*/0.01))
+                      .cluster(make_cluster("cheap", 64, /*cost=*/0.001))
+                      .users(1)
+                      .build();
+  GridSystem& grid = *grid_ptr;
 
   const auto report = grid.run({simple_request(0.0)});
   EXPECT_EQ(report.clusters[1].completed, 1u);
@@ -88,26 +125,28 @@ TEST(GridSystem, LeastCostClientPicksCheaperCluster) {
 }
 
 TEST(GridSystem, EarliestCompletionPrefersFasterMachine) {
-  GridConfig config;
-  config.evaluator = [] {
-    return std::make_unique<market::EarliestCompletionEvaluator>();
-  };
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("slow", 64, 0.0001, /*speed=*/1.0));
-  clusters.push_back(make_cluster("fast", 64, 0.01, /*speed=*/4.0));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr =
+      GridBuilder()
+          .evaluator([] {
+            return std::make_unique<market::EarliestCompletionEvaluator>();
+          })
+          .cluster(make_cluster("slow", 64, 0.0001, /*speed=*/1.0))
+          .cluster(make_cluster("fast", 64, 0.01, /*speed=*/4.0))
+          .users(1)
+          .build();
+  GridSystem& grid = *grid_ptr;
 
   const auto report = grid.run({simple_request(0.0)});
   EXPECT_EQ(report.clusters[1].completed, 1u) << "fast machine promises earlier";
 }
 
 TEST(GridSystem, ManyJobsAcrossClustersAllComplete) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
+  GridBuilder builder;
   for (int i = 0; i < 4; ++i) {
-    clusters.push_back(make_cluster("c" + std::to_string(i), 128));
+    builder.cluster(make_cluster("c" + std::to_string(i), 128));
   }
-  GridSystem grid{config, std::move(clusters), 8};
+  auto grid_ptr = builder.users(8).build();
+  GridSystem& grid = *grid_ptr;
 
   job::WorkloadParams params;
   params.job_count = 80;
@@ -128,10 +167,8 @@ TEST(GridSystem, ManyJobsAcrossClustersAllComplete) {
 }
 
 TEST(GridSystem, RejectedEverywhereIsUnplaced) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("tiny", 8));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = GridBuilder().cluster(make_cluster("tiny", 8)).users(1).build();
+  GridSystem& grid = *grid_ptr;
 
   job::JobRequest req;
   req.submit_time = 0.0;
@@ -142,18 +179,21 @@ TEST(GridSystem, RejectedEverywhereIsUnplaced) {
 }
 
 TEST(GridSystem, BarterCreditsFlowToExecutor) {
-  GridConfig config;
-  config.central.billing = BillingMode::kBarter;
-  config.clients_prefer_home = true;
-  std::vector<ClusterSetup> clusters;
   auto c0 = make_cluster("home", 64);
   c0.barter_credits = 1000.0;
   auto c1 = make_cluster("away", 64);
   c1.barter_credits = 1000.0;
-  clusters.push_back(std::move(c0));
-  clusters.push_back(std::move(c1));
   // One user, home cluster 0.
-  GridSystem grid{config, std::move(clusters), 1};
+  CentralServerConfig central;
+  central.billing = BillingMode::kBarter;
+  auto grid_ptr = GridBuilder()
+                      .central(central)
+                      .prefer_home()
+                      .cluster(std::move(c0))
+                      .cluster(std::move(c1))
+                      .users(1)
+                      .build();
+  GridSystem& grid = *grid_ptr;
 
   // Saturate the home cluster so the second job must go away.
   std::vector<job::JobRequest> reqs;
@@ -182,12 +222,15 @@ TEST(GridSystem, BarterCreditsFlowToExecutor) {
 }
 
 TEST(GridSystem, ServiceUnitModeChargesAccounts) {
-  GridConfig config;
-  config.central.billing = BillingMode::kServiceUnits;
-  config.user_initial_funds = 500.0;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("su", 64));
-  GridSystem grid{config, std::move(clusters), 1};
+  CentralServerConfig central;
+  central.billing = BillingMode::kServiceUnits;
+  auto grid_ptr = GridBuilder()
+                      .central(central)
+                      .user_funds(500.0)
+                      .cluster(make_cluster("su", 64))
+                      .users(1)
+                      .build();
+  GridSystem& grid = *grid_ptr;
   const auto report = grid.run({simple_request(0.0)});
   EXPECT_EQ(report.jobs_completed, 1u);
   EXPECT_GT(grid.central().user_accounts().total_charged(), 0.0);

@@ -28,11 +28,12 @@ TEST(TwoPhase, ConcurrentAwardsRaceAndOneIsRefused) {
   // Two clients bid for the last slot of the cheap cluster at the same
   // instant. Both get bids; the award of the loser must be refused (the
   // second phase of the protocol) and retried on the expensive cluster.
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(payoff_cluster("cheap", 64, 0.0001));
-  clusters.push_back(payoff_cluster("fallback", 64, 0.01));
-  GridSystem grid{config, std::move(clusters), 2};
+  auto grid_ptr = GridBuilder()
+                      .cluster(payoff_cluster("cheap", 64, 0.0001))
+                      .cluster(payoff_cluster("fallback", 64, 0.01))
+                      .users(2)
+                      .build();
+  GridSystem& grid = *grid_ptr;
 
   std::vector<job::JobRequest> reqs;
   for (std::size_t u = 0; u < 2; ++u) {
@@ -57,8 +58,7 @@ TEST(TwoPhase, ConcurrentAwardsRaceAndOneIsRefused) {
 
 TEST(Determinism, IdenticalSeedsIdenticalReports) {
   auto run_once = [] {
-    GridConfig config;
-    std::vector<ClusterSetup> clusters;
+    GridBuilder builder;
     for (int i = 0; i < 3; ++i) {
       ClusterSetup setup;
       setup.machine.name = "c" + std::to_string(i);
@@ -68,15 +68,15 @@ TEST(Determinism, IdenticalSeedsIdenticalReports) {
       setup.bid_generator = [] {
         return std::make_unique<market::UtilizationBidGenerator>();
       };
-      clusters.push_back(std::move(setup));
+      builder.cluster(std::move(setup));
     }
-    GridSystem grid{config, std::move(clusters), 6};
+    auto grid = builder.users(6).build();
     job::WorkloadParams params;
     params.job_count = 120;
     params.user_count = 6;
     params.procs_cap = 128;
     job::WorkloadGenerator::calibrate_load(params, 0.8, 3 * 128);
-    return grid.run(job::WorkloadGenerator{params, 4242}.generate());
+    return grid->run(job::WorkloadGenerator{params, 4242}.generate());
   };
 
   const auto a = run_once();

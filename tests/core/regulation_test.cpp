@@ -48,17 +48,21 @@ std::vector<job::JobRequest> jobs(std::size_t n) {
 }
 
 TEST(Regulation, GougerWinsNothingOnceNormalPriceExists) {
-  GridConfig config;
-  config.central.price_band = 3.0;
+  CentralServerConfig central;
+  central.price_band = 3.0;
   // Earliest-completion would otherwise happily pick the gouger when it is
   // idle; regulation throws its bids out.
-  config.evaluator = [] {
-    return std::make_unique<market::EarliestCompletionEvaluator>();
-  };
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("honest", false));
-  clusters.push_back(make_cluster("gouger", true));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr =
+      GridBuilder()
+          .central(central)
+          .evaluator([] {
+            return std::make_unique<market::EarliestCompletionEvaluator>();
+          })
+          .cluster(make_cluster("honest", false))
+          .cluster(make_cluster("gouger", true))
+          .users(1)
+          .build();
+  GridSystem& grid = *grid_ptr;
 
   const auto report = grid.run(jobs(6));
   EXPECT_EQ(report.jobs_completed, 6u);
@@ -69,14 +73,17 @@ TEST(Regulation, GougerWinsNothingOnceNormalPriceExists) {
 }
 
 TEST(Regulation, DisabledBandLetsAnyPriceWin) {
-  GridConfig config;  // price_band = 0: no regulation
-  config.evaluator = [] {
-    return std::make_unique<market::EarliestCompletionEvaluator>();
-  };
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(make_cluster("honest", false));
-  clusters.push_back(make_cluster("gouger", true));
-  GridSystem grid{config, std::move(clusters), 1};
+  // price_band left disengaged: no regulation.
+  auto grid_ptr =
+      GridBuilder()
+          .evaluator([] {
+            return std::make_unique<market::EarliestCompletionEvaluator>();
+          })
+          .cluster(make_cluster("honest", false))
+          .cluster(make_cluster("gouger", true))
+          .users(1)
+          .build();
+  GridSystem& grid = *grid_ptr;
   const auto report = grid.run(jobs(6));
   EXPECT_EQ(report.jobs_completed, 6u);
   EXPECT_EQ(grid.client(0).regulated_out(), 0u);

@@ -33,11 +33,12 @@ job::JobRequest request(std::size_t user, int procs, double work,
 }
 
 TEST(SpanCausality, FullRunProducesTimeOrderedCausalChains) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(small_cluster("alpha", 64));
-  clusters.push_back(small_cluster("beta", 32));
-  GridSystem grid{config, std::move(clusters), 2};
+  auto grid_ptr = GridBuilder()
+                      .cluster(small_cluster("alpha", 64))
+                      .cluster(small_cluster("beta", 32))
+                      .users(2)
+                      .build();
+  GridSystem& grid = *grid_ptr;
 
   std::vector<job::JobRequest> reqs;
   for (std::size_t u = 0; u < 2; ++u) {
@@ -115,10 +116,8 @@ TEST(SpanCausality, FullRunProducesTimeOrderedCausalChains) {
 }
 
 TEST(SpanCausality, UnplacedJobEndsInTerminalSpan) {
-  GridConfig config;
-  std::vector<ClusterSetup> clusters;
-  clusters.push_back(small_cluster("tiny", 8));
-  GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = GridBuilder().cluster(small_cluster("tiny", 8)).users(1).build();
+  GridSystem& grid = *grid_ptr;
 
   // 64 procs can never fit the 8-proc cluster: the directory comes back
   // empty and the submission must close with an instant kUnplaced child.

@@ -31,12 +31,13 @@ job::JobRequest simple_job(double t = 0.0) {
 }
 
 TEST(Broker, PlacesJobEndToEnd) {
-  core::GridConfig config;
-  config.brokered_submission = true;
-  std::vector<core::ClusterSetup> clusters;
-  clusters.push_back(make_cluster("a", 0.0008));
-  clusters.push_back(make_cluster("b", 0.0002));
-  core::GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = core::GridBuilder()
+                      .brokered()
+                      .cluster(make_cluster("a", 0.0008))
+                      .cluster(make_cluster("b", 0.0002))
+                      .users(1)
+                      .build();
+  core::GridSystem& grid = *grid_ptr;
 
   const auto report = grid.run({simple_job()});
   EXPECT_EQ(report.jobs_completed, 1u);
@@ -50,15 +51,14 @@ TEST(Broker, PlacesJobEndToEnd) {
 
 TEST(Broker, ClientTrafficIsConstantInServerCount) {
   auto run_with = [](bool brokered, int servers) {
-    core::GridConfig config;
-    config.brokered_submission = brokered;
-    std::vector<core::ClusterSetup> clusters;
+    core::GridBuilder builder;
+    if (brokered) builder.brokered();
     for (int i = 0; i < servers; ++i) {
-      clusters.push_back(make_cluster("c" + std::to_string(i), 0.0008));
+      builder.cluster(make_cluster("c" + std::to_string(i), 0.0008));
     }
-    core::GridSystem grid{config, std::move(clusters), 1};
-    (void)grid.run({simple_job()});
-    return grid.network().traffic_of(grid.client(0).id());
+    auto grid = builder.users(1).build();
+    (void)grid->run({simple_job()});
+    return grid->network().traffic_of(grid->client(0).id());
   };
 
   // Direct mode: client traffic grows with server count (broadcast RFB).
@@ -74,28 +74,26 @@ TEST(Broker, ClientTrafficIsConstantInServerCount) {
 }
 
 TEST(Broker, CriteriaRespected) {
-  core::GridConfig config;
-  config.brokered_submission = true;
-  config.broker_criteria = proto::SelectionCriteria::kEarliestCompletion;
-  std::vector<core::ClusterSetup> clusters;
-  auto slow = make_cluster("slow", 0.0001);
   auto fast = make_cluster("fast", 0.01);
   fast.machine.speed_factor = 4.0;
-  clusters.push_back(std::move(slow));
-  clusters.push_back(std::move(fast));
-  core::GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = core::GridBuilder()
+                      .brokered(proto::SelectionCriteria::kEarliestCompletion)
+                      .cluster(make_cluster("slow", 0.0001))
+                      .cluster(std::move(fast))
+                      .users(1)
+                      .build();
+  core::GridSystem& grid = *grid_ptr;
   const auto report = grid.run({simple_job()});
   EXPECT_EQ(report.clusters[1].completed, 1u)
       << "earliest-completion must pick the fast machine despite its price";
 }
 
 TEST(Broker, NoServersReportsFailure) {
-  core::GridConfig config;
-  config.brokered_submission = true;
-  std::vector<core::ClusterSetup> clusters;
-  clusters.push_back(make_cluster("tiny", 0.0008));
-  clusters[0].machine.total_procs = 8;
-  core::GridSystem grid{config, std::move(clusters), 1};
+  auto tiny = make_cluster("tiny", 0.0008);
+  tiny.machine.total_procs = 8;
+  auto grid_ptr =
+      core::GridBuilder().brokered().cluster(std::move(tiny)).users(1).build();
+  core::GridSystem& grid = *grid_ptr;
   job::JobRequest req;
   req.submit_time = 0.0;
   req.contract = qos::make_contract(64, 128, 1000.0);
@@ -105,9 +103,8 @@ TEST(Broker, NoServersReportsFailure) {
 }
 
 TEST(Broker, TwoPhaseRetryGoesToNextBest) {
-  core::GridConfig config;
-  config.brokered_submission = true;
-  std::vector<core::ClusterSetup> clusters;
+  core::GridBuilder builder;
+  builder.brokered();
   // Payoff strategy with zero lookahead: the second concurrent award to
   // the cheap cluster is refused at commit time.
   for (const auto& [name, cost] :
@@ -118,9 +115,10 @@ TEST(Broker, TwoPhaseRetryGoesToNextBest) {
       p.lookahead = 0.0;
       return std::make_unique<sched::PayoffStrategy>(p);
     };
-    clusters.push_back(std::move(setup));
+    builder.cluster(std::move(setup));
   }
-  core::GridSystem grid{config, std::move(clusters), 2};
+  auto grid_ptr = builder.users(2).build();
+  core::GridSystem& grid = *grid_ptr;
 
   std::vector<job::JobRequest> reqs;
   for (std::size_t u = 0; u < 2; ++u) {
@@ -138,12 +136,13 @@ TEST(Broker, TwoPhaseRetryGoesToNextBest) {
 }
 
 TEST(Broker, EvictionStillReachesClientDirectly) {
-  core::GridConfig config;
-  config.brokered_submission = true;
-  std::vector<core::ClusterSetup> clusters;
-  clusters.push_back(make_cluster("doomed", 0.0001));
-  clusters.push_back(make_cluster("survivor", 0.01));
-  core::GridSystem grid{config, std::move(clusters), 1};
+  auto grid_ptr = core::GridBuilder()
+                      .brokered()
+                      .cluster(make_cluster("doomed", 0.0001))
+                      .cluster(make_cluster("survivor", 0.01))
+                      .users(1)
+                      .build();
+  core::GridSystem& grid = *grid_ptr;
   grid.schedule_cluster_shutdown(0, 30.0, true);
 
   job::JobRequest req;
