@@ -6,8 +6,12 @@
 //
 // Part 2 — allocator-level fragmentation: contiguous allocation (the §4.1
 // locality constraint) vs scattered allocation under a churn workload.
+// Both parts fan out over the sweep subsystem's work-stealing pool
+// (sweep::parallel_map, DESIGN.md §9); every run owns its SimContext, so
+// results are independent of thread count.
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "src/cluster/allocator.hpp"
 #include "src/cluster/server.hpp"
@@ -16,6 +20,7 @@
 #include "src/sched/equipartition.hpp"
 #include "src/sched/fcfs.hpp"
 #include "src/sched/payoff_sched.hpp"
+#include "src/sweep/thread_pool.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
 
@@ -71,6 +76,11 @@ ScenarioResult run_scenario(std::unique_ptr<sched::Strategy> strategy) {
   return out;
 }
 
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
 void allocator_churn(bool contiguous, double& frag_out, double& failure_rate) {
   Rng rng{4242};
   cluster::ContiguousAllocator alloc{1024};
@@ -116,20 +126,34 @@ int main() {
   Table t1{{"scheduler", "adaptive", "job A wait (s)", "utilization", "payoff($)"}};
   struct Row {
     const char* name;
-    std::unique_ptr<sched::Strategy> strategy;
+    std::unique_ptr<sched::Strategy> (*factory)();
   };
-  Row rows[] = {
-      {"fcfs", std::make_unique<sched::FcfsStrategy>(sched::RigidRequest::kMax)},
+  const Row rows[] = {
+      {"fcfs",
+       +[]() -> std::unique_ptr<sched::Strategy> {
+         return std::make_unique<sched::FcfsStrategy>(sched::RigidRequest::kMax);
+       }},
       {"easy-backfill",
-       std::make_unique<sched::BackfillStrategy>(sched::RigidRequest::kMax)},
-      {"equipartition", std::make_unique<sched::EquipartitionStrategy>()},
-      {"payoff", std::make_unique<sched::PayoffStrategy>()},
+       +[]() -> std::unique_ptr<sched::Strategy> {
+         return std::make_unique<sched::BackfillStrategy>(sched::RigidRequest::kMax);
+       }},
+      {"equipartition",
+       +[]() -> std::unique_ptr<sched::Strategy> {
+         return std::make_unique<sched::EquipartitionStrategy>();
+       }},
+      {"payoff",
+       +[]() -> std::unique_ptr<sched::Strategy> {
+         return std::make_unique<sched::PayoffStrategy>();
+       }},
   };
-  for (auto& row : rows) {
-    const bool adaptive = row.strategy->adaptive();
-    const auto r = run_scenario(std::move(row.strategy));
+  const auto scenario_results = sweep::parallel_map(
+      std::size(rows), hardware_threads(),
+      [&](std::size_t i) { return run_scenario(rows[i].factory()); });
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const auto& r = scenario_results[i];
+    const bool adaptive = i >= 2;  // equipartition and payoff
     t1.row()
-        .cell(row.name)
+        .cell(rows[i].name)
         .cell(adaptive ? "yes" : "no")
         .cell(r.a_wait < 0.0 ? std::string(">21000 (never)")
                              : std::to_string(static_cast<long>(r.a_wait)))
@@ -144,12 +168,13 @@ int main() {
   std::cout << "=== E1b: allocator fragmentation under churn (1024 procs, "
                "20000 ops) ===\n";
   Table t2{{"allocation policy", "mean fragmentation", "allocation failure rate"}};
-  double frag = 0.0;
-  double fail = 0.0;
-  allocator_churn(true, frag, fail);
-  t2.row().cell("contiguous (locality kept)").cell(frag, 4).cell(fail, 4);
-  allocator_churn(false, frag, fail);
-  t2.row().cell("scattered (no locality)").cell(frag, 4).cell(fail, 4);
+  const auto churn = sweep::parallel_map(2, hardware_threads(), [](std::size_t i) {
+    std::pair<double, double> out{};
+    allocator_churn(i == 0, out.first, out.second);
+    return out;
+  });
+  t2.row().cell("contiguous (locality kept)").cell(churn[0].first, 4).cell(churn[0].second, 4);
+  t2.row().cell("scattered (no locality)").cell(churn[1].first, 4).cell(churn[1].second, 4);
   t2.print(std::cout);
   std::cout << "\nContiguity (the SS4.1 locality constraint) trades some failed\n"
                "placements for preserved locality; scattered allocation never\n"

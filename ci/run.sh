@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: build both presets, run the full test suite under
-# ASan/UBSan, run scenario_sim with every observability exporter and
-# validate the emitted JSONL/Prometheus/Chrome-trace files, then run the
+# CI entry point: build the sanitizer and release presets, run the full
+# test suite under ASan/UBSan, run the sweep/concurrency tests under TSan,
+# run scenario_sim with every observability exporter and validate the
+# emitted JSONL/Prometheus/Chrome-trace files, run the regression-gated
+# parameter sweep (ci/sweep_gate.ini vs ci/sweep_baseline.json) and record
+# its serial-vs-parallel throughput in BENCH_sweep.json, then run the
 # engine and trace benchmarks from the optimized build and record the
 # headline figures in BENCH_engine.json / BENCH_trace.json.
 #
@@ -26,6 +29,66 @@ ctest --preset asan -j "${JOBS}"
 
 echo "==> ctest (release)"
 ctest --preset release-bench -j "${JOBS}"
+
+echo "==> ThreadSanitizer: sweep + concurrency tests"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}" --target test_sweep
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ./build-tsan/tests/test_sweep
+
+echo "==> sweep regression gate + serial-vs-parallel throughput"
+python3 - <<'PY'
+import json, os, subprocess, sys, time
+
+sweep = "./build-release-bench/examples/faucets_sweep"
+art = "build-release-bench/sweep-artifacts"
+os.makedirs(art, exist_ok=True)
+hw = os.cpu_count() or 1
+par_threads = max(hw, 8)  # 8 software threads still prove determinism
+
+def run(threads, out, extra=()):
+    cmd = [sweep, "--grid", "ci/sweep_gate.ini", "--threads", str(threads),
+           "--quiet", "--out", out, *extra]
+    start = time.monotonic()
+    subprocess.run(cmd, check=True)  # gate violations exit 2 and fail CI
+    return time.monotonic() - start
+
+serial = f"{art}/gate_serial.jsonl"
+parallel = f"{art}/gate_parallel.jsonl"
+t_serial = run(1, serial)
+t_parallel = run(par_threads, parallel,
+                 ("--baseline", "ci/sweep_baseline.json"))
+
+a, b = open(serial, "rb").read(), open(parallel, "rb").read()
+assert a == b, "sweep artifact differs between 1 and %d threads" % par_threads
+runs = a.count(b"\n")
+assert runs == 16, f"gate sweep expected 16 runs, saw {runs}"
+
+out = {
+    "benchmark": "faucets_sweep ci/sweep_gate.ini (16 market simulations)",
+    "workload": "2 schedulers x 2 loads x 4 seed replicates through the "
+                "full grid market; byte-identical JSONL asserted between "
+                "thread counts; gated against ci/sweep_baseline.json",
+    "hardware_concurrency": hw,
+    "serial_runs_per_sec": round(runs / t_serial, 2),
+    "parallel_threads": par_threads,
+    "parallel_runs_per_sec": round(runs / t_parallel, 2),
+    "speedup": round(t_serial / t_parallel, 2),
+    "build": "release-bench (-O3 -DNDEBUG)",
+    "source": "ci/run.sh",
+}
+json.dump(out, open("BENCH_sweep.json", "w"), indent=2)
+print("BENCH_sweep.json: serial %.1f runs/s, %d threads %.1f runs/s "
+      "(speedup %.2fx on %d hardware threads)"
+      % (out["serial_runs_per_sec"], par_threads,
+         out["parallel_runs_per_sec"], out["speedup"], hw))
+
+# The >=4x scaling criterion only means something with real parallelism
+# underneath; single-digit-core CI boxes still verify determinism above.
+if hw >= 8:
+    assert out["speedup"] >= 4.0, (
+        "sweep speedup %.2fx < 4x on %d hardware threads" % (out["speedup"], hw))
+PY
 
 echo "==> scenario_sim exporters (JSONL + Prometheus + Chrome trace)"
 OBS_DIR="build-release-bench/obs-artifacts"

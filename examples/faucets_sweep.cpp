@@ -1,0 +1,207 @@
+// faucets_sweep: batch parameter-study driver (DESIGN.md §9).
+//
+// Expands the [sweep] section of a scenario file into a cartesian run grid,
+// executes every run on a work-stealing thread pool (results bit-identical
+// at any --threads value), prints the replicate-aggregated table, and
+// optionally gates the aggregate against a committed regression baseline.
+//
+//   faucets_sweep --grid ci/sweep_gate.ini --threads 8
+//                 --out results.jsonl --baseline ci/sweep_baseline.json
+//   faucets_sweep --grid grid.ini --write-baseline baseline.json
+//
+// Exit status: 0 ok, 1 usage/config error, 2 regression-gate violation.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sweep/sweep.hpp"
+#include "src/util/table.hpp"
+
+using namespace faucets;
+
+namespace {
+
+struct Options {
+  std::optional<std::string> grid_file;
+  std::size_t threads = std::thread::hardware_concurrency() == 0
+                            ? 1
+                            : std::thread::hardware_concurrency();
+  std::optional<std::string> out;             // ordered JSONL artifact
+  std::optional<std::string> stream;          // completion-order JSONL stream
+  std::optional<std::string> baseline;        // gate against this file
+  std::optional<std::string> write_baseline;  // snapshot aggregate here
+  double tolerance = 0.05;
+  bool quiet = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: faucets_sweep [--grid] FILE.ini [options]\n"
+        "  --grid FILE.ini         scenario + [sweep] section to expand\n"
+        "  --threads N             worker threads (default: hardware)\n"
+        "  --out FILE.jsonl        per-run results, run-id order (byte-stable)\n"
+        "  --stream FILE.jsonl     per-run results, completion order\n"
+        "  --baseline FILE.json    fail (exit 2) on metric drift vs baseline\n"
+        "  --write-baseline FILE.json  snapshot this aggregate as baseline\n"
+        "  --tolerance FRAC        relative band for --write-baseline (default 0.05)\n"
+        "  --quiet                 suppress the aggregate table\n";
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      opt.grid_file = value();
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<std::size_t>(std::stoul(value()));
+      if (opt.threads == 0) opt.threads = 1;
+    } else if (arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--stream") {
+      opt.stream = value();
+    } else if (arg == "--baseline") {
+      opt.baseline = value();
+    } else if (arg == "--write-baseline") {
+      opt.write_baseline = value();
+    } else if (arg == "--tolerance") {
+      opt.tolerance = std::stod(value());
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] != '-' && !opt.grid_file) {
+      opt.grid_file = arg;
+    } else {
+      throw std::invalid_argument("unknown argument '" + arg + "'");
+    }
+  }
+  if (!opt.grid_file) throw std::invalid_argument("no sweep grid file given");
+  return opt;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void print_aggregate(std::ostream& os, sweep::SweepMode mode,
+                     const std::vector<sweep::AggregateRow>& rows) {
+  const bool cluster = mode == sweep::SweepMode::kCluster;
+  std::vector<std::string> headers{"point", "n"};
+  const std::vector<std::string> metric_names =
+      cluster ? std::vector<std::string>{"utilization", "mean_response",
+                                         "mean_bounded_slowdown", "total_payoff"}
+              : std::vector<std::string>{"utilization", "jobs_completed",
+                                         "jobs_unplaced", "total_spent",
+                                         "client_payoff"};
+  for (const auto& name : metric_names) headers.push_back(name + " (±95%)");
+  Table table{headers};
+  for (const auto& row : rows) {
+    auto& r = table.row().cell(row.point_key).cell(row.replicates);
+    for (const auto& name : metric_names) {
+      const sweep::MetricSummary* m = row.metric(name);
+      if (m == nullptr) {
+        r.cell("-");
+        continue;
+      }
+      std::ostringstream cell;
+      cell.precision(4);
+      cell << m->mean();
+      if (row.replicates > 1) {
+        cell.precision(2);
+        cell << " ±" << m->ci95();
+      }
+      r.cell(cell.str());
+    }
+  }
+  table.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "faucets_sweep: " << e.what() << "\n\n";
+    usage(std::cerr);
+    return 1;
+  }
+
+  try {
+    const auto spec = sweep::SweepSpec::parse_string(read_file(*opt.grid_file));
+    const sweep::SweepRunner runner(spec);
+
+    std::ofstream stream_file;
+    std::optional<sweep::JsonlSink> sink;
+    if (opt.stream) {
+      stream_file.open(*opt.stream);
+      if (!stream_file) throw std::invalid_argument("cannot write '" + *opt.stream + "'");
+      sink.emplace(&stream_file);
+    }
+
+    sweep::SweepOptions run_options;
+    run_options.threads = opt.threads;
+    run_options.sink = sink ? &*sink : nullptr;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run(run_options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    if (opt.out) {
+      std::ofstream out(*opt.out);
+      if (!out) throw std::invalid_argument("cannot write '" + *opt.out + "'");
+      sweep::write_ordered(out, results);
+    }
+
+    const auto rows = sweep::aggregate(results);
+    if (!opt.quiet) {
+      print_aggregate(std::cout, spec.mode(), rows);
+      std::cout << "\n" << results.size() << " runs on " << opt.threads
+                << " threads in " << seconds << " s ("
+                << (seconds > 0.0 ? static_cast<double>(results.size()) / seconds : 0.0)
+                << " runs/s)\n";
+    }
+
+    if (opt.write_baseline) {
+      std::ofstream out(*opt.write_baseline);
+      if (!out) {
+        throw std::invalid_argument("cannot write '" + *opt.write_baseline + "'");
+      }
+      out << sweep::Baseline::from_aggregate(rows, opt.tolerance).to_json();
+      std::cout << "baseline written to " << *opt.write_baseline << "\n";
+    }
+
+    if (opt.baseline) {
+      const auto baseline = sweep::Baseline::parse(read_file(*opt.baseline));
+      const auto violations = sweep::check_gate(baseline, rows);
+      if (!violations.empty()) {
+        std::cerr << "REGRESSION GATE FAILED (" << violations.size()
+                  << " violation" << (violations.size() == 1 ? "" : "s") << "):\n";
+        for (const auto& v : violations) std::cerr << "  " << v.message << "\n";
+        return 2;
+      }
+      std::cout << "regression gate passed (" << baseline.points().size()
+                << " points vs " << *opt.baseline << ")\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "faucets_sweep: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -30,7 +30,9 @@ struct ClusterRunResult {
 
 /// Submit `requests` to a fresh ClusterManager running `strategy` on
 /// `machine`, run to quiescence, and report. Rejected jobs simply vanish
-/// (single-cluster world: nowhere else to go).
+/// (single-cluster world: nowhere else to go). Every call builds a private
+/// SimContext and touches nothing global, so concurrent calls from sweep
+/// workers are safe; `requests` is shared read-only across them.
 [[nodiscard]] ClusterRunResult run_cluster_experiment(
     const cluster::MachineSpec& machine,
     const std::function<std::unique_ptr<sched::Strategy>()>& strategy,

@@ -178,6 +178,12 @@ Scenario Scenario::parse(const ConfigFile& config) {
     out.workload.deadline_fraction = wl->get_double("deadline_fraction", 1.0);
     out.workload.min_procs_lo = static_cast<int>(wl->get_int("min_procs_lo", 4));
     out.workload.min_procs_hi = static_cast<int>(wl->get_int("min_procs_hi", 32));
+    out.workload.tightness_lo =
+        wl->get_double("tightness_lo", out.workload.tightness_lo);
+    out.workload.tightness_hi =
+        wl->get_double("tightness_hi", out.workload.tightness_hi);
+    out.workload.penalty_fraction =
+        wl->get_double("penalty_fraction", out.workload.penalty_fraction);
   }
   // Clamp jobs to the smallest machine? No — clamp their processor demand
   // to the largest machine so everything is placeable somewhere.

@@ -39,6 +39,11 @@
 //   load = 0.8               # offered fraction of total grid capacity
 //   rigid_fraction = 0.0
 //   deadline_fraction = 1.0
+//   tightness_lo = 1.5       # deadline tightness range (see WorkloadParams)
+//   tightness_hi = 6.0
+//   penalty_fraction = 0.25  # post-hard-deadline penalty
+//
+//   [sweep]                  # optional: parameter grid (see src/sweep/spec.hpp)
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,56 @@
+#include "src/sweep/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace faucets::sweep {
+
+double MetricSummary::ci95() const noexcept {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+const MetricSummary* AggregateRow::metric(const std::string& name) const noexcept {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<AggregateRow> aggregate(const std::vector<RunResult>& results) {
+  std::map<std::size_t, AggregateRow> rows;
+  for (const auto& result : results) {
+    auto [it, inserted] = rows.try_emplace(result.point_index);
+    AggregateRow& row = it->second;
+    if (inserted) {
+      row.point_index = result.point_index;
+      row.point_key = result.point_key;
+      row.metrics.reserve(result.metrics.size());
+      for (const auto& [name, value] : result.metrics) {
+        row.metrics.push_back({name, {}});
+        (void)value;
+      }
+    }
+    if (row.metrics.size() != result.metrics.size()) {
+      throw std::invalid_argument("aggregate: inconsistent metric sets for point " +
+                                  row.point_key);
+    }
+    for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+      if (row.metrics[i].name != result.metrics[i].first) {
+        throw std::invalid_argument("aggregate: metric order mismatch for point " +
+                                    row.point_key);
+      }
+      row.metrics[i].stats.add(result.metrics[i].second);
+    }
+    ++row.replicates;
+  }
+
+  std::vector<AggregateRow> out;
+  out.reserve(rows.size());
+  for (auto& [index, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+}  // namespace faucets::sweep

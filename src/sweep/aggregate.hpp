@@ -1,0 +1,41 @@
+// Aggregation across replicates: per grid point, per metric, the mean,
+// standard deviation, and 95% confidence half-width over the replicate
+// seeds. Built on util/stats' Welford accumulator; grid points keep the
+// stable expansion order so aggregate output is as deterministic as the
+// per-run results it summarizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sweep/result.hpp"
+#include "src/util/stats.hpp"
+
+namespace faucets::sweep {
+
+struct MetricSummary {
+  std::string name;
+  OnlineStats stats;
+
+  [[nodiscard]] double mean() const noexcept { return stats.mean(); }
+  /// 95% normal-approximation confidence half-width (0 for n < 2).
+  [[nodiscard]] double ci95() const noexcept;
+};
+
+struct AggregateRow {
+  std::size_t point_index = 0;
+  std::string point_key;
+  std::size_t replicates = 0;
+  std::vector<MetricSummary> metrics;  // stable per-run metric order
+
+  [[nodiscard]] const MetricSummary* metric(const std::string& name) const noexcept;
+};
+
+/// Group `results` (any order) by grid point. Rows come back ordered by
+/// point index; every replicate of a point must report the same metric set
+/// (the runner guarantees it; a mismatch throws std::invalid_argument).
+[[nodiscard]] std::vector<AggregateRow> aggregate(const std::vector<RunResult>& results);
+
+}  // namespace faucets::sweep

@@ -1,0 +1,81 @@
+// Regression gate: compare a sweep's aggregated metrics against a
+// committed baseline and fail CI on drift.
+//
+// The baseline is a JSON document this subsystem writes itself
+// (faucets_sweep --write-baseline) and is meant to be committed next to the
+// sweep grid it gates. Semantics:
+//
+//   - The baseline defines the contract: every (point, metric) entry in it
+//     must exist in the observed aggregate and lie within tolerance.
+//     Observed points/metrics absent from the baseline are ignored, so a
+//     baseline may deliberately gate a stable subset of a larger sweep.
+//   - A metric passes when |observed - baseline| <=
+//     max(tolerance * |baseline|, abs) — relative band with an absolute
+//     floor so zero-valued baselines (e.g. jobs_unplaced = 0) still admit
+//     exact matches without dividing by zero.
+//
+// Format:
+//   {
+//     "default_tolerance": 0.05,
+//     "points": {
+//       "scheduler=fcfs|load=0.5": {
+//         "utilization": {"mean": 0.429, "tolerance": 0.05, "abs": 1e-9}
+//       }
+//     }
+//   }
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sweep/aggregate.hpp"
+
+namespace faucets::sweep {
+
+struct GateEntry {
+  double mean = 0.0;
+  double tolerance = 0.05;  // relative band, fraction of |mean|
+  double abs_slack = 1e-9;  // absolute floor of the band
+};
+
+class Baseline {
+ public:
+  /// Parse the JSON format above. Throws std::invalid_argument with a
+  /// precise message on malformed input.
+  static Baseline parse(const std::string& json_text);
+
+  /// Snapshot an aggregate as a fresh baseline, every metric at
+  /// `default_tolerance` (hand-tighten or -widen entries afterwards).
+  static Baseline from_aggregate(const std::vector<AggregateRow>& rows,
+                                 double default_tolerance = 0.05);
+
+  /// Deterministic pretty-printed JSON (sorted keys, to_chars numbers).
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] double default_tolerance() const noexcept { return default_tolerance_; }
+
+  using MetricMap = std::map<std::string, GateEntry>;
+  [[nodiscard]] const std::map<std::string, MetricMap>& points() const noexcept {
+    return points_;
+  }
+
+ private:
+  double default_tolerance_ = 0.05;
+  std::map<std::string, MetricMap> points_;
+};
+
+struct GateViolation {
+  std::string point_key;
+  std::string metric;
+  double baseline = 0.0;
+  double observed = 0.0;
+  double allowed = 0.0;  // the band half-width that was exceeded
+  std::string message;   // human-readable one-liner
+};
+
+/// Check an aggregate against a baseline; empty result = gate passes.
+[[nodiscard]] std::vector<GateViolation> check_gate(
+    const Baseline& baseline, const std::vector<AggregateRow>& rows);
+
+}  // namespace faucets::sweep

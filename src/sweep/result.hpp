@@ -1,0 +1,43 @@
+// RunResult: the complete, self-describing record of one sweep run.
+//
+// Everything in a RunResult — including its pre-rendered JSONL line — is
+// computed from run-local state only (the RunPoint and the simulation's own
+// report), so a run's record is byte-identical no matter which worker
+// thread executed it or when. Metrics are an ordered name/value list, not a
+// map: the order is part of the deterministic output contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+#include "src/core/grid_system.hpp"
+#include "src/sweep/spec.hpp"
+
+namespace faucets::sweep {
+
+struct RunResult {
+  std::size_t run_id = 0;
+  std::size_t point_index = 0;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;
+  std::string point_key;  // RunPoint::key() of this run's grid point
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string jsonl;  // one JSON line, no trailing newline
+};
+
+/// Metric extraction for the two sweep modes. Names are stable identifiers
+/// (they key regression baselines, so renaming one invalidates baselines).
+[[nodiscard]] std::vector<std::pair<std::string, double>> grid_metrics(
+    const core::GridReport& report);
+[[nodiscard]] std::vector<std::pair<std::string, double>> cluster_metrics(
+    const core::ClusterRunResult& result);
+
+/// Assemble the full record for one finished run, rendering the JSONL line.
+[[nodiscard]] RunResult make_result(const RunPoint& point, SweepMode mode,
+                                    std::vector<std::pair<std::string, double>> metrics);
+
+}  // namespace faucets::sweep

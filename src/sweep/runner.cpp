@@ -1,0 +1,51 @@
+#include "src/sweep/runner.hpp"
+
+#include <exception>
+
+#include "src/sweep/thread_pool.hpp"
+
+namespace faucets::sweep {
+
+RunResult SweepRunner::execute(const RunPoint& point) const {
+  core::Scenario scenario = spec_.materialize(point);
+  if (spec_.mode() == SweepMode::kCluster) {
+    const auto requests = scenario.make_requests();
+    const auto result = core::run_cluster_experiment(
+        scenario.clusters.front().machine, scenario.clusters.front().strategy,
+        requests, scenario.clusters.front().costs);
+    return make_result(point, spec_.mode(), cluster_metrics(result));
+  }
+  const auto report = scenario.run();
+  return make_result(point, spec_.mode(), grid_metrics(report));
+}
+
+std::vector<RunResult> SweepRunner::run(const SweepOptions& options) const {
+  const std::vector<RunPoint> points = spec_.expand();
+  std::vector<RunResult> results(points.size());
+  std::vector<std::exception_ptr> errors(points.size());
+
+  {
+    ThreadPool pool(options.threads);
+    for (const RunPoint& point : points) {
+      // Each task touches only its own slot; the pool's completion
+      // synchronization publishes the writes before run() returns.
+      pool.submit([this, &point, &results, &errors, &options] {
+        try {
+          RunResult result = execute(point);
+          if (options.sink != nullptr) options.sink->append(result.jsonl);
+          results[point.run_id] = std::move(result);
+        } catch (...) {
+          errors[point.run_id] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace faucets::sweep

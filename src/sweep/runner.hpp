@@ -1,0 +1,42 @@
+// SweepRunner: execute every run of a SweepSpec on a work-stealing pool.
+//
+// Determinism contract: each run materializes its own Scenario (seed from
+// SeedSequence) and builds a fully private SimContext/GridSystem, so runs
+// share no mutable state; results are written into pre-assigned slots of
+// the output vector, indexed by run id. A sweep's ordered results — and
+// therefore its JSONL artifact — are bit-identical at any thread count and
+// any completion order. The only thread-count-dependent observable is the
+// streaming sink's line order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sweep/result.hpp"
+#include "src/sweep/sink.hpp"
+#include "src/sweep/spec.hpp"
+
+namespace faucets::sweep {
+
+struct SweepOptions {
+  std::size_t threads = 1;
+  /// Optional streaming sink; lines arrive in completion order.
+  JsonlSink* sink = nullptr;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {}
+
+  /// Run the whole grid; returns results in run-id order.
+  [[nodiscard]] std::vector<RunResult> run(const SweepOptions& options) const;
+
+  [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
+
+ private:
+  [[nodiscard]] RunResult execute(const RunPoint& point) const;
+
+  SweepSpec spec_;
+};
+
+}  // namespace faucets::sweep

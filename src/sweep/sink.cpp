@@ -1,0 +1,27 @@
+#include "src/sweep/sink.hpp"
+
+#include <ostream>
+
+#include "src/sweep/result.hpp"
+
+namespace faucets::sweep {
+
+void JsonlSink::append(const std::string& jsonl_line) {
+  std::lock_guard lock(mutex_);
+  ++lines_;
+  if (out_ != nullptr) {
+    *out_ << jsonl_line << '\n';
+    out_->flush();
+  }
+}
+
+std::size_t JsonlSink::lines_written() const noexcept {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+void write_ordered(std::ostream& out, const std::vector<RunResult>& results) {
+  for (const auto& result : results) out << result.jsonl << '\n';
+}
+
+}  // namespace faucets::sweep

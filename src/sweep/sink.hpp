@@ -1,0 +1,41 @@
+// Streaming JSONL result sink.
+//
+// Workers append each finished run's pre-rendered line as it completes, so
+// a long sweep is observable (tail -f) and a crashed sweep keeps its
+// finished runs. Appends are mutex-guarded: lines land whole, in completion
+// order — which varies with thread count. For the byte-stable artifact,
+// write_ordered() emits the same lines sorted by run id; that file is
+// identical at any thread count (the determinism tests assert it).
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace faucets::sweep {
+
+struct RunResult;
+
+class JsonlSink {
+ public:
+  /// Streams to `out`, which must outlive the sink. Pass nullptr for a
+  /// no-op sink (the runner still collects ordered results).
+  explicit JsonlSink(std::ostream* out) : out_(out) {}
+
+  /// Append one line (thread-safe; the line lands whole).
+  void append(const std::string& jsonl_line);
+
+  [[nodiscard]] std::size_t lines_written() const noexcept;
+
+ private:
+  std::ostream* out_;
+  mutable std::mutex mutex_;
+  std::size_t lines_ = 0;
+};
+
+/// Write `results` (as returned by SweepRunner::run, already in run-id
+/// order) as JSONL to `out`.
+void write_ordered(std::ostream& out, const std::vector<RunResult>& results);
+
+}  // namespace faucets::sweep

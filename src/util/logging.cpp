@@ -1,16 +1,32 @@
 #include "src/util/logging.hpp"
 
 #include <atomic>
+#include <mutex>
 
 namespace faucets {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
+// Guards g_sink and every write through it. A plain pointer + mutex (not an
+// atomic pointer) because readers must hold the lock across the whole write
+// anyway — retargeting mid-line must not split a line across sinks.
+std::mutex g_sink_mutex;
+std::ostream* g_sink = nullptr;  // nullptr = std::clog
 }  // namespace
 
 LogLevel Logging::level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void Logging::set_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logging::set_sink(std::ostream* sink) noexcept {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = sink;
+}
+
+void Logging::write(const std::string& line) {
+  std::lock_guard lock(g_sink_mutex);
+  (g_sink != nullptr ? *g_sink : std::clog) << line;
 }
 
 std::string_view Logging::name(LogLevel level) noexcept {

@@ -4,25 +4,38 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace faucets {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Process-wide log configuration.
+/// Process-wide log configuration. The level is an atomic (checked on every
+/// statement, lock-free); the sink write is mutex-guarded so concurrent
+/// sweep workers cannot tear each other's lines even on platforms where a
+/// single ostream insertion is not atomic.
 class Logging {
  public:
   static LogLevel level() noexcept;
   static void set_level(LogLevel level) noexcept;
   [[nodiscard]] static bool enabled(LogLevel level) noexcept { return level >= Logging::level(); }
   static std::string_view name(LogLevel level) noexcept;
+
+  /// Redirect log output (nullptr restores std::clog). The stream must
+  /// outlive all logging; callers hand over a stream they stop using
+  /// directly (the logging mutex only guards writes made through here).
+  static void set_sink(std::ostream* sink) noexcept;
+
+  /// Write one composed line to the sink under the logging mutex.
+  static void write(const std::string& line);
 };
 
 /// One log statement; flushes the composed line on destruction. The enabled
 /// check is latched once in the constructor: a disabled line composes nothing
-/// at all, and an enabled one reaches std::clog as a single write so lines
-/// from concurrent experiment sweeps cannot interleave mid-line.
+/// at all, and an enabled one reaches the sink as a single mutex-guarded
+/// write so lines from concurrent experiment sweeps cannot interleave
+/// mid-line.
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view component)
@@ -36,7 +49,7 @@ class LogLine {
   ~LogLine() {
     if (enabled_) {
       stream_ << '\n';
-      std::clog << stream_.str();
+      Logging::write(stream_.str());
     }
   }
 

@@ -1,0 +1,111 @@
+// The sweep subsystem's headline guarantee: a sweep's results — down to the
+// bytes of the JSONL artifact — do not depend on how many threads ran it or
+// in what order runs completed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sweep/sweep.hpp"
+
+namespace faucets::sweep {
+namespace {
+
+// 2 schedulers x 2 loads x 4 replicates = 16 runs, small enough to run the
+// whole sweep several times in one test binary.
+constexpr const char* kGrid = R"ini(
+[grid]
+users = 4
+seed = 2026
+
+[cluster]
+name = d
+procs = 64
+
+[workload]
+jobs = 30
+min_procs_lo = 2
+min_procs_hi = 16
+
+[sweep]
+mode = cluster
+schedulers = fcfs, equipartition
+loads = 0.6, 1.0
+replicates = 4
+)ini";
+
+std::string ordered_jsonl(const std::vector<RunResult>& results) {
+  std::ostringstream out;
+  write_ordered(out, results);
+  return out.str();
+}
+
+TEST(SweepDeterminism, SixteenRunsByteIdenticalAtOneVsEightThreads) {
+  const SweepRunner runner(SweepSpec::parse_string(kGrid));
+  const auto serial = runner.run({.threads = 1});
+  const auto parallel = runner.run({.threads = 8});
+  ASSERT_EQ(serial.size(), 16u);
+  ASSERT_EQ(parallel.size(), 16u);
+  EXPECT_EQ(ordered_jsonl(serial), ordered_jsonl(parallel));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].run_id, i);
+    EXPECT_EQ(parallel[i].run_id, i);
+    EXPECT_EQ(serial[i].jsonl, parallel[i].jsonl);
+    EXPECT_EQ(serial[i].metrics, parallel[i].metrics);
+  }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
+  const SweepRunner runner(SweepSpec::parse_string(kGrid));
+  const auto first = runner.run({.threads = 8});
+  const auto second = runner.run({.threads = 8});
+  EXPECT_EQ(ordered_jsonl(first), ordered_jsonl(second));
+}
+
+TEST(SweepDeterminism, StreamedLinesSortToTheOrderedArtifact) {
+  // The streaming sink writes lines in completion order — the one
+  // thread-count-dependent observable. A stable sort by run id must
+  // reproduce the ordered artifact exactly.
+  const SweepRunner runner(SweepSpec::parse_string(kGrid));
+  std::ostringstream streamed;
+  JsonlSink sink(&streamed);
+  const auto results = runner.run({.threads = 8, .sink = &sink});
+  EXPECT_EQ(sink.lines_written(), 16u);
+
+  std::vector<std::string> lines;
+  std::istringstream in(streamed.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 16u);
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const std::string& a, const std::string& b) {
+                     // Every line starts {"run":N, so parse N directly.
+                     return std::stoul(a.substr(7)) < std::stoul(b.substr(7));
+                   });
+  std::string sorted;
+  for (const auto& line : lines) sorted += line + "\n";
+  EXPECT_EQ(sorted, ordered_jsonl(results));
+}
+
+TEST(SweepDeterminism, AggregateIsOrderIndependent) {
+  const SweepRunner runner(SweepSpec::parse_string(kGrid));
+  auto results = runner.run({.threads = 8});
+  const auto forward = aggregate(results);
+  std::reverse(results.begin(), results.end());
+  const auto reversed = aggregate(results);
+  ASSERT_EQ(forward.size(), 4u);  // 2 schedulers x 2 loads
+  ASSERT_EQ(forward.size(), reversed.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].point_key, reversed[i].point_key);
+    EXPECT_EQ(forward[i].replicates, 4u);
+    ASSERT_EQ(forward[i].metrics.size(), reversed[i].metrics.size());
+    for (std::size_t m = 0; m < forward[i].metrics.size(); ++m) {
+      EXPECT_DOUBLE_EQ(forward[i].metrics[m].mean(), reversed[i].metrics[m].mean());
+      EXPECT_DOUBLE_EQ(forward[i].metrics[m].ci95(), reversed[i].metrics[m].ci95());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faucets::sweep
