@@ -8,6 +8,13 @@
 //                           --metrics metrics.prom
 //                           --chrome-trace trace.json   # open in Perfetto
 //
+// Telemetry reports (see DESIGN.md §10):
+//
+//   ./examples/scenario_sim --report grid.html         # self-contained HTML
+//                           --phases-csv phases.csv    # per-job decomposition
+//                           --series-csv series.csv    # sampled time series
+//                           --sample-interval 5        # snapshot cadence, s
+//
 // Chaos testing (overrides any [faults] section in the scenario):
 //
 //   ./examples/scenario_sim --loss 0.1 --jitter 0.5
@@ -26,6 +33,7 @@
 
 #include "src/core/scenario.hpp"
 #include "src/obs/exporters.hpp"
+#include "src/obs/report.hpp"
 
 namespace {
 
@@ -70,6 +78,10 @@ struct Options {
   std::optional<std::string> trace_jsonl;
   std::optional<std::string> metrics;
   std::optional<std::string> chrome_trace;
+  std::optional<std::string> report;
+  std::optional<std::string> phases_csv;
+  std::optional<std::string> series_csv;
+  std::optional<std::string> sample_interval;
   std::optional<std::string> loss;
   std::optional<std::string> jitter;
   std::optional<std::string> partition;  // CLUSTER:FROM:UNTIL
@@ -130,6 +142,10 @@ Options parse_args(int argc, char** argv) {
     if (take_flag(arg, argc, argv, i, "--trace-jsonl", opts.trace_jsonl)) continue;
     if (take_flag(arg, argc, argv, i, "--metrics", opts.metrics)) continue;
     if (take_flag(arg, argc, argv, i, "--chrome-trace", opts.chrome_trace)) continue;
+    if (take_flag(arg, argc, argv, i, "--report", opts.report)) continue;
+    if (take_flag(arg, argc, argv, i, "--phases-csv", opts.phases_csv)) continue;
+    if (take_flag(arg, argc, argv, i, "--series-csv", opts.series_csv)) continue;
+    if (take_flag(arg, argc, argv, i, "--sample-interval", opts.sample_interval)) continue;
     if (take_flag(arg, argc, argv, i, "--loss", opts.loss)) continue;
     if (take_flag(arg, argc, argv, i, "--jitter", opts.jitter)) continue;
     if (take_flag(arg, argc, argv, i, "--partition", opts.partition)) continue;
@@ -187,6 +203,14 @@ int main(int argc, char** argv) {
     const double until =
         opts.until ? std::stod(*opts.until) : faucets::sim::Engine::kForever;
 
+    // Reports want time-series charts, so turn sampling on whenever any
+    // telemetry output is requested (explicit --sample-interval wins).
+    if (opts.sample_interval) {
+      scenario.grid.telemetry.sample_interval = std::stod(*opts.sample_interval);
+    } else if (opts.report || opts.series_csv) {
+      scenario.grid.telemetry.sample_interval = 5.0;
+    }
+
     std::cout << "Simulating " << scenario.clusters.size() << " Compute Servers ("
               << scenario.total_procs() << " processors), "
               << scenario.workload.job_count << " jobs...\n\n";
@@ -203,6 +227,26 @@ int main(int argc, char** argv) {
       auto out = open_out(*opts.metrics);
       faucets::obs::write_prometheus(out, grid->obs().metrics());
       std::cout << "wrote metrics to " << *opts.metrics << "\n";
+    }
+    if (opts.report) {
+      auto out = open_out(*opts.report);
+      const faucets::core::GridTelemetry tel = grid->telemetry();
+      faucets::obs::ReportOptions ropts;
+      if (opts.scenario_file) ropts.title = "Faucets: " + *opts.scenario_file;
+      faucets::obs::write_html_report(out, grid->obs().sampler(), tel.analysis,
+                                      tel.users, tel.clusters,
+                                      &grid->obs().trace(), ropts);
+      std::cout << "wrote HTML report to " << *opts.report << "\n";
+    }
+    if (opts.phases_csv) {
+      auto out = open_out(*opts.phases_csv);
+      faucets::obs::write_phases_csv(out, grid->telemetry().analysis);
+      std::cout << "wrote phase decomposition to " << *opts.phases_csv << "\n";
+    }
+    if (opts.series_csv) {
+      auto out = open_out(*opts.series_csv);
+      faucets::obs::write_series_csv(out, grid->obs().sampler());
+      std::cout << "wrote sampled series to " << *opts.series_csv << "\n";
     }
     if (opts.chrome_trace) {
       auto out = open_out(*opts.chrome_trace);

@@ -23,6 +23,9 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
   if (clusters.empty()) throw std::invalid_argument("grid needs >= 1 cluster");
   if (user_count == 0) throw std::invalid_argument("grid needs >= 1 user");
 
+  // The point budget must be in place before any entity registers a series.
+  ctx_.sampler().set_default_capacity(config_.telemetry.series_capacity);
+
   central_ = std::make_unique<CentralServer>(ctx_, config_.central);
   appspector_ = std::make_unique<AppSpector>(ctx_);
   if (config_.brokered_submission) {
@@ -94,6 +97,21 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     clients_.push_back(std::make_unique<FaucetsClient>(
         ctx_, central_->id(), std::move(evaluator), std::move(cc)));
   }
+
+  if (config_.telemetry.sample_interval > 0.0) {
+    next_sample_due_ = config_.telemetry.sample_interval;
+  }
+}
+
+void GridSystem::maybe_sample() {
+  // Sampling piggybacks on event dispatch instead of arming its own timer:
+  // in a discrete-event simulation state only changes at events, so the
+  // snapshot taken at the first event past the due tick sees exactly what a
+  // timer firing at the tick would have seen — and the sampler adds zero
+  // events to the engine (it cannot perturb schedules or pay heap churn).
+  if (ctx_.now() < next_sample_due_) return;
+  ctx_.sampler().sample(ctx_.now());
+  next_sample_due_ = ctx_.now() + config_.telemetry.sample_interval;
 }
 
 GridSystem::~GridSystem() = default;
@@ -123,13 +141,29 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
     return true;
   };
   while (!all_done() && ctx_.engine().step(until)) {
+    maybe_sample();
   }
   // Drain in-flight housekeeping for one simulated second: the daemons'
   // ContractSettled reports to the Central Server (price history, billing,
   // barter transfers) trail the completion notices clients wait for.
   ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
   for (auto& d : daemons_) d->cm().finish_metrics();
+  if (config_.telemetry.sample_interval > 0.0) {
+    // Close the series on the final state so a chart's last point reflects
+    // the drained grid.
+    ctx_.sampler().sample(ctx_.now());
+    next_sample_due_ = ctx_.now() + config_.telemetry.sample_interval;
+  }
+  // The span trees are final now: analyze once, publish the per-phase
+  // histograms, and cache the analysis for report()/telemetry().
+  analysis_ = obs::analyze_spans(ctx_.spans());
+  obs::observe_phase_histograms(ctx_.metrics(), *analysis_);
   return report();
+}
+
+const obs::SpanAnalysis& GridSystem::analysis() const {
+  if (!analysis_) analysis_ = obs::analyze_spans(ctx_.spans());
+  return *analysis_;
 }
 
 void GridSystem::schedule_cluster_shutdown(std::size_t i, double when,
@@ -234,6 +268,34 @@ GridReport GridSystem::report() const {
     for (double v : cl->award_latency().values()) latency.add(v);
   }
   out.mean_award_latency = latency.mean();
+  out.phase_mean_seconds = analysis().mean_phases();
+  return out;
+}
+
+GridTelemetry GridSystem::telemetry() const {
+  GridTelemetry out;
+  out.analysis = analysis();
+  out.users.resize(clients_.size());
+  out.clusters.resize(daemons_.size());
+  for (std::size_t c = 0; c < daemons_.size(); ++c) {
+    out.clusters[c].scope = daemons_[c]->cm().machine().name;
+  }
+  // Join each client's submission outcomes (deadline terms captured at
+  // submit) into per-user and per-cluster deadline accounting.
+  for (std::size_t u = 0; u < clients_.size(); ++u) {
+    out.users[u].scope = "user" + std::to_string(u);
+    for (const SubmissionOutcome& o : clients_[u]->outcomes()) {
+      const bool finished = o.status == SubmissionOutcome::Status::kCompleted;
+      out.users[u].add(finished, o.finish_time, o.has_deadline, o.soft_deadline,
+                       o.hard_deadline, o.payoff, o.payoff_max);
+      if (o.cluster.valid() &&
+          static_cast<std::size_t>(o.cluster.value()) < out.clusters.size()) {
+        out.clusters[static_cast<std::size_t>(o.cluster.value())].add(
+            finished, o.finish_time, o.has_deadline, o.soft_deadline,
+            o.hard_deadline, o.payoff, o.payoff_max);
+      }
+    }
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "src/cluster/server.hpp"
 #include "src/faucets/appspector.hpp"
+#include "src/obs/analyzer.hpp"
 #include "src/faucets/broker.hpp"
 #include "src/faucets/central.hpp"
 #include "src/faucets/client.hpp"
@@ -58,6 +60,16 @@ struct ClusterPartition {
   double until = 0.0;
 };
 
+/// Periodic time-series sampling of registered telemetry signals.
+struct TelemetryConfig {
+  /// Seconds between sampler snapshots; 0 disables sampling entirely (no
+  /// periodic event is armed, so fault-free runs pay nothing).
+  double sample_interval = 0.0;
+  /// Point budget per series; buffers downsample past it (see
+  /// src/obs/sampler.hpp).
+  std::size_t series_capacity = 512;
+};
+
 struct GridConfig {
   CentralServerConfig central{};
   sim::NetworkConfig network{};
@@ -85,6 +97,8 @@ struct GridConfig {
   /// Backoff schedule shared by clients, daemons, and the broker for every
   /// retried exchange (login, directory, registration, reserve/commit).
   RetryPolicy retry{};
+  /// Periodic telemetry sampling; off by default.
+  TelemetryConfig telemetry{};
 };
 
 /// Per-cluster results after a run.
@@ -119,6 +133,9 @@ struct GridReport {
   std::uint64_t migrations = 0;         // checkpoint moves between servers
   std::uint64_t watchdog_restarts = 0;  // from-scratch restarts after crashes
   double makespan = 0.0;
+  /// Mean seconds each submission spent in every exclusive latency phase
+  /// (indexed by obs::Phase); all zero when no submission closed.
+  std::array<double, obs::kPhaseCount> phase_mean_seconds{};
 
   [[nodiscard]] double grid_utilization_weighted() const;
   [[nodiscard]] std::uint64_t sent_of(sim::MessageKind kind) const noexcept {
@@ -127,6 +144,14 @@ struct GridReport {
   [[nodiscard]] std::uint64_t delivered_of(sim::MessageKind kind) const noexcept {
     return messages_delivered_by_kind[static_cast<std::size_t>(kind)];
   }
+};
+
+/// Everything the span analyzer derived from one run: per-job phase
+/// decompositions plus deadline-outcome accounting per user and per cluster.
+struct GridTelemetry {
+  obs::SpanAnalysis analysis;
+  std::vector<obs::DeadlineRow> users;     // one row per user, index order
+  std::vector<obs::DeadlineRow> clusters;  // one row per cluster, index order
 };
 
 /// Owns every entity of one simulated grid.
@@ -170,7 +195,15 @@ class GridSystem {
   /// Build the report from current state (run() calls this at the end).
   [[nodiscard]] GridReport report() const;
 
+  /// Analyze the span trees and join them with the clients' submission
+  /// outcomes. Callable any time; run() caches the end-of-run analysis so a
+  /// post-run call costs one join, not a re-walk.
+  [[nodiscard]] GridTelemetry telemetry() const;
+
  private:
+  void maybe_sample();
+  [[nodiscard]] const obs::SpanAnalysis& analysis() const;
+
   GridConfig config_;
   sim::SimContext ctx_;
   std::unique_ptr<CentralServer> central_;
@@ -178,6 +211,10 @@ class GridSystem {
   std::unique_ptr<BrokerAgent> broker_;
   std::vector<std::unique_ptr<FaucetsDaemon>> daemons_;
   std::vector<std::unique_ptr<FaucetsClient>> clients_;
+  // Sim-time of the next sampler snapshot; +inf when sampling is disabled so
+  // the run loop's check is one always-false branch. See maybe_sample().
+  double next_sample_due_ = std::numeric_limits<double>::infinity();
+  mutable std::optional<obs::SpanAnalysis> analysis_;  // cached by run()
 };
 
 /// Fluent construction of a GridSystem. Replaces hand-assembled
@@ -241,6 +278,13 @@ class GridBuilder {
   }
   GridBuilder& retry(RetryPolicy policy) {
     config_.retry = policy;
+    return *this;
+  }
+  /// Snapshot registered telemetry signals every `interval` sim-seconds into
+  /// fixed-capacity downsampling buffers (the HTML report's time series).
+  GridBuilder& sampling(double interval, std::size_t capacity = 512) {
+    config_.telemetry.sample_interval = interval;
+    config_.telemetry.series_capacity = capacity;
     return *this;
   }
   /// Replace the whole fault configuration at once.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/analyzer.hpp"
 #include "src/sim/context.hpp"
 
 namespace faucets {
@@ -18,19 +19,15 @@ const AppSpector::JobView* AppSpector::find(ClusterId cluster, JobId job) const 
   return it == jobs_.end() ? nullptr : &it->second;
 }
 
+std::vector<obs::TimelineRow> AppSpector::job_timeline_rows(ClusterId cluster,
+                                                            JobId job) const {
+  return obs::job_timeline_rows(context().spans(), cluster, job);
+}
+
 std::vector<std::string> AppSpector::job_timeline(ClusterId cluster, JobId job) const {
   std::vector<std::string> out;
-  for (const obs::Span* span : context().spans().for_job(cluster, job)) {
-    std::ostringstream line;
-    line << "[" << span->start;
-    if (span->open()) {
-      line << " ..)";
-    } else {
-      line << " " << span->end << ")";
-    }
-    line << " " << obs::to_string(span->kind);
-    if (span->value != 0.0) line << " value=" << span->value;
-    out.push_back(line.str());
+  for (const obs::TimelineRow& row : job_timeline_rows(cluster, job)) {
+    out.push_back(obs::format_timeline_row(row));
   }
   return out;
 }

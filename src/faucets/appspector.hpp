@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/faucets/protocol.hpp"
+#include "src/obs/analyzer.hpp"
 #include "src/sim/network.hpp"
 
 namespace faucets {
@@ -38,10 +39,17 @@ class AppSpector final : public sim::Entity {
   [[nodiscard]] const JobView* find(ClusterId cluster, JobId job) const;
   [[nodiscard]] std::uint64_t watch_requests() const noexcept { return watch_requests_; }
 
-  /// One formatted line per lifecycle span of the job, drawn from the
-  /// observability layer's span tracker (RFB → bids → award → queue/run →
-  /// reconfigs → terminal state), oldest first. Empty if the job was never
-  /// bound to a span tree.
+  /// The job's lifecycle as structured rows (kind, interval, value), drawn
+  /// from the observability layer's span tracker (RFB → bids → award →
+  /// queue/run → reconfigs → terminal state), oldest first. Empty if the job
+  /// was never bound to a span tree. The analyzer's phase decomposition
+  /// reads the same rows, so the monitoring view and the accounting agree
+  /// by construction.
+  [[nodiscard]] std::vector<obs::TimelineRow> job_timeline_rows(ClusterId cluster,
+                                                                JobId job) const;
+
+  /// The rows of job_timeline_rows() formatted for a terminal, one line per
+  /// span (obs::format_timeline_row).
   [[nodiscard]] std::vector<std::string> job_timeline(ClusterId cluster, JobId job) const;
 
  private:

@@ -40,6 +40,16 @@ FaucetsClient::FaucetsClient(sim::SimContext& ctx, EntityId central,
   award_latency_hist_ = &reg.histogram("faucets_award_latency_seconds",
                                        obs::exponential_buckets(0.001, 2.0, 16),
                                        "Submission to confirmed award");
+  inflight_gauge_ = &reg.gauge("faucets_market_inflight_requests",
+                               "Submissions between submit and a terminal "
+                               "outcome, grid-wide");
+  // Time-series registration is idempotent by name: every client asks, one
+  // buffer exists. Inert unless GridSystem arms periodic sampling.
+  auto& sampler = ctx.sampler();
+  sampler.add_gauge_series("faucets_market_inflight_requests", *inflight_gauge_,
+                           "requests");
+  sampler.add_counter_series("faucets_retry_attempts_total",
+                             *retry_attempts_ctr_, "retries");
 }
 
 void FaucetsClient::record_retry(RequestId request, sim::MessageKind kind,
@@ -104,6 +114,10 @@ void FaucetsClient::fail_unsubmitted(const qos::QosContract& contract) {
   SubmissionOutcome outcome;
   outcome.submit_time = now();
   outcome.status = SubmissionOutcome::Status::kTimedOut;
+  outcome.has_deadline = contract.payoff.has_deadline();
+  outcome.soft_deadline = contract.payoff.soft_deadline();
+  outcome.hard_deadline = contract.payoff.hard_deadline();
+  outcome.payoff_max = contract.payoff.max_payoff();
   outcome.span = spans.start_span(obs::SpanKind::kSubmission, now(), id());
   spans.instant_span(obs::SpanKind::kUnplaced, now(), id(), outcome.span);
   spans.end_span(outcome.span, now());
@@ -147,8 +161,13 @@ void FaucetsClient::submit(const qos::QosContract& contract) {
   SubmissionOutcome outcome;
   outcome.submit_time = now();
   outcome.span = pending.root;
+  outcome.has_deadline = contract.payoff.has_deadline();
+  outcome.soft_deadline = contract.payoff.soft_deadline();
+  outcome.hard_deadline = contract.payoff.hard_deadline();
+  outcome.payoff_max = contract.payoff.max_payoff();
   outcomes_.push_back(outcome);
   pending_.emplace(request, std::move(pending));
+  inflight_gauge_->add(1.0);
 
   if (config_.broker.has_value()) {
     send_brokered(request);
@@ -654,6 +673,7 @@ void FaucetsClient::handle_complete(const proto::JobCompleteNotice& msg) {
   completed_ctr_->inc();
   context().spans().end_span(pending.root, now());
   pending_.erase(it);
+  inflight_gauge_->add(-1.0);
 }
 
 void FaucetsClient::finish_request(RequestId request,
@@ -691,6 +711,7 @@ void FaucetsClient::finish_request(RequestId request,
                                              obs::TraceEventKind::kJobUnplaced,
                                              request, BidId{}, 0.0));
   pending_.erase(it);
+  inflight_gauge_->add(-1.0);
 }
 
 }  // namespace faucets

@@ -70,6 +70,12 @@ struct SubmissionOutcome {
   double finish_time = 0.0;
   double payoff = 0.0;        // value_at(finish) from the client's payoff fn
   std::size_t bids_received = 0;
+  // Contract terms captured at submit, so deadline-outcome accounting
+  // (telemetry reports) needs no access to the contract afterwards.
+  bool has_deadline = false;
+  double soft_deadline = 0.0;
+  double hard_deadline = 0.0;
+  double payoff_max = 0.0;    // payoff at or before the soft deadline
 };
 
 class FaucetsClient final : public sim::Entity {
@@ -211,6 +217,7 @@ class FaucetsClient final : public sim::Entity {
   obs::Counter* retry_attempts_ctr_ = nullptr;
   obs::Counter* retry_timeouts_ctr_ = nullptr;
   obs::Counter* retry_exhausted_ctr_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;  // live submissions, all clients
   obs::Histogram* bid_latency_hist_ = nullptr;
   obs::Histogram* award_latency_hist_ = nullptr;
 };

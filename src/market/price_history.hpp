@@ -59,6 +59,12 @@ class PriceHistory {
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
+  /// Unit price of the most recently settled contract (0 with no history) —
+  /// the live "grid weather" signal the time-series sampler probes.
+  [[nodiscard]] double last_unit_price() const noexcept {
+    return records_.empty() ? 0.0 : records_.back().unit_price();
+  }
+
  private:
   void evict(double now);
 

@@ -1,0 +1,179 @@
+// Telemetry analytics over completed span trees (the sacct/sstat-style
+// derived accounting the raw recorders lack).
+//
+// SpanAnalyzer walks every closed submission tree in a SpanTracker and
+// attributes the submission's makespan to *exclusive* phases:
+//
+//   bid_wait    — inside a request-for-bids round (kRfb)
+//   award_wait  — inside an award attempt (kAward), incl. reserve/commit
+//                 retries and their backoff timers
+//   queue_wait  — queued on a Compute Server before the job first ran
+//   run         — processors actually allocated (kRun)
+//   reconfig    — queued *after* the job first ran: vacate/resume and
+//                 shrink/expand churn, i.e. time lost to reconfiguration
+//   other       — everything uncovered: message latency, bid-round backoff
+//                 gaps between RFB rounds, watchdog waits
+//
+// At every instant of [root.start, root.end] exactly one phase wins
+// (priority run > queue > award > bid_wait > other), so the six phase
+// durations partition the makespan: sum(phases) == root.end - root.start
+// within 1e-9 sim-seconds (Kahan-compensated; the invariant is enforced by
+// tests/core/telemetry_test.cpp over a full chaos grid).
+//
+// The structured TimelineRow API here is shared with AppSpector: its
+// human-readable job_timeline() is now a thin formatter over
+// job_timeline_rows(), so the analyzer and the monitoring surface read one
+// code path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/spans.hpp"
+#include "src/util/ids.hpp"
+
+namespace faucets::obs {
+
+class MetricsRegistry;
+
+// ------------------------------------------------------------ timeline rows
+
+/// One span of a job's history as a structured row (kind, interval, value).
+/// AppSpector renders these as text; the analyzer decomposes them.
+struct TimelineRow {
+  SpanId id;
+  SpanKind kind = SpanKind::kSubmission;
+  double start = 0.0;
+  double end = -1.0;  // < 0 while the span is still open
+  double value = 0.0;
+
+  [[nodiscard]] bool open() const noexcept { return end < 0.0; }
+  [[nodiscard]] bool instant() const noexcept { return end == start; }
+};
+
+/// The full causal history of one placement as rows, oldest first (same
+/// order as SpanTracker::for_job).
+[[nodiscard]] std::vector<TimelineRow> job_timeline_rows(const SpanTracker& spans,
+                                                         ClusterId cluster,
+                                                         JobId job);
+
+/// Every span of the submission tree rooted at `root`, start-ordered
+/// (ties: by span id). Returns an empty vector when `root` is unknown.
+[[nodiscard]] std::vector<TimelineRow> subtree_rows(const SpanTracker& spans,
+                                                    SpanId root);
+
+/// The one human-readable rendering of a row, e.g. "[12 157) run value=8".
+[[nodiscard]] std::string format_timeline_row(const TimelineRow& row);
+
+// ------------------------------------------------------------------- phases
+
+enum class Phase : std::uint8_t {
+  kBidWait = 0,
+  kAwardWait,
+  kQueueWait,
+  kRun,
+  kReconfig,
+  kOther,
+};
+
+inline constexpr std::size_t kPhaseCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kBidWait: return "bid_wait";
+    case Phase::kAwardWait: return "award_wait";
+    case Phase::kQueueWait: return "queue_wait";
+    case Phase::kRun: return "run";
+    case Phase::kReconfig: return "reconfig";
+    case Phase::kOther: return "other";
+  }
+  return "?";
+}
+
+/// Where one submission's time went, plus its event counts and outcome.
+struct JobPhaseRecord {
+  SpanId root;
+  UserId user;
+  ClusterId cluster;  // last placement; invalid if never placed
+  JobId job;          // daemon-side id of the last placement
+  double submit = 0.0;
+  double end = 0.0;
+  SpanKind outcome = SpanKind::kSubmission;  // terminal kind; kSubmission = none found
+  std::array<double, kPhaseCount> phases{};
+  std::uint32_t bids = 0;           // kBid instants received
+  std::uint32_t rfb_rounds = 0;     // kRfb spans (re-bid rounds under chaos)
+  std::uint32_t award_attempts = 0; // kAward spans
+  std::uint32_t reconfigs = 0;      // kReconfig instants (shrink/expand)
+  std::uint32_t evictions = 0;      // kEvicted instants (per placement)
+
+  [[nodiscard]] double makespan() const noexcept { return end - submit; }
+  [[nodiscard]] double phase(Phase p) const noexcept {
+    return phases[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] double phase_sum() const noexcept {
+    double s = 0.0;
+    for (const double v : phases) s += v;
+    return s;
+  }
+  [[nodiscard]] bool completed() const noexcept {
+    return outcome == SpanKind::kComplete;
+  }
+};
+
+/// Decompose one submission tree given as rows. `root` must be the first
+/// closed kSubmission row of `rows`; exposed separately so tests can feed
+/// synthetic timelines.
+[[nodiscard]] JobPhaseRecord decompose_rows(const std::vector<TimelineRow>& rows,
+                                            const TimelineRow& root);
+
+/// Everything the analyzer derived from one SpanTracker.
+struct SpanAnalysis {
+  /// One record per *closed* submission root, in root-span-id order (the
+  /// deterministic output contract sweeps rely on).
+  std::vector<JobPhaseRecord> jobs;
+  /// Submission roots skipped because they were still open.
+  std::size_t open_roots = 0;
+
+  /// Mean seconds per phase over all analyzed jobs (0 when empty).
+  [[nodiscard]] std::array<double, kPhaseCount> mean_phases() const;
+  /// Exact q-quantile (nearest-rank) of one phase's per-job durations.
+  [[nodiscard]] double phase_quantile(Phase phase, double q) const;
+  [[nodiscard]] std::size_t count_outcome(SpanKind kind) const;
+};
+
+/// Walk every submission tree of `spans` and decompose it.
+[[nodiscard]] SpanAnalysis analyze_spans(const SpanTracker& spans);
+
+/// Feed each analyzed job's phase durations into per-phase histograms
+/// `faucets_phase_seconds{phase="..."}` so the Prometheus export carries
+/// p50/p95/p99 per phase.
+void observe_phase_histograms(MetricsRegistry& metrics,
+                              const SpanAnalysis& analysis);
+
+// --------------------------------------------------- deadline accounting
+
+/// Deadline-outcome accounting for one scope (a user or a cluster): how
+/// many submissions met the soft deadline, slipped into the soft→hard
+/// window, were penalized past the hard deadline, or never finished — and
+/// how much payoff was realized against the maximum the contracts offered.
+struct DeadlineRow {
+  std::string scope;
+  std::uint64_t jobs = 0;
+  std::uint64_t met_soft = 0;
+  std::uint64_t met_hard = 0;    // finished in (soft, hard]
+  std::uint64_t penalized = 0;   // finished after the hard deadline
+  std::uint64_t unfinished = 0;  // unplaced / failed / timed out
+  double payoff_realized = 0.0;
+  double payoff_max = 0.0;
+
+  /// Fold one finished (or abandoned) submission into the row.
+  void add(bool finished, double finish_time, bool has_deadline,
+           double soft_deadline, double hard_deadline, double realized,
+           double max_payoff);
+};
+
+}  // namespace faucets::obs

@@ -57,6 +57,10 @@ std::string json_id(Id<Tag> id) {
 // ----------------------------------------------------------------- JSONL
 
 void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace) {
+  if (trace.dropped() > 0) {
+    os << "{\"meta\":\"trace\",\"dropped\":" << trace.dropped()
+       << ",\"total_recorded\":" << trace.total_recorded() << "}\n";
+  }
   trace.for_each([&](const TraceEvent& ev) {
     os << "{\"t\":" << json_number(ev.time) << ",\"entity\":"
        << json_id(ev.entity) << ",\"kind\":\"" << to_string(ev.kind) << '"';
@@ -104,7 +108,8 @@ void split_labels(const std::string& name, std::string& base, std::string& label
 
 }  // namespace
 
-void write_prometheus(std::ostream& os, const MetricsRegistry& metrics) {
+void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
+                      const TraceBuffer* trace) {
   std::unordered_set<std::string> typed;  // base names already announced
   metrics.for_each([&](const MetricsRegistry::Entry& e) {
     std::string base;
@@ -147,6 +152,12 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& metrics) {
       }
     }
   });
+  if (trace != nullptr && trace->dropped() > 0) {
+    os << "# HELP faucets_trace_dropped_total Trace events lost to the "
+          "bounded ring; the exported window is truncated\n"
+       << "# TYPE faucets_trace_dropped_total counter\n"
+       << "faucets_trace_dropped_total " << trace->dropped() << '\n';
+  }
 }
 
 // ----------------------------------------------------------- Chrome trace
@@ -160,7 +171,11 @@ struct ChromeWriter {
   std::ostream& os;
   bool first = true;
 
-  void open() { os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"; }
+  void open(std::uint64_t dropped) {
+    os << "{\"displayTimeUnit\":\"ms\",";
+    if (dropped > 0) os << "\"otherData\":{\"trace_dropped\":" << dropped << "},";
+    os << "\"traceEvents\":[\n";
+  }
   void close() { os << "\n]}\n"; }
 
   std::ostream& begin_event() {
@@ -223,7 +238,7 @@ void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
                         const TraceBuffer& trace,
                         const ChromeTraceOptions& options) {
   ChromeWriter w{os};
-  w.open();
+  w.open(trace.dropped());
 
   // Open spans (a job still running when the sim stopped) are clamped to the
   // latest timestamp anywhere in the bundle so Perfetto shows a finite slice.

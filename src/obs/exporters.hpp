@@ -19,9 +19,16 @@ class TraceBuffer;
 class MetricsRegistry;
 class SpanTracker;
 
+/// One JSON object per line per trace event. When the bounded ring dropped
+/// events, the first line is a meta object ({"meta":"trace","dropped":N,...})
+/// so consumers know the window is truncated instead of silently partial.
 void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace);
 
-void write_prometheus(std::ostream& os, const MetricsRegistry& metrics);
+/// Prometheus text exposition of the metrics snapshot. When `trace` is given
+/// and its ring dropped events, a synthetic faucets_trace_dropped_total
+/// counter is appended so scrapes surface the data loss.
+void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
+                      const TraceBuffer* trace = nullptr);
 
 struct ChromeTraceOptions {
   /// Display names for cluster process tracks, parallel-indexed by

@@ -1,6 +1,19 @@
 #include "src/obs/metrics.hpp"
 
+#include <stdexcept>
+
 namespace faucets::obs {
+
+namespace {
+constexpr const char* type_name(MetricsRegistry::Type type) {
+  switch (type) {
+    case MetricsRegistry::Type::kCounter: return "counter";
+    case MetricsRegistry::Type::kGauge: return "gauge";
+    case MetricsRegistry::Type::kHistogram: return "histogram";
+  }
+  return "?";
+}
+}  // namespace
 
 std::vector<double> exponential_buckets(double start, double factor,
                                         std::size_t count) {
@@ -28,9 +41,15 @@ MetricsRegistry::Owned* MetricsRegistry::find_entry(const std::string& name,
   const auto it = index_.find(name);
   if (it == index_.end()) return nullptr;
   Owned& e = entries_[it->second];
-  // A name identifies exactly one instrument; re-registering under a
-  // different type is a programming error we surface loudly in debug builds.
-  return e.type == type ? &e : nullptr;
+  // A name identifies exactly one instrument. Before this check, registering
+  // the same name under a different type silently created a second entry the
+  // index could not reach — both aliased into one exported name.
+  if (e.type != type) {
+    throw std::invalid_argument("metric '" + name + "' is already a " +
+                                type_name(e.type) + ", cannot re-register as " +
+                                type_name(type));
+  }
+  return &e;
 }
 
 const MetricsRegistry::Owned* MetricsRegistry::find_entry(

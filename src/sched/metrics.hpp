@@ -16,7 +16,12 @@ class MetricsCollector {
   /// Record that `busy` processors are in use from `time` on.
   void record_busy(double time, int busy) {
     busy_signal_.record(time, static_cast<double>(busy));
+    current_busy_ = busy;
   }
+
+  /// Processors in use as of the last record_busy() — the live signal the
+  /// time-series sampler probes between allocation changes.
+  [[nodiscard]] int current_busy() const noexcept { return current_busy_; }
 
   void on_completed(const job::Job& job);
   void on_rejected();
@@ -43,6 +48,7 @@ class MetricsCollector {
 
  private:
   int total_procs_;
+  int current_busy_ = 0;
   TimeWeightedStats busy_signal_;
   Samples response_times_;
   Samples wait_times_;

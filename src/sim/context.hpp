@@ -60,6 +60,8 @@ class SimContext {
   }
   [[nodiscard]] obs::SpanTracker& spans() noexcept { return obs_.spans(); }
   [[nodiscard]] const obs::SpanTracker& spans() const noexcept { return obs_.spans(); }
+  [[nodiscard]] obs::Sampler& sampler() noexcept { return obs_.sampler(); }
+  [[nodiscard]] const obs::Sampler& sampler() const noexcept { return obs_.sampler(); }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
   [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }

@@ -18,6 +18,14 @@ std::vector<std::pair<std::string, double>> grid_metrics(const core::GridReport&
   out.emplace_back("makespan", report.makespan);
   out.emplace_back("migrations", static_cast<double>(report.migrations));
   out.emplace_back("watchdog_restarts", static_cast<double>(report.watchdog_restarts));
+  // Mean exclusive-phase decomposition across finished submissions; the
+  // columns are deterministic functions of the span tree, so sweep rows stay
+  // byte-identical across thread counts.
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    out.emplace_back(
+        "phase_" + std::string(obs::to_string(static_cast<obs::Phase>(p))),
+        report.phase_mean_seconds[p]);
+  }
   return out;
 }
 

@@ -129,6 +129,35 @@ TEST(AppSpector, MultipleWatchersServedIndependently) {
   EXPECT_EQ(f.as.watch_requests(), 2u);
 }
 
+TEST(AppSpector, TimelineRowsAndTextShareOneCodePath) {
+  Fixture f;
+  // Build a small lifecycle directly in the span tracker.
+  obs::SpanTracker& spans = f.ctx.spans();
+  const SpanId root = spans.start_span(obs::SpanKind::kSubmission, 1.0, EntityId{1});
+  const SpanId q = spans.start_span(obs::SpanKind::kQueue, 2.0, EntityId{2}, root);
+  spans.bind_job(q, ClusterId{0}, JobId{1});
+  spans.end_span(q, 4.0);
+  const SpanId r = spans.start_span(obs::SpanKind::kRun, 4.0, EntityId{2}, q);
+  spans.set_value(r, 16.0);
+  spans.end_span(r, 9.0);
+
+  const auto rows = f.as.job_timeline_rows(ClusterId{0}, JobId{1});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].kind, obs::SpanKind::kSubmission);
+  EXPECT_TRUE(rows[0].open());
+  EXPECT_EQ(rows[2].kind, obs::SpanKind::kRun);
+  EXPECT_DOUBLE_EQ(rows[2].value, 16.0);
+
+  // The text view is exactly the formatted rows, in the same order.
+  const auto text = f.as.job_timeline(ClusterId{0}, JobId{1});
+  ASSERT_EQ(text.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(text[i], obs::format_timeline_row(rows[i]));
+  }
+  EXPECT_EQ(text[2], "[4 9) run value=16");
+  EXPECT_TRUE(f.as.job_timeline_rows(ClusterId{5}, JobId{5}).empty());
+}
+
 TEST(AppSpector, WatchUnknownJobRepliesUnknown) {
   Fixture f;
   f.probe.watch(f.as.id(), ClusterId{3}, JobId{42});

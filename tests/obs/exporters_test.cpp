@@ -166,6 +166,76 @@ TEST(ChromeTrace, OpenSpansClampToHorizon) {
   EXPECT_NE(out.str().find("\"dur\":10000000"), std::string::npos);
 }
 
+TEST(Jsonl, DroppedEventsAnnotateWithMetaLine) {
+  TraceBuffer trace{4};
+  for (int i = 0; i < 10; ++i) {
+    trace.record(market_event(static_cast<double>(i), EntityId{1},
+                              TraceEventKind::kBidIssued,
+                              RequestId{static_cast<std::uint64_t>(i)}, BidId{0},
+                              1.0));
+  }
+  std::ostringstream out;
+  write_trace_jsonl(out, trace);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u + trace.size())
+      << "one meta line plus one line per surviving event";
+  EXPECT_NE(lines[0].find("\"meta\":\"trace\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dropped\":6"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"total_recorded\":10"), std::string::npos);
+}
+
+TEST(Jsonl, NoMetaLineWithoutDrops) {
+  TraceBuffer trace{16};
+  trace.record(market_event(1.0, EntityId{1}, TraceEventKind::kBidIssued,
+                            RequestId{0}, BidId{0}, 1.0));
+  std::ostringstream out;
+  write_trace_jsonl(out, trace);
+  EXPECT_EQ(out.str().find("\"meta\""), std::string::npos)
+      << "lossless exports stay backwards-compatible, no meta line";
+}
+
+TEST(Prometheus, DroppedEventsExportACounter) {
+  MetricsRegistry reg;
+  reg.counter("faucets_jobs_total").inc(1);
+  TraceBuffer trace{4};
+  for (int i = 0; i < 9; ++i) {
+    trace.record(market_event(static_cast<double>(i), EntityId{1},
+                              TraceEventKind::kBidIssued,
+                              RequestId{static_cast<std::uint64_t>(i)}, BidId{0},
+                              1.0));
+  }
+  std::ostringstream out;
+  write_prometheus(out, reg, &trace);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE faucets_trace_dropped_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("faucets_trace_dropped_total 5"), std::string::npos);
+
+  // Without drops (or without a trace at all) the metric is absent.
+  TraceBuffer quiet{16};
+  std::ostringstream out2;
+  write_prometheus(out2, reg, &quiet);
+  EXPECT_EQ(out2.str().find("faucets_trace_dropped_total"), std::string::npos);
+  std::ostringstream out3;
+  write_prometheus(out3, reg);
+  EXPECT_EQ(out3.str().find("faucets_trace_dropped_total"), std::string::npos);
+}
+
+TEST(ChromeTrace, DroppedEventsAnnotateOtherData) {
+  SpanTracker spans;
+  TraceBuffer trace{4};
+  for (int i = 0; i < 7; ++i) {
+    trace.record(market_event(static_cast<double>(i), EntityId{1},
+                              TraceEventKind::kBidIssued,
+                              RequestId{static_cast<std::uint64_t>(i)}, BidId{0},
+                              1.0));
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, spans, trace, {});
+  EXPECT_NE(out.str().find("\"otherData\":{\"trace_dropped\":3}"),
+            std::string::npos);
+}
+
 TEST(ChromeTrace, EmptyInputsProduceValidSkeleton) {
   SpanTracker spans;
   TraceBuffer trace{1};

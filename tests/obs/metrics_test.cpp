@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace faucets::obs {
@@ -152,6 +154,22 @@ TEST(HistogramProperty, AllSamplesInOverflowBucket) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 59.0);
 }
 
+TEST(Histogram, SingleSampleQuantilesCollapseToIt) {
+  Histogram h{{1.0, 2.0, 4.0}};
+  h.observe(1.5);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 1.5) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h{{1.0}};
+  h.observe(0.5);
+  h.observe(2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
 TEST(Registry, SameNameSameTypeSharesInstance) {
   MetricsRegistry reg;
   Counter& a = reg.counter("faucets_jobs_total", "jobs");
@@ -193,6 +211,33 @@ TEST(Registry, ForEachVisitsInRegistrationOrder) {
   EXPECT_EQ(names[0], "a");
   EXPECT_EQ(names[1], "b");
   EXPECT_EQ(names[2], "c");
+}
+
+TEST(Registry, DuplicateNameUnderDifferentTypeIsRejected) {
+  MetricsRegistry reg;
+  reg.counter("faucets_jobs_total");
+  EXPECT_THROW(reg.gauge("faucets_jobs_total"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("faucets_jobs_total", {1.0}), std::invalid_argument);
+  reg.gauge("faucets_load");
+  EXPECT_THROW(reg.counter("faucets_load"), std::invalid_argument);
+  // The registry is left intact: no orphaned second entry under the name.
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_NE(reg.find_counter("faucets_jobs_total"), nullptr);
+  EXPECT_NE(reg.find_gauge("faucets_load"), nullptr);
+}
+
+TEST(Registry, RejectionMessageNamesBothTypes) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  try {
+    reg.gauge("x");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'x'"), std::string::npos);
+    EXPECT_NE(what.find("counter"), std::string::npos);
+    EXPECT_NE(what.find("gauge"), std::string::npos);
+  }
 }
 
 TEST(Registry, ReferencesSurviveRegistryGrowth) {

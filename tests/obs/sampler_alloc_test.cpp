@@ -1,0 +1,92 @@
+// Zero-allocation guarantee for the sampler hot path: Series buffers are
+// reserved to capacity at registration time and compaction merges in place,
+// so Sampler::sample() must never touch the global heap — including across
+// compaction events, which is exactly when a naive implementation would
+// reallocate. Same counting-allocator technique as the trace ring; separate
+// binary so the replaced operators cannot perturb other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "src/obs/sampler.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// This new/delete pair is matched by construction (new mallocs, delete
+// frees), but GCC cannot see that across the replaced operators and warns
+// at higher optimization levels.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace faucets::obs {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(SamplerAlloc, SampleIsAllocationFreeAcrossCompaction) {
+  Sampler s;
+  double util = 0.0;
+  double depth = 0.0;
+  // Registration allocates (names, probes, reserved buffers) — that's fine.
+  s.add_series("faucets_cluster_utilization", [&] { return util; }, "", 64);
+  s.add_series("faucets_cluster_queue_depth", [&] { return depth; }, "", 64);
+
+  const auto before = allocations();
+  // 10k snapshots into 64-point buffers force many compaction rounds.
+  for (int i = 0; i < 10'000; ++i) {
+    util = static_cast<double>(i % 100) / 100.0;
+    depth = static_cast<double>(i % 7);
+    s.sample(static_cast<double>(i));
+  }
+  EXPECT_EQ(allocations(), before)
+      << "sample() must not allocate, even when buffers compact";
+  EXPECT_EQ(s.samples_taken(), 10'000u);
+  EXPECT_EQ(s.series(0).observations(), 10'000u);
+  EXPECT_LE(s.series(0).points().size(), 64u);
+}
+
+TEST(SamplerAlloc, ReadsDoNotAllocate) {
+  Sampler s;
+  s.add_series("sig", [] { return 1.0; }, "", 16);
+  for (int i = 0; i < 100; ++i) s.sample(static_cast<double>(i));
+
+  const auto before = allocations();
+  double acc = 0.0;
+  s.for_each([&](const Series& series) {
+    for (const SamplePoint& p : series.points()) acc += p.mean();
+    acc += series.value_min() + series.value_max();
+  });
+  EXPECT_EQ(allocations(), before);
+  EXPECT_GT(acc, 0.0);
+}
+
+}  // namespace
+}  // namespace faucets::obs
