@@ -1,0 +1,157 @@
+// Experiment E13 (DESIGN.md §11): conservative parallel simulation scaling.
+//
+// One 1000-cluster grid — ten 64-proc Compute Servers doing the work, 990
+// small ones exercising the Central Server's §5.1 directory filter — runs
+// the same workload at 1, 2, 4, and 8 shards. We record end-to-end wall
+// clock and aggregate engine events/s per shard count, and cross-check that
+// the report JSON is byte-identical everywhere: the speedup must come from
+// parallelism, not from simulating something else.
+//
+//   ./bench/bench_shard [--jobs N] [--out BENCH_shard.json]
+//
+// The default job count keeps the whole sweep under a minute on a laptop;
+// ci/run.sh passes --out and asserts near-linear scaling only on machines
+// with >= 8 hardware threads (the BENCH_sweep convention).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/scenario.hpp"
+#include "src/util/table.hpp"
+
+using namespace faucets;
+
+namespace {
+
+std::string big_grid_ini(std::size_t jobs) {
+  std::ostringstream ini;
+  ini << "[grid]\n"
+         "billing = dollars\n"
+         "users = 100\n"
+         "evaluator = least-cost\n"
+         "brokered = false\n"
+         "seed = 1313\n\n";
+  for (int i = 0; i < 1000; ++i) {
+    const bool big = i % 100 == 0;
+    ini << "[cluster]\nname = c" << i << "\nprocs = " << (big ? 64 : 4)
+        << "\ncost = " << 0.0005 + (i % 7) * 0.0001
+        << "\nstrategy = " << (big ? "payoff" : "fcfs")
+        << "\nbidgen = baseline\n\n";
+  }
+  ini << "[workload]\njobs = " << jobs
+      << "\nload = 0.7\nmin_procs_lo = 32\nmin_procs_hi = 48\n";
+  return ini.str();
+}
+
+struct Run {
+  std::size_t shards = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  std::string report_json;
+};
+
+Run run_at(const core::Scenario& scenario, std::size_t shards) {
+  core::Scenario copy = scenario;
+  copy.grid.shards = shards;
+  auto grid = copy.make_grid();
+  auto requests = copy.make_requests();
+
+  Run out;
+  out.shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  const core::GridReport report = grid->run(std::move(requests), 1e9);
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (std::size_t s = 0; s < grid->shard_count(); ++s) {
+    out.events += grid->shard_context(s).engine().executed();
+  }
+  std::ostringstream os;
+  core::write_report_json(os, report);
+  out.report_json = os.str();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = 10000;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_shard [--jobs N] [--out FILE]\n";
+      return 1;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "=== E13: sharded-simulation scaling (1000 clusters, " << jobs
+            << " jobs, " << hw << " hardware threads) ===\n";
+  const core::Scenario scenario = core::Scenario::parse_string(big_grid_ini(jobs));
+
+  std::vector<Run> runs;
+  Table t{{"shards", "wall ms", "events", "events/s", "speedup"}};
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    runs.push_back(run_at(scenario, shards));
+    const Run& r = runs.back();
+    const double speedup = runs.front().wall_ms / r.wall_ms;
+    t.row()
+        .cell(static_cast<std::uint64_t>(r.shards))
+        .cell(r.wall_ms, 1)
+        .cell(r.events)
+        .cell(static_cast<double>(r.events) / (r.wall_ms / 1000.0), 0)
+        .cell(speedup, 2);
+  }
+  t.print(std::cout);
+
+  for (const Run& r : runs) {
+    if (r.report_json != runs.front().report_json) {
+      std::cerr << "FAIL: report JSON at " << r.shards
+                << " shards differs from the 1-shard run\n";
+      return 2;
+    }
+  }
+  std::cout << "report JSON byte-identical across all shard counts\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out{out_path};
+    out << "{\n"
+        << "  \"benchmark\": \"bench_shard (E13: conservative parallel "
+           "simulation)\",\n"
+        << "  \"workload\": \"1000-cluster grid, " << jobs
+        << " jobs, non-brokered market; report JSON asserted byte-identical "
+           "across shard counts\",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& r = runs[i];
+      out << "    {\"shards\": " << r.shards << ", \"wall_ms\": "
+          << static_cast<std::uint64_t>(r.wall_ms + 0.5)
+          << ", \"events\": " << r.events << ", \"events_per_sec\": "
+          << static_cast<std::uint64_t>(
+                 static_cast<double>(r.events) / (r.wall_ms / 1000.0) + 0.5)
+          << ", \"speedup\": "
+          << static_cast<double>(
+                 static_cast<std::uint64_t>(runs.front().wall_ms / r.wall_ms * 100 + 0.5)) /
+                 100.0
+          << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"build\": \"release-bench (-O3 -DNDEBUG)\",\n"
+        << "  \"source\": \"ci/run.sh\"\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -9,7 +9,8 @@
 # and assert the grid-wide phase-balance invariant, then run the engine,
 # trace, and telemetry benchmarks from the optimized build and record the
 # headline figures in BENCH_engine.json / BENCH_trace.json /
-# BENCH_telemetry.json (sampling overhead must stay under 5%).
+# BENCH_telemetry.json (sampling overhead must stay under 5%), and record
+# the sharded-simulation scaling sweep (E13) in BENCH_shard.json.
 #
 # Usage: ci/run.sh [--skip-bench]
 set -euo pipefail
@@ -38,6 +39,11 @@ cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target test_sweep
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ./build-tsan/tests/test_sweep
+
+echo "==> ThreadSanitizer: sharded chaos run (loss + partition + crash)"
+cmake --build --preset tsan -j "${JOBS}" --target test_core
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ./build-tsan/tests/test_core --gtest_filter='ShardChaos.*'
 
 echo "==> sweep regression gate + serial-vs-parallel throughput"
 python3 - <<'PY'
@@ -324,6 +330,29 @@ out = {
 }
 json.dump(out, open("BENCH_trace.json", "w"), indent=2)
 print("BENCH_trace.json: %.0f events/sec" % out["events_per_sec"])
+PY
+
+echo "==> bench_shard (E13: conservative parallel scaling at 1/2/4/8 shards)"
+./build-release-bench/bench/bench_shard --out BENCH_shard.json
+
+python3 - <<'PY'
+import json, os
+out = json.load(open("BENCH_shard.json"))
+runs = {r["shards"]: r for r in out["runs"]}
+hw = os.cpu_count() or 1
+print("BENCH_shard.json: " + ", ".join(
+    "%d shards %d ev/s (%.2fx)"
+    % (s, runs[s]["events_per_sec"], runs[s]["speedup"])
+    for s in sorted(runs)))
+
+# Near-linear scaling only means something with real cores underneath the
+# shard threads; small CI boxes still verify byte-identical output above
+# (bench_shard exits non-zero if any shard count moves a byte of the
+# report) and the determinism/chaos tests cover correctness.
+if hw >= 8:
+    assert runs[4]["speedup"] >= 2.0, (
+        "sharded run speedup %.2fx at 4 shards < 2x on %d hardware threads"
+        % (runs[4]["speedup"], hw))
 PY
 
 echo "==> bench_telemetry (sampling overhead on a full grid run)"

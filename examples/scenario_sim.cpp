@@ -21,6 +21,10 @@
 //                           --crash-at 0:120:300      # cluster:at[:restart]
 //                           --partition 1:50:90       # cluster:from:until
 //                           --until 36000             # hard stop, seconds
+//
+// Sharded runs (conservative parallel simulation, DESIGN.md §11):
+//
+//   ./examples/scenario_sim --shards 4                # overrides [shards]
 #include <cstddef>
 #include <fstream>
 #include <iostream>
@@ -87,6 +91,8 @@ struct Options {
   std::optional<std::string> partition;  // CLUSTER:FROM:UNTIL
   std::optional<std::string> crash_at;   // CLUSTER:AT[:RESTART]
   std::optional<std::string> until;
+  std::optional<std::string> shards;
+  std::optional<std::string> report_json;
 };
 
 /// Split "a:b[:c]" into its numeric fields.
@@ -151,6 +157,8 @@ Options parse_args(int argc, char** argv) {
     if (take_flag(arg, argc, argv, i, "--partition", opts.partition)) continue;
     if (take_flag(arg, argc, argv, i, "--crash-at", opts.crash_at)) continue;
     if (take_flag(arg, argc, argv, i, "--until", opts.until)) continue;
+    if (take_flag(arg, argc, argv, i, "--shards", opts.shards)) continue;
+    if (take_flag(arg, argc, argv, i, "--report-json", opts.report_json)) continue;
     if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option " + arg);
     }
@@ -202,6 +210,11 @@ int main(int argc, char** argv) {
     }
     const double until =
         opts.until ? std::stod(*opts.until) : faucets::sim::Engine::kForever;
+    if (opts.shards) {
+      const long n = std::stol(*opts.shards);
+      if (n < 1) throw std::invalid_argument("--shards must be >= 1");
+      scenario.grid.shards = static_cast<std::size_t>(n);
+    }
 
     // Reports want time-series charts, so turn sampling on whenever any
     // telemetry output is requested (explicit --sample-interval wins).
@@ -213,19 +226,29 @@ int main(int argc, char** argv) {
 
     std::cout << "Simulating " << scenario.clusters.size() << " Compute Servers ("
               << scenario.total_procs() << " processors), "
-              << scenario.workload.job_count << " jobs...\n\n";
+              << scenario.workload.job_count << " jobs";
+    if (scenario.grid.shards >= 1) {
+      std::cout << " across " << scenario.grid.shards
+                << (scenario.grid.shards == 1 ? " shard" : " shards");
+    }
+    std::cout << "...\n\n";
     auto grid = scenario.make_grid();
     const auto report = grid->run(scenario.make_requests(), until);
     faucets::core::print_report(std::cout, report);
 
+    if (opts.report_json) {
+      auto out = open_out(*opts.report_json);
+      faucets::core::write_report_json(out, report);
+      std::cout << "wrote report JSON to " << *opts.report_json << "\n";
+    }
     if (opts.trace_jsonl) {
       auto out = open_out(*opts.trace_jsonl);
-      faucets::obs::write_trace_jsonl(out, grid->obs().trace());
+      faucets::obs::write_trace_jsonl(out, grid->merged_trace());
       std::cout << "wrote typed trace to " << *opts.trace_jsonl << "\n";
     }
     if (opts.metrics) {
       auto out = open_out(*opts.metrics);
-      faucets::obs::write_prometheus(out, grid->obs().metrics());
+      faucets::obs::write_prometheus(out, grid->merged_metrics());
       std::cout << "wrote metrics to " << *opts.metrics << "\n";
     }
     if (opts.report) {
@@ -254,8 +277,9 @@ int main(int argc, char** argv) {
       for (const auto& c : scenario.clusters) {
         chrome.cluster_names.push_back(c.machine.name);
       }
-      faucets::obs::write_chrome_trace(out, grid->obs().spans(),
-                                       grid->obs().trace(), chrome);
+      const faucets::obs::TraceView merged = grid->merged_trace();
+      faucets::obs::write_chrome_trace(out, grid->merged_spans(), merged,
+                                       chrome);
       std::cout << "wrote Chrome trace to " << *opts.chrome_trace
                 << " (load it at https://ui.perfetto.dev)\n";
     }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/sweep/thread_pool.hpp"
+
 namespace faucets::core {
 
 double GridReport::grid_utilization_weighted() const {
@@ -19,12 +21,45 @@ double GridReport::grid_utilization_weighted() const {
 
 GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
                        std::size_t user_count)
-    : config_(std::move(config)), ctx_(sim::SimConfig{.network = config_.network}) {
+    : config_(std::move(config)),
+      router_(config_.shards >= 1
+                  ? std::make_unique<sim::ShardRouter>(config_.shards)
+                  : nullptr),
+      ctx_(sim::SimConfig{.network = config_.network, .router = router_.get()}) {
   if (clusters.empty()) throw std::invalid_argument("grid needs >= 1 cluster");
   if (user_count == 0) throw std::invalid_argument("grid needs >= 1 user");
+  if (router_ != nullptr && config_.network.base_latency <= 0.0) {
+    throw std::invalid_argument(
+        "sharded grid needs base_latency > 0 (it is the conservative lookahead)");
+  }
+  for (std::size_t s = 1; s < config_.shards; ++s) {
+    extra_ctx_.push_back(std::make_unique<sim::SimContext>(
+        sim::SimConfig{.network = config_.network,
+                       .router = router_.get(),
+                       .shard = static_cast<std::uint32_t>(s)}));
+  }
 
-  // The point budget must be in place before any entity registers a series.
-  ctx_.sampler().set_default_capacity(config_.telemetry.series_capacity);
+  // The point budget must be in place before any entity registers a series,
+  // and span journaling before any entity opens a span: journal-mode ids are
+  // shard-tagged from the first span on.
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    shard_context(s).sampler().set_default_capacity(config_.telemetry.series_capacity);
+  }
+  if (router_ != nullptr) {
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      sim::SimContext& c = shard_context(s);
+      c.spans().enable_journal(
+          static_cast<std::uint32_t>(s), [eng = &c.engine()] {
+            const sim::Engine::ExecStamp st = eng->exec_stamp();
+            obs::SpanTracker::Stamp out;
+            out.time = eng->now();
+            out.rank = st.rank;
+            out.creator = st.creator;
+            out.cseq = st.cseq;
+            return out;
+          });
+    }
+  }
 
   central_ = std::make_unique<CentralServer>(ctx_, config_.central);
   appspector_ = std::make_unique<AppSpector>(ctx_);
@@ -32,20 +67,66 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     BrokerConfig broker_config;
     broker_config.retry = config_.retry;
     broker_ = std::make_unique<BrokerAgent>(ctx_, central_->id(), broker_config);
+    if (router_ != nullptr) {
+      // One peer broker per extra shard: clients submit to their own shard's
+      // broker, and RFB rounds for remote servers are forwarded between
+      // brokers as one grouped message per shard instead of per-server
+      // broadcasts through shard 0.
+      for (std::size_t s = 1; s < shard_count(); ++s) {
+        peer_brokers_.push_back(std::make_unique<BrokerAgent>(
+            shard_context(s), central_->id(), broker_config));
+      }
+      std::vector<EntityId> by_shard(shard_count());
+      by_shard[0] = broker_->id();
+      for (std::size_t s = 1; s < shard_count(); ++s) {
+        by_shard[s] = peer_brokers_[s - 1]->id();
+      }
+      broker_->set_peering(0, by_shard, router_.get());
+      for (std::size_t s = 1; s < shard_count(); ++s) {
+        peer_brokers_[s - 1]->set_peering(static_cast<std::uint32_t>(s), by_shard,
+                                          router_.get());
+      }
+    }
   }
 
-  // Stand up one daemon + cluster manager per Compute Server.
+  // Sharded runs read the Central Server's contract history ("grid weather",
+  // §5.2.1) through per-shard replicas replayed from its journal at lookahead
+  // barriers, with queries lagged by one lookahead so every shard — including
+  // the central's own — sees the same prefix at every shard count.
+  const double lookahead = config_.network.base_latency;
+  if (router_ != nullptr) {
+    central_->mutable_price_history().enable_journal();
+    history_replicas_.reserve(shard_count());
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      history_replicas_.emplace_back(central_->price_history().capacity(),
+                                     central_->price_history().window());
+    }
+  }
+
+  // Stand up one daemon + cluster manager per Compute Server. Contiguous
+  // partitioning: cluster i lives on shard i*N/C, so id-adjacent clusters
+  // share a shard and the merge tie-break (src shard order) coincides with
+  // entity-id order for structured fan-out patterns.
   DaemonConfig daemon_config = config_.daemon;
   daemon_config.retry = config_.retry;
+  daemon_shard_.resize(clusters.size(), 0);
   for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const std::size_t shard =
+        router_ != nullptr ? i * config_.shards / clusters.size() : 0;
+    daemon_shard_[i] = shard;
+    sim::SimContext& c = shard_context(shard);
     ClusterSetup& setup = clusters[i];
     const ClusterId cluster_id{i};
     auto cm = std::make_unique<cluster::ClusterManager>(
-        ctx_, setup.machine, setup.strategy(), setup.costs, cluster_id);
+        c, setup.machine, setup.strategy(), setup.costs, cluster_id);
     auto daemon = std::make_unique<FaucetsDaemon>(
-        ctx_, cluster_id, std::move(cm), setup.bid_generator(),
+        c, cluster_id, std::move(cm), setup.bid_generator(),
         central_->id(), appspector_->id(), daemon_config);
-    daemon->set_grid_history(&central_->price_history());
+    if (router_ != nullptr) {
+      daemon->set_grid_history(&history_replicas_[shard], lookahead);
+    } else {
+      daemon->set_grid_history(&central_->price_history());
+    }
     daemon->register_with_central();
     if (config_.central.billing == BillingMode::kBarter) {
       central_->open_barter_account(cluster_id, setup.barter_credits);
@@ -55,21 +136,29 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
 
   // Fault plan: cluster-indexed partitions resolve to daemon entities now
   // that the daemons exist; crashes (and restarts) become scheduled events.
+  // Every shard's network gets the full fault plan — partitions are
+  // sender-side (id, time) checks, so any shard can drop traffic to or from
+  // an isolated daemon.
   sim::FaultConfig faults = config_.faults;
   for (const auto& p : config_.partitions) {
     faults.partitions.push_back(
         {daemons_.at(p.cluster)->id(), p.from, p.until});
   }
   const bool chaos = faults.any() || !config_.crashes.empty();
-  ctx_.network().set_faults(std::move(faults));
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    shard_context(s).network().set_faults(faults);
+  }
   for (const auto& c : config_.crashes) {
     schedule_cluster_shutdown(c.cluster, c.at, c.graceful);
     if (c.restart_at) schedule_cluster_restart(c.cluster, *c.restart_at);
   }
 
   // One client per user, each with an account at the Central Server. Users
-  // get round-robin home clusters.
+  // get round-robin home clusters; user u lives on shard u*N/U.
+  client_shard_.resize(user_count, 0);
   for (std::size_t u = 0; u < user_count; ++u) {
+    const std::size_t shard = router_ != nullptr ? u * config_.shards / user_count : 0;
+    client_shard_[u] = shard;
     const std::string username = "user" + std::to_string(u);
     const std::string password = "pw-" + std::to_string(u * 7919 + 13);
     const ClusterId home{u % daemons_.size()};
@@ -88,19 +177,22 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     cc.bid_rounds = chaos ? config_.retry.max_attempts : 1;
     if (config_.clients_prefer_home) cc.home_cluster = home;
     if (broker_) {
-      cc.broker = broker_->id();
+      cc.broker = (router_ != nullptr && shard != 0)
+                      ? peer_brokers_[shard - 1]->id()
+                      : broker_->id();
       cc.criteria = config_.broker_criteria;
     }
     auto evaluator = config_.evaluator
                          ? config_.evaluator()
                          : std::make_unique<market::LeastCostEvaluator>();
     clients_.push_back(std::make_unique<FaucetsClient>(
-        ctx_, central_->id(), std::move(evaluator), std::move(cc)));
+        shard_context(shard), central_->id(), std::move(evaluator), std::move(cc)));
   }
 
   if (config_.telemetry.sample_interval > 0.0) {
     next_sample_due_ = config_.telemetry.sample_interval;
   }
+  shard_sample_due_.assign(shard_count(), next_sample_due_);
 }
 
 void GridSystem::maybe_sample() {
@@ -114,9 +206,32 @@ void GridSystem::maybe_sample() {
   next_sample_due_ = ctx_.now() + config_.telemetry.sample_interval;
 }
 
+void GridSystem::maybe_sample_shard(std::size_t s) {
+  // Sharded twin of maybe_sample(): each shard samples its own sampler on
+  // its own clock from its own worker thread (shared state: none).
+  sim::SimContext& c = shard_context(s);
+  if (c.now() < shard_sample_due_[s]) return;
+  c.sampler().sample(c.now());
+  shard_sample_due_[s] = c.now() + config_.telemetry.sample_interval;
+}
+
+void GridSystem::replay_history() {
+  // Barrier-time (workers idle): push the Central Server's newly journaled
+  // contracts into every shard's replica. Replay goes through record() so a
+  // replica's bounded deque evicts exactly like the live history's.
+  if (history_replicas_.empty()) return;
+  const auto& journal = central_->price_history().journal();
+  for (; history_applied_ < journal.size(); ++history_applied_) {
+    for (auto& replica : history_replicas_) {
+      replica.record(journal[history_applied_]);
+    }
+  }
+}
+
 GridSystem::~GridSystem() = default;
 
 GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) {
+  merged_.reset();
   // Split the stream per user and hand each client its share.
   std::vector<std::vector<job::JobRequest>> per_user(clients_.size());
   for (auto& req : requests) {
@@ -140,36 +255,229 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
     }
     return true;
   };
-  while (!all_done() && ctx_.engine().step(until)) {
-    maybe_sample();
+  if (router_ == nullptr) {
+    while (!all_done() && ctx_.engine().step(until)) {
+      maybe_sample();
+    }
+    // Drain in-flight housekeeping for one simulated second: the daemons'
+    // ContractSettled reports to the Central Server (price history, billing,
+    // barter transfers) trail the completion notices clients wait for.
+    ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
+    makespan_ = ctx_.now();
+  } else {
+    run_sharded(until, all_done);
   }
-  // Drain in-flight housekeeping for one simulated second: the daemons'
-  // ContractSettled reports to the Central Server (price history, billing,
-  // barter transfers) trail the completion notices clients wait for.
-  ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
   for (auto& d : daemons_) d->cm().finish_metrics();
   if (config_.telemetry.sample_interval > 0.0) {
     // Close the series on the final state so a chart's last point reflects
     // the drained grid.
-    ctx_.sampler().sample(ctx_.now());
-    next_sample_due_ = ctx_.now() + config_.telemetry.sample_interval;
+    if (router_ == nullptr) {
+      ctx_.sampler().sample(ctx_.now());
+      next_sample_due_ = ctx_.now() + config_.telemetry.sample_interval;
+    } else {
+      for (std::size_t s = 0; s < shard_count(); ++s) {
+        shard_context(s).sampler().sample(makespan_);
+        shard_sample_due_[s] = makespan_ + config_.telemetry.sample_interval;
+      }
+    }
   }
   // The span trees are final now: analyze once, publish the per-phase
-  // histograms, and cache the analysis for report()/telemetry().
-  analysis_ = obs::analyze_spans(ctx_.spans());
-  obs::observe_phase_histograms(ctx_.metrics(), *analysis_);
+  // histograms, and cache the analysis for report()/telemetry(). Sharded
+  // runs analyze and publish into the deterministic merged views.
+  if (router_ == nullptr) {
+    analysis_ = obs::analyze_spans(ctx_.spans());
+    obs::observe_phase_histograms(ctx_.metrics(), *analysis_);
+  } else {
+    MergedObs& m = ensure_merged();
+    analysis_ = obs::analyze_spans(m.spans);
+    obs::observe_phase_histograms(m.metrics, *analysis_);
+  }
   return report();
 }
 
+void GridSystem::run_sharded(double until, const std::function<bool()>& all_done) {
+  // Conservative windowed execution (DESIGN.md §11): no cross-shard message
+  // can arrive sooner than its send time + base_latency, so every shard may
+  // execute everything strictly below T_min + lookahead, where T_min is the
+  // global minimum of pending event and staged envelope times. Every send in
+  // a window happens at >= T_min, so its envelope arrives at >= window_end:
+  // a window never misses a message from its own present.
+  const double lookahead = config_.network.base_latency;
+  const std::size_t n = shard_count();
+  staged_.clear();
+  staged_.resize(n);
+  consumed_.assign(n, 0);
+  sweep::ThreadPool pool(n);
+
+  auto barrier = [&] {
+    for (std::size_t s = 0; s < n; ++s) {
+      router_->drain(s, staged_[s], consumed_[s]);
+    }
+    replay_history();
+  };
+  auto t_min = [&] {
+    double m = sim::Engine::kForever;
+    for (std::size_t s = 0; s < n; ++s) {
+      m = std::min(m, shard_context(s).engine().next_time());
+      if (consumed_[s] < staged_[s].size()) {
+        m = std::min(m, staged_[s][consumed_[s]].arrival);
+      }
+    }
+    return m;
+  };
+  // Run lookahead windows until nothing remains at or below `cap` (or, with
+  // `stop_when_done`, until every submission reached a terminal state).
+  // Everything between windows runs on this thread with the workers idle, so
+  // cross-shard reads (all_done, t_min, the history journal) are unshared.
+  auto windows = [&](double cap, bool stop_when_done) {
+    for (;;) {
+      barrier();
+      if (stop_when_done && all_done()) return true;
+      const double tmin = t_min();
+      if (tmin >= sim::Engine::kForever || tmin > cap) return false;
+      const double window_end = tmin + lookahead;
+      for (std::size_t s = 0; s < n; ++s) {
+        pool.submit([this, s, window_end, cap] {
+          run_shard_window(s, window_end, cap);
+        });
+      }
+      pool.wait_idle();
+    }
+  };
+
+  // Phase A: the market runs until quiescent (or `until`).
+  const bool done = windows(until, /*stop_when_done=*/true);
+
+  // Phase B: drain trailing housekeeping (ContractSettled reports, billing,
+  // barter transfers) for one simulated second — the single-engine drain
+  // bound, derived from the clients' last terminal outcome because no one
+  // shard's clock is "the" clock. Phase A overshoots that moment by less
+  // than one lookahead window, which stays inside this bound for any sane
+  // base_latency (< 1s).
+  double terminal = 0.0;
+  if (done) {
+    for (const auto& c : clients_) {
+      terminal = std::max(terminal, c->last_terminal_time());
+    }
+  } else {
+    for (std::size_t s = 0; s < n; ++s) {
+      terminal = std::max(terminal, shard_context(s).now());
+    }
+  }
+  const double drain_end = std::min(until, terminal + 1.0);
+  windows(drain_end, /*stop_when_done=*/false);
+
+  makespan_ = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    makespan_ = std::max(makespan_, shard_context(s).now());
+  }
+  // Mirror Engine::run's clamp: when events remain beyond a finite drain
+  // bound (the daemons' monitor timers re-arm forever), the single-engine
+  // clock comes to rest exactly at the bound.
+  bool more = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (shard_context(s).engine().next_time() < sim::Engine::kForever ||
+        consumed_[s] < staged_[s].size()) {
+      more = true;
+    }
+  }
+  if (more && drain_end < sim::Engine::kForever) makespan_ = drain_end;
+  // All shards come to rest on one clock, like the single global engine:
+  // report-time accounting (utilization windows, final samples) reads now()
+  // and must see the same end time regardless of which shard hosts it.
+  for (std::size_t s = 0; s < n; ++s) {
+    shard_context(s).engine().advance_to(makespan_);
+  }
+}
+
+void GridSystem::run_shard_window(std::size_t s, double window_end, double cap) {
+  // Merge the shard's own event heap with its staged cross-shard envelopes
+  // in exactly the order one global heap would have produced: ascending
+  // canonical order (time, scheduling rank, creator, creation seq). An
+  // engine event's rank is the time it was scheduled (its send time, for
+  // deliveries); an envelope carries its sender's values.
+  sim::SimContext& ctx = shard_context(s);
+  sim::Engine& engine = ctx.engine();
+  auto& staged = staged_[s];
+  std::size_t& pos = consumed_[s];
+  for (;;) {
+    const double et = engine.next_time();
+    bool pick_env = false;
+    double t = et;
+    if (pos < staged.size()) {
+      const auto& env = staged[pos];
+      if (et != env.arrival) {
+        pick_env = env.arrival < et;
+      } else {
+        const double er = engine.next_rank();
+        if (er != env.sent_at) {
+          pick_env = env.sent_at < er;
+        } else {
+          const std::uint64_t ec = engine.next_creator();
+          pick_env = ec != env.creator ? env.creator < ec
+                                       : env.cseq < engine.next_cseq();
+        }
+      }
+      if (pick_env) t = env.arrival;
+    }
+    if (t >= window_end || t > cap) break;
+    if (pick_env) {
+      auto& env = staged[pos];
+      engine.advance_to(env.arrival);
+      engine.begin_external_event(env.sent_at, env.creator, env.cseq);
+      ctx.network().deliver_envelope(env.kind, std::move(env.msg));
+      ++pos;
+    } else {
+      engine.step(cap);
+    }
+    maybe_sample_shard(s);
+  }
+}
+
 const obs::SpanAnalysis& GridSystem::analysis() const {
-  if (!analysis_) analysis_ = obs::analyze_spans(ctx_.spans());
+  if (!analysis_) analysis_ = obs::analyze_spans(merged_spans());
   return *analysis_;
+}
+
+GridSystem::MergedObs& GridSystem::ensure_merged() const {
+  if (!merged_) {
+    std::vector<const obs::MetricsRegistry*> regs;
+    std::vector<const obs::SpanTracker*> spans;
+    std::vector<const obs::TraceBuffer*> traces;
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      const sim::SimContext& c = shard_context(s);
+      regs.push_back(&c.metrics());
+      spans.push_back(&c.spans());
+      traces.push_back(&c.trace());
+    }
+    MergedObs m;
+    m.metrics = obs::MetricsRegistry::merged(regs);
+    m.spans = obs::SpanTracker::merge_journals(spans);
+    m.trace = obs::TraceView::merged(traces);
+    merged_ = std::move(m);
+  }
+  return *merged_;
+}
+
+const obs::MetricsRegistry& GridSystem::merged_metrics() const {
+  return router_ != nullptr ? ensure_merged().metrics : ctx_.metrics();
+}
+
+const obs::SpanTracker& GridSystem::merged_spans() const {
+  return router_ != nullptr ? ensure_merged().spans : ctx_.spans();
+}
+
+obs::TraceView GridSystem::merged_trace() const {
+  if (router_ != nullptr) return ensure_merged().trace;
+  return obs::TraceView::merged({&ctx_.trace()});
 }
 
 void GridSystem::schedule_cluster_shutdown(std::size_t i, double when,
                                            bool graceful) {
   FaucetsDaemon* daemon = daemons_.at(i).get();
-  ctx_.engine().schedule_at(when, [daemon, graceful] {
+  sim::Engine& eng = shard_context(daemon_shard_.at(i)).engine();
+  eng.set_current_entity(daemon->id().value());
+  eng.schedule_at(when, [daemon, graceful] {
     if (graceful) {
       daemon->drain_and_shutdown();
     } else {
@@ -180,7 +488,9 @@ void GridSystem::schedule_cluster_shutdown(std::size_t i, double when,
 
 void GridSystem::schedule_cluster_restart(std::size_t i, double when) {
   FaucetsDaemon* daemon = daemons_.at(i).get();
-  ctx_.engine().schedule_at(when, [daemon] { daemon->restart(); });
+  sim::Engine& eng = shard_context(daemon_shard_.at(i)).engine();
+  eng.set_current_entity(daemon->id().value());
+  eng.schedule_at(when, [daemon] { daemon->restart(); });
 }
 
 std::unique_ptr<GridSystem> GridBuilder::build() {
@@ -218,22 +528,34 @@ std::unique_ptr<GridSystem> GridBuilder::build() {
                                   std::to_string(clusters_.size()) + " exist");
     }
   }
+  if (config_.shards >= 1 && config_.network.base_latency <= 0.0) {
+    throw std::invalid_argument(
+        "GridBuilder: sharded runs need base_latency > 0 (it is the "
+        "conservative lookahead)");
+  }
   return std::make_unique<GridSystem>(std::move(config_), std::move(clusters_),
                                       users_);
 }
 
 GridReport GridSystem::report() const {
   GridReport out;
-  out.makespan = ctx_.now();
-  out.messages = ctx_.network().messages_sent();
-  out.network_bytes = ctx_.network().bytes_sent();
-  out.messages_sent_by_kind = ctx_.network().sent_by_kind();
-  out.messages_delivered_by_kind = ctx_.network().delivered_by_kind();
+  out.makespan = router_ != nullptr ? makespan_ : ctx_.now();
+  // Traffic accumulates per shard network (sends counted by the sender's
+  // fabric, deliveries by the receiver's) and merges as an exact sum.
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    const sim::Network& net = shard_context(s).network();
+    out.messages += net.messages_sent();
+    out.network_bytes += net.bytes_sent();
+    for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+      out.messages_sent_by_kind[k] += net.sent_by_kind()[k];
+      out.messages_delivered_by_kind[k] += net.delivered_by_kind()[k];
+    }
+  }
 
   // Grid-wide totals come straight from the metrics registry: every client
   // and daemon increments the shared instruments, so the report no longer
   // re-plumbs ad-hoc counters through each layer.
-  const obs::MetricsRegistry& metrics = ctx_.metrics();
+  const obs::MetricsRegistry& metrics = merged_metrics();
   out.jobs_submitted = metrics.counter_value("faucets_grid_jobs_submitted_total");
   out.jobs_completed = metrics.counter_value("faucets_grid_jobs_completed_total");
   out.jobs_unplaced = metrics.counter_value("faucets_grid_jobs_unplaced_total");

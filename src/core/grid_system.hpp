@@ -99,6 +99,14 @@ struct GridConfig {
   RetryPolicy retry{};
   /// Periodic telemetry sampling; off by default.
   TelemetryConfig telemetry{};
+  /// Number of simulation shards (parallel sim::Engines synchronized at
+  /// conservative lookahead barriers; DESIGN.md §11). 0 — the default — is
+  /// the classic single global event loop, bit-for-bit unchanged. Any
+  /// explicit count >= 1 (including 1) selects the conservative parallel
+  /// executor, whose canonical event order is byte-identical at every shard
+  /// count. Sharded runs require a positive WAN base_latency — it is the
+  /// lookahead.
+  std::size_t shards = 0;
 };
 
 /// Per-cluster results after a run.
@@ -169,6 +177,23 @@ class GridSystem {
                  double until = sim::Engine::kForever);
 
   [[nodiscard]] sim::SimContext& context() noexcept { return ctx_; }
+  /// Context owning shard `s`'s engine/network/observability (0 = context()).
+  [[nodiscard]] sim::SimContext& shard_context(std::size_t s) noexcept {
+    return s == 0 ? ctx_ : *extra_ctx_.at(s - 1);
+  }
+  [[nodiscard]] const sim::SimContext& shard_context(std::size_t s) const noexcept {
+    return s == 0 ? ctx_ : *extra_ctx_.at(s - 1);
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return extra_ctx_.size() + 1;
+  }
+  /// Owning shard of cluster `i` / client `u` (always 0 when unsharded).
+  [[nodiscard]] std::size_t shard_of_cluster(std::size_t i) const {
+    return daemon_shard_.at(i);
+  }
+  [[nodiscard]] std::size_t shard_of_client(std::size_t u) const {
+    return client_shard_.at(u);
+  }
   [[nodiscard]] sim::Engine& engine() noexcept { return ctx_.engine(); }
   [[nodiscard]] sim::Network& network() noexcept { return ctx_.network(); }
   [[nodiscard]] sim::TraceSink& trace() noexcept { return ctx_.trace(); }
@@ -195,26 +220,64 @@ class GridSystem {
   /// Build the report from current state (run() calls this at the end).
   [[nodiscard]] GridReport report() const;
 
+  // --- shard-count-independent observability views -------------------------
+  // In a sharded run each shard records into its own registry / span tracker
+  // / trace ring; these return the deterministic merge (built lazily, cached
+  // until the next run()). Unsharded they alias context()'s objects, so
+  // exporters can use them unconditionally. merged_trace() always
+  // materializes a TraceView (cheap copy of surviving events).
+  [[nodiscard]] const obs::MetricsRegistry& merged_metrics() const;
+  [[nodiscard]] const obs::SpanTracker& merged_spans() const;
+  [[nodiscard]] obs::TraceView merged_trace() const;
+
   /// Analyze the span trees and join them with the clients' submission
   /// outcomes. Callable any time; run() caches the end-of-run analysis so a
   /// post-run call costs one join, not a re-walk.
   [[nodiscard]] GridTelemetry telemetry() const;
 
  private:
+  struct MergedObs {
+    obs::MetricsRegistry metrics;
+    obs::SpanTracker spans;
+    obs::TraceView trace;
+  };
+
   void maybe_sample();
+  void maybe_sample_shard(std::size_t s);
   [[nodiscard]] const obs::SpanAnalysis& analysis() const;
+  [[nodiscard]] MergedObs& ensure_merged() const;
+  void run_sharded(double until, const std::function<bool()>& all_done);
+  void run_shard_window(std::size_t s, double window_end, double cap);
+  void replay_history();
 
   GridConfig config_;
-  sim::SimContext ctx_;
+  // The router outlives every context (networks hold a raw pointer into it).
+  std::unique_ptr<sim::ShardRouter> router_;
+  sim::SimContext ctx_;                                     // shard 0
+  std::vector<std::unique_ptr<sim::SimContext>> extra_ctx_; // shards 1..N-1
   std::unique_ptr<CentralServer> central_;
   std::unique_ptr<AppSpector> appspector_;
   std::unique_ptr<BrokerAgent> broker_;
+  std::vector<std::unique_ptr<BrokerAgent>> peer_brokers_;  // shards 1..N-1
   std::vector<std::unique_ptr<FaucetsDaemon>> daemons_;
   std::vector<std::unique_ptr<FaucetsClient>> clients_;
+  std::vector<std::size_t> daemon_shard_;
+  std::vector<std::size_t> client_shard_;
+  // Per-shard lagged replicas of the Central Server's contract history
+  // ("grid weather", §5.2.1), replayed from its journal at every barrier.
+  std::vector<market::PriceHistory> history_replicas_;
+  std::size_t history_applied_ = 0;  // journal prefix already replayed
+  // Cross-shard envelope staging: sorted per-destination lists plus the
+  // count of already-delivered entries at each list's front.
+  std::vector<std::vector<sim::ShardRouter::Envelope>> staged_;
+  std::vector<std::size_t> consumed_;
+  double makespan_ = 0.0;  // set by run(); report() uses it when sharded
   // Sim-time of the next sampler snapshot; +inf when sampling is disabled so
   // the run loop's check is one always-false branch. See maybe_sample().
   double next_sample_due_ = std::numeric_limits<double>::infinity();
+  std::vector<double> shard_sample_due_;  // per-shard due times (sharded)
   mutable std::optional<obs::SpanAnalysis> analysis_;  // cached by run()
+  mutable std::optional<MergedObs> merged_;            // cached merge
 };
 
 /// Fluent construction of a GridSystem. Replaces hand-assembled
@@ -320,6 +383,14 @@ class GridBuilder {
   /// Isolate cluster `index`'s daemon from the network during [from, until).
   GridBuilder& partition(std::size_t index, double from, double until) {
     config_.partitions.push_back({index, from, until});
+    return *this;
+  }
+  /// Partition the grid across `count` parallel simulation shards
+  /// (DESIGN.md §11). Any explicit count (including 1) opts into the
+  /// canonical parallel executor; leave unset for the classic
+  /// single-engine loop.
+  GridBuilder& shards(std::size_t count) {
+    config_.shards = count;
     return *this;
   }
   GridBuilder& cluster(ClusterSetup setup) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/sched/backfill.hpp"
+#include "src/sweep/jsonio.hpp"
 #include "src/sched/equipartition.hpp"
 #include "src/sched/fcfs.hpp"
 #include "src/sched/payoff_sched.hpp"
@@ -194,6 +195,15 @@ Scenario Scenario::parse(const ConfigFile& config) {
   out.workload.min_procs_lo =
       std::min(out.workload.min_procs_lo, out.workload.min_procs_hi);
 
+  const ConfigSection* shards = config.section("shards");
+  if (shards != nullptr) {
+    const long count = shards->get_int("count", 1);
+    if (count < 1) {
+      throw std::invalid_argument("[shards] count must be >= 1");
+    }
+    out.grid.shards = static_cast<std::size_t>(count);
+  }
+
   const double load = wl != nullptr ? wl->get_double("load", 0.8) : 0.8;
   int total = 0;
   for (const auto& c : out.clusters) total += c.machine.total_procs;
@@ -222,6 +232,49 @@ std::vector<job::JobRequest> Scenario::make_requests() const {
 GridReport Scenario::run() {
   auto system = make_grid();
   return system->run(make_requests());
+}
+
+void write_report_json(std::ostream& os, const GridReport& report) {
+  const auto num = [](double v) { return sweep::format_double(v); };
+  os << "{\"jobs_submitted\":" << report.jobs_submitted
+     << ",\"jobs_completed\":" << report.jobs_completed
+     << ",\"jobs_unplaced\":" << report.jobs_unplaced
+     << ",\"migrations\":" << report.migrations
+     << ",\"watchdog_restarts\":" << report.watchdog_restarts
+     << ",\"makespan\":" << num(report.makespan)
+     << ",\"messages\":" << report.messages
+     << ",\"network_bytes\":" << report.network_bytes
+     << ",\"total_spent\":" << num(report.total_spent)
+     << ",\"total_client_payoff\":" << num(report.total_client_payoff)
+     << ",\"mean_award_latency\":" << num(report.mean_award_latency);
+  os << ",\"messages_sent_by_kind\":[";
+  for (std::size_t k = 0; k < report.messages_sent_by_kind.size(); ++k) {
+    os << (k == 0 ? "" : ",") << report.messages_sent_by_kind[k];
+  }
+  os << "],\"messages_delivered_by_kind\":[";
+  for (std::size_t k = 0; k < report.messages_delivered_by_kind.size(); ++k) {
+    os << (k == 0 ? "" : ",") << report.messages_delivered_by_kind[k];
+  }
+  os << "],\"phase_mean_seconds\":[";
+  for (std::size_t i = 0; i < report.phase_mean_seconds.size(); ++i) {
+    os << (i == 0 ? "" : ",") << num(report.phase_mean_seconds[i]);
+  }
+  os << "],\"clusters\":[";
+  for (std::size_t i = 0; i < report.clusters.size(); ++i) {
+    const ClusterReport& c = report.clusters[i];
+    os << (i == 0 ? "" : ",") << "{\"name\":\"" << sweep::escape_json(c.name)
+       << "\",\"utilization\":" << num(c.utilization)
+       << ",\"completed\":" << c.completed
+       << ",\"rejected\":" << c.rejected
+       << ",\"revenue\":" << num(c.revenue)
+       << ",\"payoff_earned\":" << num(c.payoff_earned)
+       << ",\"bids_issued\":" << c.bids_issued
+       << ",\"bids_declined\":" << c.bids_declined
+       << ",\"awards_confirmed\":" << c.awards_confirmed
+       << ",\"awards_refused\":" << c.awards_refused
+       << ",\"barter_balance\":" << num(c.barter_balance) << "}";
+  }
+  os << "]}\n";
 }
 
 void print_report(std::ostream& os, const GridReport& report) {

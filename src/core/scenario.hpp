@@ -44,6 +44,9 @@
 //   penalty_fraction = 0.25  # post-hard-deadline penalty
 //
 //   [sweep]                  # optional: parameter grid (see src/sweep/spec.hpp)
+//
+//   [shards]                 # optional: conservative parallel simulation
+//   count = 4                # per-shard engines on worker threads (§11)
 #pragma once
 
 #include <iosfwd>
@@ -87,5 +90,11 @@ struct Scenario {
 
 /// Render a GridReport as the human-readable summary the CLI prints.
 void print_report(std::ostream& os, const GridReport& report);
+
+/// Render a GridReport as one deterministic JSON object (shortest
+/// round-trip number form, fixed key order). Byte-identical reports mean
+/// identical runs — the sharded determinism tests and bench_shard compare
+/// this output across shard counts.
+void write_report_json(std::ostream& os, const GridReport& report);
 
 }  // namespace faucets::core

@@ -123,10 +123,14 @@ void FaucetsClient::fail_unsubmitted(const qos::QosContract& contract) {
   spans.end_span(outcome.span, now());
   ++unplaced_;
   unplaced_ctr_->inc();
+  last_terminal_time_ = now();
   outcomes_.push_back(outcome);
 }
 
 void FaucetsClient::run_workload(std::vector<job::JobRequest> requests) {
+  // Called from outside the event loop: claim creation attribution so the
+  // submission timers carry this client's canonical identity.
+  engine().set_current_entity(id().value());
   login();
   for (auto& req : requests) {
     engine().schedule_at(req.submit_time, [this, contract = std::move(req.contract)] {
@@ -136,6 +140,7 @@ void FaucetsClient::run_workload(std::vector<job::JobRequest> requests) {
 }
 
 void FaucetsClient::submit_now(const qos::QosContract& contract) {
+  engine().set_current_entity(id().value());
   login();
   submit(contract);
 }
@@ -671,6 +676,7 @@ void FaucetsClient::handle_complete(const proto::JobCompleteNotice& msg) {
   total_payoff_ += outcome.payoff;
   ++completed_;
   completed_ctr_->inc();
+  last_terminal_time_ = now();
   context().spans().end_span(pending.root, now());
   pending_.erase(it);
   inflight_gauge_->add(-1.0);
@@ -702,6 +708,7 @@ void FaucetsClient::finish_request(RequestId request,
   outcomes_[pending.outcome_index].status = status;
   ++unplaced_;
   unplaced_ctr_->inc();
+  last_terminal_time_ = now();
   auto& spans = context().spans();
   spans.end_span(pending.rfb, now());
   spans.end_span(pending.award, now());

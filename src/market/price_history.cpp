@@ -5,6 +5,7 @@
 namespace faucets::market {
 
 void PriceHistory::record(ContractRecord record) {
+  if (journal_enabled_) journal_.push_back(record);
   records_.push_back(record);
   while (records_.size() > capacity_) records_.pop_front();
   evict(record.time);
@@ -17,9 +18,14 @@ void PriceHistory::evict(double now) {
 }
 
 std::optional<double> PriceHistory::average_unit_price(double now) const {
+  // The r.time <= now bound matters only for sharded replicas, which may
+  // already hold records from inside the lookahead window ahead of the
+  // effective (lagged) query time; a live history never has future records.
   OnlineStats stats;
   for (const auto& r : records_) {
-    if (r.time >= now - window_ && r.work > 0.0) stats.add(r.unit_price());
+    if (r.time >= now - window_ && r.time <= now && r.work > 0.0) {
+      stats.add(r.unit_price());
+    }
   }
   if (stats.empty()) return std::nullopt;
   return stats.mean();
@@ -30,8 +36,8 @@ std::optional<double> PriceHistory::average_unit_price_for_size(double now,
                                                                 int procs_hi) const {
   OnlineStats stats;
   for (const auto& r : records_) {
-    if (r.time >= now - window_ && r.work > 0.0 && r.procs >= procs_lo &&
-        r.procs <= procs_hi) {
+    if (r.time >= now - window_ && r.time <= now && r.work > 0.0 &&
+        r.procs >= procs_lo && r.procs <= procs_hi) {
       stats.add(r.unit_price());
     }
   }
@@ -48,7 +54,7 @@ std::optional<std::pair<double, double>> PriceHistory::unit_price_trend(
   double sxx = 0.0;
   double sxy = 0.0;
   for (const auto& r : records_) {
-    if (r.time < now - window_ || r.work <= 0.0) continue;
+    if (r.time < now - window_ || r.time > now || r.work <= 0.0) continue;
     const double x = r.time - now;
     const double y = r.unit_price();
     n += 1.0;
@@ -77,7 +83,7 @@ Histogram PriceHistory::unit_price_histogram(double now) const {
   double hi = 0.0;
   bool first = true;
   for (const auto& r : records_) {
-    if (r.time < now - window_ || r.work <= 0.0) continue;
+    if (r.time < now - window_ || r.time > now || r.work <= 0.0) continue;
     const double p = r.unit_price();
     if (first) {
       lo = hi = p;
@@ -90,7 +96,9 @@ Histogram PriceHistory::unit_price_histogram(double now) const {
   if (first || hi <= lo) hi = lo + 1.0;
   Histogram h{lo, hi, 8};
   for (const auto& r : records_) {
-    if (r.time >= now - window_ && r.work > 0.0) h.add(r.unit_price());
+    if (r.time >= now - window_ && r.time <= now && r.work > 0.0) {
+      h.add(r.unit_price());
+    }
   }
   return h;
 }

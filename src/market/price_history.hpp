@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "src/util/ids.hpp"
 #include "src/util/stats.hpp"
@@ -65,12 +66,27 @@ class PriceHistory {
     return records_.empty() ? 0.0 : records_.back().unit_price();
   }
 
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double window() const noexcept { return window_; }
+
+  /// Keep an append-only journal of every record() alongside the bounded
+  /// deque. Sharded runs enable this on the Central Server's history so each
+  /// shard's lagged replica can replay journal entries incrementally at
+  /// lookahead barriers and reproduce the exact same deque state (including
+  /// capacity eviction order).
+  void enable_journal() { journal_enabled_ = true; }
+  [[nodiscard]] const std::vector<ContractRecord>& journal() const noexcept {
+    return journal_;
+  }
+
  private:
   void evict(double now);
 
   std::size_t capacity_;
   double window_;
   std::deque<ContractRecord> records_;  // time-ordered
+  bool journal_enabled_ = false;
+  std::vector<ContractRecord> journal_;
 };
 
 }  // namespace faucets::market

@@ -56,7 +56,10 @@ std::string json_id(Id<Tag> id) {
 
 // ----------------------------------------------------------------- JSONL
 
-void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace) {
+namespace {
+
+template <typename TraceLike>
+void write_trace_jsonl_impl(std::ostream& os, const TraceLike& trace) {
   if (trace.dropped() > 0) {
     os << "{\"meta\":\"trace\",\"dropped\":" << trace.dropped()
        << ",\"total_recorded\":" << trace.total_recorded() << "}\n";
@@ -90,6 +93,16 @@ void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace) {
   });
 }
 
+}  // namespace
+
+void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace) {
+  write_trace_jsonl_impl(os, trace);
+}
+
+void write_trace_jsonl(std::ostream& os, const TraceView& trace) {
+  write_trace_jsonl_impl(os, trace);
+}
+
 // ------------------------------------------------------------- Prometheus
 
 namespace {
@@ -108,8 +121,10 @@ void split_labels(const std::string& name, std::string& base, std::string& label
 
 }  // namespace
 
-void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
-                      const TraceBuffer* trace) {
+namespace {
+
+void write_prometheus_impl(std::ostream& os, const MetricsRegistry& metrics,
+                           std::uint64_t trace_dropped) {
   std::unordered_set<std::string> typed;  // base names already announced
   metrics.for_each([&](const MetricsRegistry::Entry& e) {
     std::string base;
@@ -152,12 +167,24 @@ void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
       }
     }
   });
-  if (trace != nullptr && trace->dropped() > 0) {
+  if (trace_dropped > 0) {
     os << "# HELP faucets_trace_dropped_total Trace events lost to the "
           "bounded ring; the exported window is truncated\n"
        << "# TYPE faucets_trace_dropped_total counter\n"
-       << "faucets_trace_dropped_total " << trace->dropped() << '\n';
+       << "faucets_trace_dropped_total " << trace_dropped << '\n';
   }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
+                      const TraceBuffer* trace) {
+  write_prometheus_impl(os, metrics, trace != nullptr ? trace->dropped() : 0);
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
+                      const TraceView* trace) {
+  write_prometheus_impl(os, metrics, trace != nullptr ? trace->dropped() : 0);
 }
 
 // ----------------------------------------------------------- Chrome trace
@@ -234,9 +261,12 @@ std::string cluster_display_name(const ChromeTraceOptions& options, ClusterId id
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
-                        const TraceBuffer& trace,
-                        const ChromeTraceOptions& options) {
+namespace {
+
+template <typename TraceLike>
+void write_chrome_trace_impl(std::ostream& os, const SpanTracker& spans,
+                             const TraceLike& trace,
+                             const ChromeTraceOptions& options) {
   ChromeWriter w{os};
   w.open(trace.dropped());
 
@@ -326,6 +356,20 @@ void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
   });
 
   w.close();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
+                        const TraceBuffer& trace,
+                        const ChromeTraceOptions& options) {
+  write_chrome_trace_impl(os, spans, trace, options);
+}
+
+void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
+                        const TraceView& trace,
+                        const ChromeTraceOptions& options) {
+  write_chrome_trace_impl(os, spans, trace, options);
 }
 
 }  // namespace faucets::obs

@@ -16,6 +16,7 @@
 namespace faucets::obs {
 
 class TraceBuffer;
+class TraceView;
 class MetricsRegistry;
 class SpanTracker;
 
@@ -23,12 +24,17 @@ class SpanTracker;
 /// events, the first line is a meta object ({"meta":"trace","dropped":N,...})
 /// so consumers know the window is truncated instead of silently partial.
 void write_trace_jsonl(std::ostream& os, const TraceBuffer& trace);
+/// Same format over a merged sharded view; a single-shard view serializes
+/// byte-identically to the ring it was built from.
+void write_trace_jsonl(std::ostream& os, const TraceView& trace);
 
 /// Prometheus text exposition of the metrics snapshot. When `trace` is given
 /// and its ring dropped events, a synthetic faucets_trace_dropped_total
 /// counter is appended so scrapes surface the data loss.
 void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
                       const TraceBuffer* trace = nullptr);
+void write_prometheus(std::ostream& os, const MetricsRegistry& metrics,
+                      const TraceView* trace);
 
 struct ChromeTraceOptions {
   /// Display names for cluster process tracks, parallel-indexed by
@@ -40,6 +46,9 @@ struct ChromeTraceOptions {
 
 void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
                         const TraceBuffer& trace,
+                        const ChromeTraceOptions& options = {});
+void write_chrome_trace(std::ostream& os, const SpanTracker& spans,
+                        const TraceView& trace,
                         const ChromeTraceOptions& options = {});
 
 }  // namespace faucets::obs

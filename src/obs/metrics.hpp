@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -104,6 +105,18 @@ class Histogram {
     return max();
   }
 
+  /// Fold another histogram with identical bounds into this one (sharded
+  /// merge): bucket counts, count, and extrema combine exactly; sums add.
+  void merge_from(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
@@ -164,11 +177,29 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Install a shared first-registration sequencer (sharded runs). Every
+  /// first registration of a name in *this* registry draws one globally
+  /// unique, monotonically increasing ticket from it. Because a sharded grid
+  /// constructs entities in the same global order as a single-engine run,
+  /// the ticket of a name's first registration — on whichever shard got
+  /// there first — identifies the same construction step at every shard
+  /// count, which is what makes merged() order-stable.
+  void set_sequencer(std::atomic<std::uint64_t>* seq) noexcept { sequencer_ = seq; }
+
+  /// Merge per-shard registries into one, in first-ticket order (identical
+  /// to single-engine registration order). Counters and histogram buckets /
+  /// counts sum exactly; gauges sum (every grid gauge is either owner-unique
+  /// or additive); histogram min/max merge exactly; histogram sums add in
+  /// shard order. Requires identical bounds for same-named histograms.
+  [[nodiscard]] static MetricsRegistry merged(
+      const std::vector<const MetricsRegistry*>& shards);
+
  private:
   struct Owned {
     std::string name;
     std::string help;
     Type type;
+    std::uint64_t first_seen = 0;  // sequencer ticket (sharded runs only)
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
@@ -176,9 +207,15 @@ class MetricsRegistry {
 
   Owned* find_entry(const std::string& name, Type type);
   [[nodiscard]] const Owned* find_entry(const std::string& name) const;
+  [[nodiscard]] std::uint64_t next_ticket() noexcept {
+    return sequencer_ != nullptr
+               ? sequencer_->fetch_add(1, std::memory_order_relaxed)
+               : static_cast<std::uint64_t>(entries_.size());
+  }
 
   std::vector<Owned> entries_;
   std::unordered_map<std::string, std::size_t> index_;
+  std::atomic<std::uint64_t>* sequencer_ = nullptr;
 };
 
 }  // namespace faucets::obs

@@ -5,7 +5,9 @@
 // serialize it after the run.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 #include "src/obs/metrics.hpp"
 #include "src/obs/sampler.hpp"
@@ -17,12 +19,17 @@ namespace faucets::obs {
 struct ObservabilityConfig {
   /// Ring capacity in events; rounded up to a power of two.
   std::size_t trace_capacity = 1 << 16;
+  /// Shared registration sequencer for sharded runs (see
+  /// MetricsRegistry::set_sequencer); null for a standalone registry.
+  std::atomic<std::uint64_t>* metrics_sequencer = nullptr;
 };
 
 class Observability {
  public:
   explicit Observability(ObservabilityConfig config = {})
-      : trace_(config.trace_capacity) {}
+      : trace_(config.trace_capacity) {
+    metrics_.set_sequencer(config.metrics_sequencer);
+  }
 
   [[nodiscard]] TraceBuffer& trace() noexcept { return trace_; }
   [[nodiscard]] const TraceBuffer& trace() const noexcept { return trace_; }

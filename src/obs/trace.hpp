@@ -9,6 +9,7 @@
 // events back oldest-first without reparsing strings.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -161,8 +162,19 @@ inline constexpr std::size_t kDropReasonCount =
   return "?";
 }
 
-/// One trace record: what happened, to whom, when. 64 bytes, trivially
-/// copyable — recording is a struct copy into the ring, never an allocation.
+/// Canonical-order stamp attached to a trace record at record() time: the
+/// executing event's scheduling rank and creation identity (see
+/// sim::Engine). (time, rank, creator, cseq) is a shard-count-independent
+/// total order over executions, so merged views of per-shard rings sort
+/// identically no matter how the grid was partitioned.
+struct TraceStamp {
+  double rank = 0.0;
+  std::uint64_t creator = 0;
+  std::uint64_t cseq = 0;
+};
+
+/// One trace record: what happened, to whom, when. Trivially copyable —
+/// recording is a struct copy into the ring, never an allocation.
 struct TraceEvent {
   /// Payload for job lifecycle events on one Compute Server.
   struct JobPayload {
@@ -263,13 +275,26 @@ class TraceBuffer {
  public:
   /// `capacity` is rounded up to the next power of two (minimum 1).
   explicit TraceBuffer(std::size_t capacity = 1 << 16)
-      : ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {}
+      : ring_(round_up_pow2(capacity)),
+        stamps_(ring_.size()),
+        mask_(ring_.size() - 1) {}
 
   /// Record one event. Never allocates: the ring is preallocated and the
-  /// event is trivially copyable.
+  /// event is trivially copyable. Stamps live in a parallel ring so the
+  /// event struct itself stays one cache line.
   void record(const TraceEvent& ev) noexcept {
-    ring_[static_cast<std::size_t>(head_) & mask_] = ev;
+    const std::size_t slot = static_cast<std::size_t>(head_) & mask_;
+    ring_[slot] = ev;
+    if (stamp_fn_ != nullptr) stamps_[slot] = stamp_fn_(stamp_src_);
     ++head_;
+  }
+
+  /// Source of canonical-order stamps (the owning engine, behind a plain
+  /// function pointer so this header stays independent of the sim layer).
+  using StampFn = TraceStamp (*)(const void*);
+  void set_stamp_source(StampFn fn, const void* src) noexcept {
+    stamp_fn_ = fn;
+    stamp_src_ = src;
   }
 
   [[nodiscard]] std::size_t size() const noexcept {
@@ -286,6 +311,12 @@ class TraceBuffer {
   /// i-th surviving event, oldest first (i in [0, size())).
   [[nodiscard]] const TraceEvent& at(std::size_t i) const noexcept {
     return ring_[static_cast<std::size_t>(head_ - size() + i) & mask_];
+  }
+
+  /// Canonical-order stamp of the i-th surviving event (same indexing as
+  /// at(); zeroed when no stamp source was wired).
+  [[nodiscard]] const TraceStamp& stamp_at(std::size_t i) const noexcept {
+    return stamps_[static_cast<std::size_t>(head_ - size() + i) & mask_];
   }
 
   /// Visit surviving events oldest-first.
@@ -326,8 +357,82 @@ class TraceBuffer {
   }
 
   std::vector<TraceEvent> ring_;  // preallocated, size is a power of two
+  std::vector<TraceStamp> stamps_;  // parallel to ring_, same indexing
   std::size_t mask_;
   std::uint64_t head_ = 0;  // total records ever; write index is head_ & mask_
+  StampFn stamp_fn_ = nullptr;
+  const void* stamp_src_ = nullptr;
+};
+
+/// A flattened, read-only view with the same read API as TraceBuffer, used
+/// by exporters that consume the merged per-shard rings of a sharded run.
+///
+/// merged() k-way-merges the surviving events of all shards' rings by the
+/// canonical order (time, stamp, ring order) — identical at every shard
+/// count, including one — and keeps the newest `capacity`: exactly the
+/// window a single ring of the same capacity would have retained, because
+/// any event inside the global last-capacity window has at most capacity
+/// same-shard events after it and therefore also survived its shard's ring.
+class TraceView {
+ public:
+  TraceView() = default;
+
+  [[nodiscard]] static TraceView merged(const std::vector<const TraceBuffer*>& shards) {
+    TraceView out;
+    struct Ref {
+      double time;
+      TraceStamp stamp;
+      std::size_t shard;
+      std::size_t idx;
+    };
+    std::vector<Ref> order;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (shards[s] == nullptr) continue;
+      out.total_ += shards[s]->total_recorded();
+      out.capacity_ = std::max(out.capacity_, shards[s]->capacity());
+      const std::size_t n = shards[s]->size();
+      for (std::size_t i = 0; i < n; ++i) {
+        order.push_back(Ref{shards[s]->at(i).time, shards[s]->stamp_at(i), s, i});
+      }
+    }
+    // Records of one executing event share a stamp and live in one ring, so
+    // ring order finishes the job; the (shard, idx) fallback only orders
+    // unstamped legacy records.
+    std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.stamp.rank != b.stamp.rank) return a.stamp.rank < b.stamp.rank;
+      if (a.stamp.creator != b.stamp.creator) return a.stamp.creator < b.stamp.creator;
+      if (a.stamp.cseq != b.stamp.cseq) return a.stamp.cseq < b.stamp.cseq;
+      if (a.shard != b.shard) return a.shard < b.shard;
+      return a.idx < b.idx;
+    });
+    const std::size_t keep = std::min(order.size(), out.capacity_);
+    out.events_.reserve(keep);
+    for (std::size_t i = order.size() - keep; i < order.size(); ++i) {
+      out.events_.push_back(shards[order[i].shard]->at(order[i].idx));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - events_.size();
+  }
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const noexcept {
+    return events_[i];
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const TraceEvent& ev : events_) fn(ev);
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+  std::size_t capacity_ = 0;
 };
 
 }  // namespace faucets::obs

@@ -52,11 +52,18 @@ enum class MessageKind : std::uint8_t {
   kWatch,
   kWatchReply,
   kCustom,
+  // Broker-to-broker peering (sharded runs): an origin broker forwards an
+  // RFB round for a remote shard's servers to that shard's broker, which
+  // answers with its collected bids. Appended after kCustom so existing
+  // per-kind counter positions (and traces carrying raw kind bytes) keep
+  // their values.
+  kPeerRfb,
+  kPeerRfbReply,
 };
 
 /// Number of distinct kinds, for per-kind counter arrays.
 inline constexpr std::size_t kMessageKindCount =
-    static_cast<std::size_t>(MessageKind::kCustom) + 1;
+    static_cast<std::size_t>(MessageKind::kPeerRfbReply) + 1;
 
 /// Wire tag of a kind ("RFB", "BID", ...), for traces and reports.
 [[nodiscard]] constexpr std::string_view to_string(MessageKind kind) noexcept {
@@ -91,6 +98,8 @@ inline constexpr std::size_t kMessageKindCount =
     case MessageKind::kWatch: return "WATCH";
     case MessageKind::kWatchReply: return "WATCH_ACK";
     case MessageKind::kCustom: return "CUSTOM";
+    case MessageKind::kPeerRfb: return "PEER_RFB";
+    case MessageKind::kPeerRfbReply: return "PEER_RFB_ACK";
   }
   return "?";
 }

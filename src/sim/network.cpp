@@ -3,11 +3,13 @@
 #include <utility>
 
 #include "src/obs/observability.hpp"
+#include "src/sim/shard.hpp"
 
 namespace faucets::sim {
 
-Network::Network(Engine& engine, NetworkConfig config, obs::Observability* obs)
-    : engine_(&engine), config_(config), obs_(obs) {
+Network::Network(Engine& engine, NetworkConfig config, obs::Observability* obs,
+                 ShardRouter* router, std::uint32_t shard)
+    : engine_(&engine), config_(config), obs_(obs), router_(router), shard_(shard) {
   register_metrics();
 }
 
@@ -31,10 +33,16 @@ void Network::register_metrics() {
 }
 
 EntityId Network::attach(Entity& entity) {
-  const EntityId id{next_id_++};
+  // In a sharded run the router owns the id counter, so entity ids match a
+  // single-engine construction no matter how entities spread across shards.
+  const EntityId id = router_ != nullptr ? router_->assign_id(shard_)
+                                         : EntityId{next_id_++};
   entity.id_ = id;
   entity.network_ = this;
   entities_.emplace(id, &entity);
+  // The rest of the entity's constructor runs under its own attribution, so
+  // timers armed there carry a shard-count-independent creation stamp.
+  engine_->set_current_entity(id.value());
   return id;
 }
 
@@ -43,6 +51,7 @@ void Network::detach(EntityId id) { entities_.erase(id); }
 void Network::reattach(Entity& entity) {
   entity.network_ = this;
   entities_.emplace(entity.id_, &entity);
+  engine_->set_current_entity(entity.id_.value());
 }
 
 Entity* Network::find(EntityId id) const {
@@ -95,19 +104,43 @@ void Network::send(const Entity& from, EntityId to, MessagePtr msg) {
     return;
   }
   d += verdict.extra_delay;
-  // SmallFunction accepts move-only captures, so the message rides in the
-  // delivery event itself — no shared_ptr box, no extra allocation.
-  engine_->schedule_after(d, [this, to, kind, msg = std::move(msg)]() {
-    Entity* target = find(to);
-    if (target == nullptr) {
-      drop(kind, to, msg->from, obs::DropReason::kReceiverDetached);
+  if (router_ != nullptr) {
+    const std::size_t dst = router_->shard_of(to);
+    if (dst != shard_) {
+      // Cross-shard: all sent-side accounting already happened above, on the
+      // sending shard; the receiving shard performs delivery accounting when
+      // the envelope is drained at a lookahead barrier. The arrival time
+      // carries the full modeled delay, so d >= base_latency bounds how soon
+      // the destination can observe it — the lookahead guarantee.
+      const Engine::CreationStamp st = engine_->take_creation_stamp();
+      router_->post(dst, ShardRouter::Envelope{engine_->now() + d, engine_->now(),
+                                               st.creator, st.cseq, kind,
+                                               std::move(msg)});
       return;
     }
-    ++messages_delivered_;
-    ++delivered_by_kind_[static_cast<std::size_t>(kind)];
-    if (delivered_ctr_ != nullptr) delivered_ctr_->inc();
-    target->on_message(*msg);
+  }
+  // SmallFunction accepts move-only captures, so the message rides in the
+  // delivery event itself — no shared_ptr box, no extra allocation.
+  engine_->schedule_after(d, [this, kind, msg = std::move(msg)]() mutable {
+    deliver(kind, std::move(msg));
   });
+}
+
+void Network::deliver(MessageKind kind, MessagePtr msg) {
+  Entity* target = find(msg->to);
+  if (target == nullptr) {
+    drop(kind, msg->to, msg->from, obs::DropReason::kReceiverDetached);
+    return;
+  }
+  ++messages_delivered_;
+  ++delivered_by_kind_[static_cast<std::size_t>(kind)];
+  if (delivered_ctr_ != nullptr) delivered_ctr_->inc();
+  engine_->set_current_entity(msg->to.value());
+  target->on_message(*msg);
+}
+
+void Network::deliver_envelope(MessageKind kind, MessagePtr msg) {
+  deliver(kind, std::move(msg));
 }
 
 std::uint64_t Network::traffic_of(EntityId id) const {

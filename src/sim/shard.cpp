@@ -1,0 +1,67 @@
+#include "src/sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace faucets::sim {
+
+namespace {
+
+/// Unique total order over envelopes: arrival time, then the sender-side
+/// send time (the rank a single heap would have used), then the canonical
+/// creation stamp. No component depends on OS scheduling or shard count.
+bool envelope_before(const ShardRouter::Envelope& a, const ShardRouter::Envelope& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+  if (a.creator != b.creator) return a.creator < b.creator;
+  return a.cseq < b.cseq;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t shard_count) {
+  assert(shard_count >= 1);
+  mailboxes_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+EntityId ShardRouter::assign_id(std::size_t shard) {
+  const EntityId id{next_id_++};
+  shard_by_id_.push_back(static_cast<std::uint32_t>(shard));
+  return id;
+}
+
+void ShardRouter::post(std::size_t dst_shard, Envelope env) {
+  Mailbox& box = *mailboxes_[dst_shard];
+  std::lock_guard<std::mutex> lock(box.mu);
+  box.items.push_back(std::move(env));
+}
+
+void ShardRouter::drain(std::size_t dst_shard, std::vector<Envelope>& staged,
+                        std::size_t& consumed) {
+  if (consumed > 0) {
+    staged.erase(staged.begin(),
+                 staged.begin() + static_cast<std::ptrdiff_t>(consumed));
+    consumed = 0;
+  }
+  Mailbox& box = *mailboxes_[dst_shard];
+  std::vector<Envelope> incoming;
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    incoming.swap(box.items);
+  }
+  if (incoming.empty()) return;
+  max_backlog_ = std::max(max_backlog_, incoming.size());
+  staged.insert(staged.end(), std::make_move_iterator(incoming.begin()),
+                std::make_move_iterator(incoming.end()));
+  // Leftover staged entries all sort before the new arrivals is *not*
+  // guaranteed (a slow shard may still hold an envelope whose arrival lies
+  // past the new batch's heads), so re-sort the whole staging list; it is
+  // bounded by a couple of lookahead windows of traffic.
+  std::sort(staged.begin(), staged.end(), envelope_before);
+}
+
+}  // namespace faucets::sim

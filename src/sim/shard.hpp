@@ -1,0 +1,110 @@
+// Shard routing for conservative parallel simulation.
+//
+// A sharded run partitions the grid's entities across N sim::Engines that
+// advance in parallel on worker threads, synchronized at lookahead barriers:
+// no cross-shard message can arrive sooner than now + base_latency, so every
+// shard may safely execute events strictly below min(all shards' next event
+// times) + base_latency without ever receiving a message from the past
+// (Chandy–Misra conservative synchronization; DESIGN.md §11).
+//
+// The ShardRouter is the shared spine of such a run:
+//   * it assigns EntityIds from a single global counter, so a sharded
+//     construction produces exactly the ids a single-engine run would;
+//   * it maps every EntityId to its owning shard (frozen after construction,
+//     read lock-free during the run);
+//   * it carries one bounded mailbox per destination shard into which
+//     senders post timestamp-ordered envelopes (mutex-protected: posting is
+//     the only cross-thread write during a window);
+//   * it hands out the metrics-registration sequencer that makes per-shard
+//     MetricsRegistry instances mergeable in a shard-count-independent order.
+//
+// Mailboxes are drained only at barriers, by the coordinating thread, into
+// per-shard staging lists sorted by (arrival, sent_at, creator, cseq) — the
+// same canonical key the engines use for same-time heap ties, so the merged
+// execution order is a unique total order independent both of which OS
+// thread ran which shard and of the shard count itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+#include "src/sim/entity.hpp"
+
+namespace faucets::sim {
+
+class ShardRouter {
+ public:
+  /// One cross-shard message in flight. `arrival` already includes the full
+  /// modeled delay (base latency + bandwidth term + injected jitter), and
+  /// `sent_at` is the sender-side send time — the same value a single-engine
+  /// run would have used as the delivery event's scheduling rank.
+  struct Envelope {
+    SimTime arrival = 0.0;
+    SimTime sent_at = 0.0;
+    /// Canonical creation stamp drawn from the sender's engine: the sending
+    /// entity and its per-entity creation sequence — the identity the same
+    /// logical send carries at every shard count (Engine::CreationStamp).
+    std::uint64_t creator = 0;
+    std::uint64_t cseq = 0;
+    MessageKind kind = MessageKind::kCustom;
+    MessagePtr msg;
+  };
+
+  explicit ShardRouter(std::size_t shard_count);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return mailboxes_.size(); }
+
+  /// Assign the next EntityId and record its owning shard. Construction-time
+  /// only (single-threaded): ids come from one global counter so they match
+  /// a single-engine run entity for entity.
+  EntityId assign_id(std::size_t shard);
+
+  /// Owning shard of an attached entity. Lock-free; the map is frozen once
+  /// construction completes (reattach after a crash keeps the original id).
+  [[nodiscard]] std::size_t shard_of(EntityId id) const noexcept {
+    const auto v = id.value();
+    return v < shard_by_id_.size() ? shard_by_id_[static_cast<std::size_t>(v)] : 0;
+  }
+
+  /// Post an envelope to `dst_shard`'s mailbox. Thread-safe; called by the
+  /// sending shard's worker during a window.
+  void post(std::size_t dst_shard, Envelope env);
+
+  /// Drain `dst_shard`'s mailbox into `staged`, keeping `staged` sorted by
+  /// (arrival, sent_at, creator, cseq). `consumed` is the count of
+  /// already-delivered entries at the front of `staged`; they are erased
+  /// first and the counter reset. Barrier-time only (no concurrent posts).
+  void drain(std::size_t dst_shard, std::vector<Envelope>& staged,
+             std::size_t& consumed);
+
+  /// High-water mark of any mailbox between two drains — the bound on
+  /// cross-shard buffering (at most one lookahead window of traffic).
+  [[nodiscard]] std::size_t max_backlog() const noexcept { return max_backlog_; }
+
+  /// Shared sequencer for MetricsRegistry entries: each first registration of
+  /// a metric name, on any shard, draws one ticket. Because entity
+  /// construction happens in the same global order at every shard count, the
+  /// merged registry ordered by first ticket is identical at every shard
+  /// count (and to a single-engine run).
+  [[nodiscard]] std::atomic<std::uint64_t>* metrics_sequencer() noexcept {
+    return &metrics_seq_;
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Envelope> items;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::uint32_t> shard_by_id_;
+  std::uint64_t next_id_ = 0;
+  std::size_t max_backlog_ = 0;
+  std::atomic<std::uint64_t> metrics_seq_{0};
+};
+
+}  // namespace faucets::sim

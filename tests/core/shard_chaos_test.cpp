@@ -1,0 +1,120 @@
+// Chaos variant of the sharding acceptance test: a brokered grid with peered
+// per-shard brokers runs under message loss, a network partition, and a
+// mid-run crash. Peered brokers change the physical message topology with
+// the shard count (remote RFB rounds take an extra broker hop), so outputs
+// are not byte-comparable across counts — but the accounting invariant must
+// hold everywhere: every submitted job reaches a terminal state, with no
+// stranded leases and no dangling lifecycle spans.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/grid_system.hpp"
+#include "src/market/bidgen.hpp"
+#include "src/sched/equipartition.hpp"
+
+namespace faucets::core {
+namespace {
+
+ClusterSetup chaos_cluster(const std::string& name, double cost) {
+  ClusterSetup setup;
+  setup.machine.name = name;
+  setup.machine.total_procs = 64;
+  setup.machine.cost_per_cpu_second = cost;
+  setup.strategy = [] { return std::make_unique<sched::EquipartitionStrategy>(); };
+  setup.bid_generator = [] { return std::make_unique<market::BaselineBidGenerator>(); };
+  setup.costs = job::AdaptiveCosts{.reconfig_seconds = 0.0,
+                                   .checkpoint_seconds = 0.0,
+                                   .restart_seconds = 0.0};
+  return setup;
+}
+
+std::vector<job::JobRequest> chaos_workload(std::size_t n) {
+  std::vector<job::JobRequest> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    job::JobRequest req;
+    req.submit_time = 5.0 + static_cast<double>(i) * 25.0;
+    req.user_index = i % 6;
+    req.contract = qos::make_contract(4, 64, 3200.0, 1.0, 1.0);
+    req.contract.payoff = qos::PayoffFunction::flat(10.0);
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+struct Tally {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t unplaced = 0;
+  std::uint64_t pending = 0;
+  std::size_t open_spans = 0;
+  std::size_t live_leases = 0;
+};
+
+Tally run_chaos_sharded(std::size_t shards) {
+  GridBuilder builder;
+  for (int i = 0; i < 8; ++i) {
+    builder.cluster(
+        chaos_cluster("chaos" + std::to_string(i), 0.0002 + i * 0.0001));
+  }
+  auto grid_ptr = builder.users(6)
+                      .watchdog(120.0)
+                      .brokered()
+                      .loss(0.05)
+                      .fault_seed(0xfa11)
+                      .partition(2, 100.0, 300.0)
+                      .crash(0, 200.0, /*restart_at=*/700.0)
+                      .shards(shards)
+                      .build();
+  GridSystem& grid = *grid_ptr;
+
+  Tally out;
+  const GridReport report = grid.run(chaos_workload(30), /*until=*/1e6);
+  out.submitted = report.jobs_submitted;
+  for (std::size_t c = 0; c < grid.client_count(); ++c) {
+    for (const auto& o : grid.client(c).outcomes()) {
+      switch (o.status) {
+        case SubmissionOutcome::Status::kCompleted:
+          ++out.completed;
+          break;
+        case SubmissionOutcome::Status::kNoServers:
+        case SubmissionOutcome::Status::kNoBids:
+        case SubmissionOutcome::Status::kAllRefused:
+        case SubmissionOutcome::Status::kTimedOut:
+          ++out.unplaced;
+          break;
+        case SubmissionOutcome::Status::kPending:
+        case SubmissionOutcome::Status::kPlaced:
+          ++out.pending;
+          break;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < grid.shard_count(); ++s) {
+    for (const obs::Span& sp : grid.shard_context(s).spans().spans()) {
+      if (sp.open()) ++out.open_spans;
+    }
+  }
+  for (std::size_t d = 0; d < grid.cluster_count(); ++d) {
+    out.live_leases += grid.daemon(d).cm().active_reservations();
+  }
+  return out;
+}
+
+TEST(ShardChaos, LossPartitionAndCrashTerminateAtEveryShardCount) {
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const Tally out = run_chaos_sharded(shards);
+    EXPECT_EQ(out.submitted, 30u);
+    EXPECT_EQ(out.pending, 0u) << "every submission must reach a terminal state";
+    EXPECT_EQ(out.completed + out.unplaced, out.submitted);
+    EXPECT_GE(out.completed, 15u) << "the surviving clusters carry the load";
+    EXPECT_EQ(out.live_leases, 0u);
+    EXPECT_EQ(out.open_spans, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace faucets::core

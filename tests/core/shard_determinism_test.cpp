@@ -1,0 +1,140 @@
+// The sharding acceptance scenario: a 1000-cluster grid whose report JSON
+// and trace export must be byte-identical at 1, 2, and 8 shards. The
+// canonical event order (time, rank, creator, cseq) — not wall-clock thread
+// interleaving — decides every same-time tie, so partitioning the grid
+// across engines must not move a single byte of output (DESIGN.md §11).
+//
+// The job count is scaled down from the full 100k-job acceptance run so the
+// suite stays fast; set FAUCETS_DETERMINISM_JOBS=100000 to run the full
+// scenario (bench_shard runs it at full scale as experiment E13).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "src/core/scenario.hpp"
+#include "src/obs/exporters.hpp"
+
+namespace faucets::core {
+namespace {
+
+std::size_t job_count() {
+  if (const char* env = std::getenv("FAUCETS_DETERMINISM_JOBS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 2000;
+}
+
+/// 1000 Compute Servers: ten big (64-proc) clusters able to run the
+/// workload's 32..48-proc jobs, and 990 small ones the Central Server's
+/// static §5.1 filter screens out of every RFB round.
+std::string big_grid_ini(const std::string& bidgens) {
+  std::ostringstream ini;
+  ini << "[grid]\n"
+         "billing = dollars\n"
+         "users = 100\n"
+         "evaluator = least-cost\n"
+         "brokered = false\n"
+         "seed = 42\n\n";
+  for (int i = 0; i < 1000; ++i) {
+    const bool big = i % 100 == 0;
+    ini << "[cluster]\n"
+        << "name = c" << i << "\n"
+        << "procs = " << (big ? 64 : 4) << "\n"
+        << "cost = " << 0.0005 + (i % 7) * 0.0001 << "\n"
+        << "strategy = " << (big && i % 200 == 0 ? "payoff" : "fcfs") << "\n"
+        << "bidgen = " << bidgens << "\n\n";
+  }
+  ini << "[workload]\n"
+         "jobs = "
+      << job_count()
+      << "\n"
+         "load = 0.7\n"
+         "min_procs_lo = 32\n"
+         "min_procs_hi = 48\n";
+  return ini.str();
+}
+
+struct Outputs {
+  std::string report_json;
+  std::string trace_jsonl;
+  std::string chrome;
+  std::uint64_t submitted = 0;
+};
+
+Outputs run_at(const std::string& ini, std::size_t shards) {
+  Scenario scenario = Scenario::parse_string(ini);
+  scenario.grid.shards = shards;
+  auto grid = scenario.make_grid();
+  const GridReport report = grid->run(scenario.make_requests(), /*until=*/1e9);
+
+  Outputs out;
+  out.submitted = report.jobs_submitted;
+  {
+    std::ostringstream os;
+    write_report_json(os, report);
+    out.report_json = os.str();
+  }
+  {
+    std::ostringstream os;
+    obs::write_trace_jsonl(os, grid->merged_trace());
+    out.trace_jsonl = os.str();
+  }
+  {
+    std::ostringstream os;
+    obs::write_chrome_trace(os, grid->merged_spans(), grid->merged_trace(), {});
+    out.chrome = os.str();
+  }
+  return out;
+}
+
+TEST(ShardDeterminism, ThousandClusterGridIsByteIdenticalAt1_2_8Shards) {
+  const std::string ini = big_grid_ini("baseline");
+  const Outputs one = run_at(ini, 1);
+  const Outputs two = run_at(ini, 2);
+  const Outputs eight = run_at(ini, 8);
+
+  ASSERT_GT(one.submitted, 0u);
+  EXPECT_EQ(one.report_json, two.report_json);
+  EXPECT_EQ(one.report_json, eight.report_json);
+  EXPECT_EQ(one.trace_jsonl, two.trace_jsonl);
+  EXPECT_EQ(one.trace_jsonl, eight.trace_jsonl);
+  EXPECT_EQ(one.chrome, two.chrome);
+  EXPECT_EQ(one.chrome, eight.chrome);
+}
+
+TEST(ShardDeterminism, GridWeatherBidgensStayByteIdenticalAcrossShardCounts) {
+  // Utilization- and futures-driven bid generators consult shard-local
+  // grid-weather replicas (Central Server price history) lagged by one
+  // lookahead; the replicas must replay identically at every count.
+  std::ostringstream ini;
+  ini << "[grid]\n"
+         "billing = dollars\n"
+         "users = 24\n"
+         "evaluator = least-cost\n"
+         "brokered = false\n"
+         "seed = 7\n\n";
+  for (int i = 0; i < 12; ++i) {
+    ini << "[cluster]\n"
+        << "name = w" << i << "\n"
+        << "procs = 128\n"
+        << "cost = " << 0.0006 + (i % 5) * 0.0002 << "\n"
+        << "strategy = payoff\n"
+        << "bidgen = " << (i % 3 == 0 ? "futures" : "utilization") << "\n\n";
+  }
+  ini << "[workload]\njobs = 600\nload = 0.75\n";
+
+  const Outputs two = run_at(ini.str(), 2);
+  const Outputs eight = run_at(ini.str(), 8);
+  const Outputs one = run_at(ini.str(), 1);
+  ASSERT_GT(two.submitted, 0u);
+  EXPECT_EQ(two.report_json, eight.report_json);
+  EXPECT_EQ(two.trace_jsonl, eight.trace_jsonl);
+  EXPECT_EQ(one.report_json, two.report_json);
+  EXPECT_EQ(one.trace_jsonl, two.trace_jsonl);
+}
+
+}  // namespace
+}  // namespace faucets::core

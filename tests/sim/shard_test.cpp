@@ -1,0 +1,187 @@
+// Unit tests for the sharded-simulation spine: the ShardRouter's global id
+// assignment and canonically ordered mailboxes, and the Engine's canonical
+// event identity (creation stamps, deterministic same-time ties, external
+// event adoption). DESIGN.md §11.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/grid_system.hpp"
+#include "src/sched/equipartition.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/shard.hpp"
+
+namespace faucets::sim {
+namespace {
+
+struct Ping final : Message {
+  [[nodiscard]] MessageKind kind() const noexcept override {
+    return MessageKind::kCustom;
+  }
+};
+
+ShardRouter::Envelope env(SimTime arrival, SimTime sent_at, std::uint64_t creator,
+                          std::uint64_t cseq) {
+  ShardRouter::Envelope e;
+  e.arrival = arrival;
+  e.sent_at = sent_at;
+  e.creator = creator;
+  e.cseq = cseq;
+  e.msg = std::make_unique<Ping>();
+  return e;
+}
+
+TEST(ShardRouter, AssignsGloballySequentialIdsAndRemembersShards) {
+  ShardRouter router(4);
+  const EntityId a = router.assign_id(0);
+  const EntityId b = router.assign_id(3);
+  const EntityId c = router.assign_id(1);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(router.shard_of(a), 0u);
+  EXPECT_EQ(router.shard_of(b), 3u);
+  EXPECT_EQ(router.shard_of(c), 1u);
+}
+
+TEST(ShardRouter, DrainSortsByArrivalThenRankThenCreationStamp) {
+  ShardRouter router(2);
+  // Posted out of order on purpose: drain must produce the canonical
+  // (arrival, sent_at, creator, cseq) order.
+  router.post(1, env(2.0, 1.0, 7, 1));
+  router.post(1, env(1.0, 0.5, 9, 0));
+  router.post(1, env(2.0, 0.5, 9, 2));
+  router.post(1, env(2.0, 1.0, 7, 0));
+  router.post(1, env(2.0, 1.0, 3, 5));
+
+  std::vector<ShardRouter::Envelope> staged;
+  std::size_t consumed = 0;
+  router.drain(1, staged, consumed);
+  ASSERT_EQ(staged.size(), 5u);
+  EXPECT_EQ(staged[0].arrival, 1.0);
+  EXPECT_EQ(staged[1].sent_at, 0.5);    // earlier rank first at arrival 2.0
+  EXPECT_EQ(staged[2].creator, 3u);     // then creator order at equal rank
+  EXPECT_EQ(staged[3].cseq, 0u);        // then per-entity creation order
+  EXPECT_EQ(staged[4].cseq, 1u);
+  EXPECT_EQ(router.max_backlog(), 5u);
+}
+
+TEST(ShardRouter, DrainErasesConsumedPrefixAndAppendsNewTraffic) {
+  ShardRouter router(1);
+  router.post(0, env(1.0, 0.0, 1, 0));
+  router.post(0, env(3.0, 0.0, 1, 1));
+  std::vector<ShardRouter::Envelope> staged;
+  std::size_t consumed = 0;
+  router.drain(0, staged, consumed);
+  ASSERT_EQ(staged.size(), 2u);
+
+  consumed = 1;  // first envelope delivered during the window
+  router.post(0, env(2.0, 0.0, 1, 2));
+  router.drain(0, staged, consumed);
+  EXPECT_EQ(consumed, 0u);
+  ASSERT_EQ(staged.size(), 2u);
+  EXPECT_EQ(staged[0].arrival, 2.0);  // new traffic sorted in
+  EXPECT_EQ(staged[1].arrival, 3.0);
+}
+
+TEST(Engine, ExposesCreationStampOfEarliestEvent) {
+  Engine engine;
+  engine.set_current_entity(5);
+  engine.schedule_at(1.0, [] {});
+  engine.schedule_at(2.0, [] {});
+  EXPECT_EQ(engine.next_time(), 1.0);
+  EXPECT_EQ(engine.next_rank(), 0.0);
+  EXPECT_EQ(engine.next_creator(), 5u);
+  EXPECT_EQ(engine.next_cseq(), 0u);
+  ASSERT_TRUE(engine.step());
+  EXPECT_EQ(engine.next_cseq(), 1u);  // second creation by entity 5
+}
+
+TEST(Engine, PerEntityCreationCountersAreIndependent) {
+  Engine engine;
+  engine.set_current_entity(2);
+  engine.schedule_at(1.0, [] {});
+  engine.set_current_entity(9);
+  engine.schedule_at(1.0, [] {});
+  engine.set_current_entity(2);
+  engine.schedule_at(1.0, [] {});
+  EXPECT_EQ(engine.next_creator(), 2u);
+  EXPECT_EQ(engine.next_cseq(), 0u);
+  ASSERT_TRUE(engine.step());
+  // Historical tie order (insertion) without deterministic ties: entity 9's
+  // event fires second, entity 2's second creation third.
+  EXPECT_EQ(engine.next_creator(), 9u);
+  EXPECT_EQ(engine.next_cseq(), 0u);
+  ASSERT_TRUE(engine.step());
+  EXPECT_EQ(engine.next_creator(), 2u);
+  EXPECT_EQ(engine.next_cseq(), 1u);
+}
+
+TEST(Engine, DeterministicTiesReorderSameTimeEventsByCreator) {
+  std::vector<int> order;
+  Engine engine;
+  engine.enable_deterministic_ties();
+  engine.set_current_entity(9);
+  engine.schedule_at(1.0, [&] { order.push_back(9); });
+  engine.set_current_entity(2);
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run();
+  // Insertion order was 9-then-2, but the canonical tie order is by
+  // (rank, creator, cseq): entity 2's event first.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 9);
+}
+
+TEST(Engine, ExecStampFollowsExecutionAndExternalEvents) {
+  Engine engine;
+  engine.set_current_entity(4);
+  Engine::ExecStamp seen{};
+  engine.schedule_at(3.0, [&] { seen = engine.exec_stamp(); });
+  engine.run();
+  EXPECT_EQ(seen.rank, 0.0);
+  EXPECT_EQ(seen.creator, 4u);
+  EXPECT_EQ(seen.cseq, 0u);
+
+  const std::uint64_t before = engine.executed();
+  engine.begin_external_event(2.5, 7, 11);
+  EXPECT_EQ(engine.executed(), before + 1);
+  EXPECT_EQ(engine.exec_stamp().rank, 2.5);
+  EXPECT_EQ(engine.exec_stamp().creator, 7u);
+  EXPECT_EQ(engine.exec_stamp().cseq, 11u);
+}
+
+TEST(Engine, TimersInheritTheSchedulersAttribution) {
+  Engine engine;
+  engine.set_current_entity(6);
+  std::uint64_t inner_creator = Engine::kNoEntity;
+  engine.schedule_at(1.0, [&] {
+    // Inside entity 6's timer: creations are attributed to entity 6.
+    engine.schedule_at(2.0, [&] { inner_creator = engine.exec_stamp().creator; });
+  });
+  engine.set_current_entity(Engine::kNoEntity);
+  engine.run();
+  EXPECT_EQ(inner_creator, 6u);
+}
+
+TEST(GridBuilder, ShardedRunsRequirePositiveBaseLatency) {
+  core::ClusterSetup setup;
+  setup.machine.name = "solo";
+  setup.machine.total_procs = 16;
+  setup.strategy = [] { return std::make_unique<sched::EquipartitionStrategy>(); };
+  NetworkConfig net;
+  net.base_latency = 0.0;
+  EXPECT_THROW(core::GridBuilder()
+                   .cluster(setup)
+                   .users(1)
+                   .network(net)
+                   .shards(2)
+                   .build(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faucets::sim
