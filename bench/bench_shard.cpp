@@ -13,6 +13,7 @@
 // ci/run.sh passes --out and asserts near-linear scaling only on machines
 // with >= 8 hardware threads (the BENCH_sweep convention).
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "src/core/scenario.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/util/table.hpp"
 
 using namespace faucets;
@@ -49,16 +51,32 @@ std::string big_grid_ini(std::size_t jobs) {
   return ini.str();
 }
 
+// Per-shard host-time accounting from the profiler (DESIGN.md §12): what
+// fraction of each shard's wall clock went to useful execution vs waiting
+// at the window barrier. A failing speedup assert without these numbers is
+// just "it was slow"; with them it says *which* shard stalled and *where*.
+struct ShardDetail {
+  std::size_t shard = 0;
+  double busy_frac = 0.0;     // execute phase
+  double drain_frac = 0.0;    // mailbox drain
+  double merge_frac = 0.0;    // coordinator merge
+  double barrier_frac = 0.0;  // waiting on the window barrier
+  double idle_frac = 0.0;     // residual
+};
+
 struct Run {
   std::size_t shards = 0;
   double wall_ms = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::vector<ShardDetail> detail;
   std::string report_json;
 };
 
 Run run_at(const core::Scenario& scenario, std::size_t shards) {
   core::Scenario copy = scenario;
   copy.grid.shards = shards;
+  copy.grid.profile.enabled = true;  // byte-identity below proves it's inert
   auto grid = copy.make_grid();
   auto requests = copy.make_requests();
 
@@ -72,10 +90,39 @@ Run run_at(const core::Scenario& scenario, std::size_t shards) {
   for (std::size_t s = 0; s < grid->shard_count(); ++s) {
     out.events += grid->shard_context(s).engine().executed();
   }
+#if FAUCETS_PROFILE
+  if (const obs::Profiler* prof = grid->profiler()) {
+    out.windows = prof->windows();
+    for (std::size_t s = 0; s < prof->lane_count(); ++s) {
+      const auto phases = prof->lane_phases(s);
+      const double wall = phases.wall_seconds > 0.0 ? phases.wall_seconds : 1.0;
+      ShardDetail d;
+      d.shard = s;
+      d.busy_frac = phases.of(obs::ProfPhase::kExecute) / wall;
+      d.drain_frac = phases.of(obs::ProfPhase::kMailboxDrain) / wall;
+      d.merge_frac = phases.of(obs::ProfPhase::kMerge) / wall;
+      d.barrier_frac = phases.of(obs::ProfPhase::kBarrierWait) / wall;
+      d.idle_frac = phases.of(obs::ProfPhase::kIdle) / wall;
+      out.detail.push_back(d);
+    }
+  }
+#endif
   std::ostringstream os;
   core::write_report_json(os, report);
   out.report_json = os.str();
   return out;
+}
+
+// Mean of one phase fraction across the run's shards (per-shard walls are
+// near-equal: every lane spans the same window loop).
+double phase_frac(const Run& r, double ShardDetail::*member) {
+  double num = 0.0;
+  for (const ShardDetail& d : r.detail) num += d.*member;
+  return r.detail.empty() ? 0.0 : num / static_cast<double>(r.detail.size());
+}
+
+double round2(double v) {
+  return static_cast<double>(static_cast<std::int64_t>(v * 100.0 + (v < 0 ? -0.5 : 0.5))) / 100.0;
 }
 
 }  // namespace
@@ -101,7 +148,8 @@ int main(int argc, char** argv) {
   const core::Scenario scenario = core::Scenario::parse_string(big_grid_ini(jobs));
 
   std::vector<Run> runs;
-  Table t{{"shards", "wall ms", "events", "events/s", "speedup"}};
+  Table t{{"shards", "wall ms", "events", "events/s", "speedup", "windows",
+           "busy %", "barrier %"}};
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     runs.push_back(run_at(scenario, shards));
     const Run& r = runs.back();
@@ -111,7 +159,10 @@ int main(int argc, char** argv) {
         .cell(r.wall_ms, 1)
         .cell(r.events)
         .cell(static_cast<double>(r.events) / (r.wall_ms / 1000.0), 0)
-        .cell(speedup, 2);
+        .cell(speedup, 2)
+        .cell(r.windows)
+        .cell(100.0 * phase_frac(r, &ShardDetail::busy_frac), 1)
+        .cell(100.0 * phase_frac(r, &ShardDetail::barrier_frac), 1);
   }
   t.print(std::cout);
 
@@ -129,6 +180,7 @@ int main(int argc, char** argv) {
     out << "{\n"
         << "  \"benchmark\": \"bench_shard (E13: conservative parallel "
            "simulation)\",\n"
+        << "  \"schema_version\": 2,\n"
         << "  \"workload\": \"1000-cluster grid, " << jobs
         << " jobs, non-brokered market; report JSON asserted byte-identical "
            "across shard counts\",\n"
@@ -145,7 +197,17 @@ int main(int argc, char** argv) {
           << static_cast<double>(
                  static_cast<std::uint64_t>(runs.front().wall_ms / r.wall_ms * 100 + 0.5)) /
                  100.0
-          << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+          << ", \"windows\": " << r.windows << ", \"shards_detail\": [";
+      for (std::size_t s = 0; s < r.detail.size(); ++s) {
+        const ShardDetail& d = r.detail[s];
+        out << (s > 0 ? ", " : "") << "{\"shard\": " << d.shard
+            << ", \"busy_frac\": " << round2(d.busy_frac)
+            << ", \"drain_frac\": " << round2(d.drain_frac)
+            << ", \"merge_frac\": " << round2(d.merge_frac)
+            << ", \"barrier_frac\": " << round2(d.barrier_frac)
+            << ", \"idle_frac\": " << round2(d.idle_frac) << "}";
+      }
+      out << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
         << "  \"build\": \"release-bench (-O3 -DNDEBUG)\",\n"

@@ -37,6 +37,7 @@ struct Options {
   std::optional<std::string> write_baseline;  // snapshot aggregate here
   double tolerance = 0.05;
   bool quiet = false;
+  bool profile = false;  // append host-time prof_* columns per run
 };
 
 void usage(std::ostream& os) {
@@ -48,6 +49,9 @@ void usage(std::ostream& os) {
         "  --baseline FILE.json    fail (exit 2) on metric drift vs baseline\n"
         "  --write-baseline FILE.json  snapshot this aggregate as baseline\n"
         "  --tolerance FRAC        relative band for --write-baseline (default 0.05)\n"
+        "  --profile               run points under the host-time profiler and\n"
+        "                          append prof_* columns (host-time: not\n"
+        "                          byte-stable across machines)\n"
         "  --quiet                 suppress the aggregate table\n";
 }
 
@@ -76,6 +80,8 @@ Options parse_args(int argc, char** argv) {
       opt.tolerance = std::stod(value());
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--profile") {
+      opt.profile = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -157,6 +163,7 @@ int main(int argc, char** argv) {
     sweep::SweepOptions run_options;
     run_options.threads = opt.threads;
     run_options.sink = sink ? &*sink : nullptr;
+    run_options.profile = opt.profile;
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = runner.run(run_options);

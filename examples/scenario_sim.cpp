@@ -25,6 +25,12 @@
 // Sharded runs (conservative parallel simulation, DESIGN.md §11):
 //
 //   ./examples/scenario_sim --shards 4                # overrides [shards]
+//
+// Host-time profiling (DESIGN.md §12):
+//
+//   ./examples/scenario_sim --profile                 # writes profile.json
+//   ./examples/scenario_sim --profile=perf/run.json   # + run.prom and
+//                                                     #   run.chrome.json
 #include <cstddef>
 #include <fstream>
 #include <iostream>
@@ -93,6 +99,7 @@ struct Options {
   std::optional<std::string> until;
   std::optional<std::string> shards;
   std::optional<std::string> report_json;
+  std::optional<std::string> profile;  // profile.json path
 };
 
 /// Split "a:b[:c]" into its numeric fields.
@@ -159,6 +166,16 @@ Options parse_args(int argc, char** argv) {
     if (take_flag(arg, argc, argv, i, "--until", opts.until)) continue;
     if (take_flag(arg, argc, argv, i, "--shards", opts.shards)) continue;
     if (take_flag(arg, argc, argv, i, "--report-json", opts.report_json)) continue;
+    // --profile is the one flag whose value is optional: bare --profile
+    // defaults to profile.json in the working directory.
+    if (arg == "--profile") {
+      opts.profile = "profile.json";
+      continue;
+    }
+    if (arg.rfind("--profile=", 0) == 0) {
+      opts.profile = arg.substr(std::string("--profile=").size());
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option " + arg);
     }
@@ -216,6 +233,21 @@ int main(int argc, char** argv) {
       scenario.grid.shards = static_cast<std::size_t>(n);
     }
 
+    // --profile[=path] writes the JSON summary to `path` and derives the
+    // sibling artifacts (Prometheus text, host Chrome trace) from its stem.
+    if (opts.profile) {
+      std::string stem = *opts.profile;
+      const std::string suffix = ".json";
+      if (stem.size() > suffix.size() &&
+          stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        stem.resize(stem.size() - suffix.size());
+      }
+      scenario.grid.profile.enabled = true;
+      scenario.grid.profile.json_path = *opts.profile;
+      scenario.grid.profile.metrics_path = stem + ".prom";
+      scenario.grid.profile.chrome_path = stem + ".chrome.json";
+    }
+
     // Reports want time-series charts, so turn sampling on whenever any
     // telemetry output is requested (explicit --sample-interval wins).
     if (opts.sample_interval) {
@@ -240,6 +272,17 @@ int main(int argc, char** argv) {
       auto out = open_out(*opts.report_json);
       faucets::core::write_report_json(out, report);
       std::cout << "wrote report JSON to " << *opts.report_json << "\n";
+    }
+    if (opts.profile) {
+      if (grid->profiler() != nullptr) {
+        std::cout << "wrote host-time profile to "
+                  << scenario.grid.profile.json_path << " (+ "
+                  << scenario.grid.profile.metrics_path << ", "
+                  << scenario.grid.profile.chrome_path << ")\n";
+      } else {
+        std::cout << "host-time profiling compiled out (FAUCETS_PROFILE=0); "
+                     "no profile written\n";
+      }
     }
     if (opts.trace_jsonl) {
       auto out = open_out(*opts.trace_jsonl);

@@ -1,9 +1,11 @@
 #include "src/core/grid_system.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/profiler.hpp"
 #include "src/sweep/thread_pool.hpp"
 
 namespace faucets::core {
@@ -193,6 +195,74 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     next_sample_due_ = config_.telemetry.sample_interval;
   }
   shard_sample_due_.assign(shard_count(), next_sample_due_);
+
+  // Tag every entity with its coarse category so the host-time profiler can
+  // attribute per-event self time by entity type. The byte is inert (and the
+  // tagging deterministic) when profiling is off.
+  central_->set_profile_class(static_cast<std::uint8_t>(obs::ProfClass::kCentral));
+  appspector_->set_profile_class(
+      static_cast<std::uint8_t>(obs::ProfClass::kAppSpector));
+  if (broker_) {
+    broker_->set_profile_class(static_cast<std::uint8_t>(obs::ProfClass::kBroker));
+  }
+  for (auto& b : peer_brokers_) {
+    b->set_profile_class(static_cast<std::uint8_t>(obs::ProfClass::kBroker));
+  }
+  for (auto& d : daemons_) {
+    d->set_profile_class(static_cast<std::uint8_t>(obs::ProfClass::kDaemon));
+  }
+  for (auto& c : clients_) {
+    c->set_profile_class(static_cast<std::uint8_t>(obs::ProfClass::kClient));
+  }
+  setup_profiler();
+}
+
+void GridSystem::setup_profiler() {
+#if FAUCETS_PROFILE
+  if (!config_.profile.enabled) return;
+  obs::ProfilerConfig pc;
+  pc.lanes = shard_count();
+  pc.lookahead = router_ != nullptr ? config_.network.base_latency : 0.0;
+  // Timeline slices only exist for windowed (sharded) execution; the
+  // single-engine loop is one execute span, so skip the ring's megabyte —
+  // construction cost is part of the measured enable-overhead budget.
+  if (router_ == nullptr) pc.timeline_capacity = 0;
+  profiler_ = std::make_unique<obs::Profiler>(pc);
+  profiler_->set_kind_name(0, "timer");
+  for (std::size_t k = 0; k < sim::kMessageKindCount; ++k) {
+    profiler_->set_kind_name(
+        1 + k,
+        std::string(sim::to_string(static_cast<sim::MessageKind>(k))));
+  }
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    shard_context(s).engine().set_profiler(&profiler_->lane(s));
+    shard_context(s).network().set_profiler(&profiler_->lane(s));
+  }
+#endif
+}
+
+void GridSystem::write_profile_artifacts() const {
+  if (profiler_ == nullptr) return;
+  if (config_.profile.json_path.empty() && config_.profile.metrics_path.empty() &&
+      config_.profile.chrome_path.empty()) {
+    return;  // nothing to export: skip the registry build entirely
+  }
+  // Building the faucets_prof_* registry (~50 named instruments) costs far
+  // more than the whole hot path on a short run, so it's paid here — at
+  // export time — not inside run().
+  profiler_->finalize();
+  if (!config_.profile.json_path.empty()) {
+    std::ofstream os{config_.profile.json_path};
+    profiler_->write_json(os);
+  }
+  if (!config_.profile.metrics_path.empty()) {
+    std::ofstream os{config_.profile.metrics_path};
+    profiler_->write_prometheus(os);
+  }
+  if (!config_.profile.chrome_path.empty()) {
+    std::ofstream os{config_.profile.chrome_path};
+    profiler_->write_chrome(os);
+  }
 }
 
 void GridSystem::maybe_sample() {
@@ -255,18 +325,40 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
     }
     return true;
   };
+#if FAUCETS_PROFILE
+  if (profiler_ != nullptr) profiler_->begin_run();
+#endif
   if (router_ == nullptr) {
-    while (!all_done() && ctx_.engine().step(until)) {
-      maybe_sample();
+#if FAUCETS_PROFILE
+    if (profiler_ != nullptr) {
+      // One execute span around the whole loop: an unsharded lane has no
+      // drain/merge/barrier, so its wall clock is execute plus idle.
+      const std::uint64_t t0 = obs::HostClock::ticks();
+      while (!all_done() && ctx_.engine().step(until)) {
+        maybe_sample();
+      }
+      ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
+      profiler_->lane(0).add_execute(obs::HostClock::ticks() - t0);
+      makespan_ = ctx_.now();
+    } else
+#endif
+    {
+      while (!all_done() && ctx_.engine().step(until)) {
+        maybe_sample();
+      }
+      // Drain in-flight housekeeping for one simulated second: the daemons'
+      // ContractSettled reports to the Central Server (price history,
+      // billing, barter transfers) trail the completion notices clients
+      // wait for.
+      ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
+      makespan_ = ctx_.now();
     }
-    // Drain in-flight housekeeping for one simulated second: the daemons'
-    // ContractSettled reports to the Central Server (price history, billing,
-    // barter transfers) trail the completion notices clients wait for.
-    ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
-    makespan_ = ctx_.now();
   } else {
     run_sharded(until, all_done);
   }
+#if FAUCETS_PROFILE
+  if (profiler_ != nullptr) profiler_->end_run();
+#endif
   for (auto& d : daemons_) d->cm().finish_metrics();
   if (config_.telemetry.sample_interval > 0.0) {
     // Close the series on the final state so a chart's last point reflects
@@ -292,6 +384,7 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
     analysis_ = obs::analyze_spans(m.spans);
     obs::observe_phase_histograms(m.metrics, *analysis_);
   }
+  if (profiler_ != nullptr) write_profile_artifacts();
   return report();
 }
 
@@ -308,9 +401,20 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
   staged_.resize(n);
   consumed_.assign(n, 0);
   sweep::ThreadPool pool(n);
+#if FAUCETS_PROFILE
+  if (profiler_ != nullptr) pool.set_profiler(profiler_.get());
+#endif
 
   auto barrier = [&] {
     for (std::size_t s = 0; s < n; ++s) {
+#if FAUCETS_PROFILE
+      if (profiler_ != nullptr) {
+        const std::uint64_t d0 = obs::HostClock::ticks();
+        router_->drain(s, staged_[s], consumed_[s]);
+        profiler_->add_drain(s, obs::HostClock::ticks() - d0);
+        continue;
+      }
+#endif
       router_->drain(s, staged_[s], consumed_[s]);
     }
     replay_history();
@@ -330,6 +434,38 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
   // Everything between windows runs on this thread with the workers idle, so
   // cross-shard reads (all_done, t_min, the history journal) are unshared.
   auto windows = [&](double cap, bool stop_when_done) {
+#if FAUCETS_PROFILE
+    // Profiled twin of the loop below: the coordinator snapshots the clock
+    // around the barrier (drain shares are subtracted inside `barrier`, the
+    // remainder of the interval is per-lane merge) and after wait_idle (each
+    // lane's gap between dispatch and its task marks is barrier-wait). All
+    // hooks run between windows on this thread, with the workers idle.
+    if (profiler_ != nullptr) {
+      for (;;) {
+        profiler_->barrier_begin();
+        barrier();
+        if (stop_when_done && all_done()) {
+          profiler_->barrier_end();
+          return true;
+        }
+        const double tmin = t_min();
+        profiler_->barrier_end();
+        if (tmin >= sim::Engine::kForever || tmin > cap) return false;
+        profiler_->window_launch(tmin);
+        const double window_end = tmin + lookahead;
+        for (std::size_t s = 0; s < n; ++s) {
+          obs::ProfilerLane* lane = &profiler_->lane(s);
+          pool.submit([this, s, window_end, cap, lane] {
+            lane->begin_window_task();
+            run_shard_window(s, window_end, cap);
+            lane->end_window_task();
+          });
+        }
+        pool.wait_idle();
+        profiler_->window_complete();
+      }
+    }
+#endif
     for (;;) {
       barrier();
       if (stop_when_done && all_done()) return true;
@@ -425,7 +561,20 @@ void GridSystem::run_shard_window(std::size_t s, double window_end, double cap) 
       auto& env = staged[pos];
       engine.advance_to(env.arrival);
       engine.begin_external_event(env.sent_at, env.creator, env.cseq);
+#if FAUCETS_PROFILE
+      // Cross-shard deliveries bypass Engine::step, so they get their own
+      // event bracket here (the network tags kind/class inside deliver).
+      if (profiler_ != nullptr) {
+        obs::ProfilerLane& lane = profiler_->lane(s);
+        lane.begin_event();
+        ctx.network().deliver_envelope(env.kind, std::move(env.msg));
+        lane.end_event();
+      } else {
+        ctx.network().deliver_envelope(env.kind, std::move(env.msg));
+      }
+#else
       ctx.network().deliver_envelope(env.kind, std::move(env.msg));
+#endif
       ++pos;
     } else {
       engine.step(cap);

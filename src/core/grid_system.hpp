@@ -26,6 +26,10 @@
 #include "src/sim/context.hpp"
 #include "src/sim/network.hpp"
 
+namespace faucets::obs {
+class Profiler;
+}  // namespace faucets::obs
+
 namespace faucets::core {
 
 using StrategyFactory = std::function<std::unique_ptr<sched::Strategy>()>;
@@ -58,6 +62,18 @@ struct ClusterPartition {
   std::size_t cluster = 0;
   double from = 0.0;
   double until = 0.0;
+};
+
+/// Opt-in host-time profiling (DESIGN.md §12): per-event self-time
+/// attribution, exclusive shard phase accounting, and a wall-clock timeline.
+/// Profiling records into its own registry and artifacts only, so report
+/// JSON / trace JSONL stay byte-identical with it on or off.
+struct ProfileConfig {
+  bool enabled = false;
+  /// Artifact paths written at the end of run(); empty skips that artifact.
+  std::string json_path;     // profile.json summary
+  std::string metrics_path;  // Prometheus faucets_prof_* text
+  std::string chrome_path;   // host-timeline Chrome trace
 };
 
 /// Periodic time-series sampling of registered telemetry signals.
@@ -107,6 +123,9 @@ struct GridConfig {
   /// count. Sharded runs require a positive WAN base_latency — it is the
   /// lookahead.
   std::size_t shards = 0;
+  /// Host-time profiling; off by default (and compiled out entirely with
+  /// -DFAUCETS_PROFILE=0, in which case enabling is a no-op).
+  ProfileConfig profile{};
 };
 
 /// Per-cluster results after a run.
@@ -235,6 +254,13 @@ class GridSystem {
   /// post-run call costs one join, not a re-walk.
   [[nodiscard]] GridTelemetry telemetry() const;
 
+  /// The host-time profiler, when GridConfig::profile.enabled (and the build
+  /// keeps FAUCETS_PROFILE on); null otherwise. Phase decompositions and
+  /// window stats are valid after run().
+  [[nodiscard]] const obs::Profiler* profiler() const noexcept {
+    return profiler_.get();
+  }
+
  private:
   struct MergedObs {
     obs::MetricsRegistry metrics;
@@ -249,6 +275,8 @@ class GridSystem {
   void run_sharded(double until, const std::function<bool()>& all_done);
   void run_shard_window(std::size_t s, double window_end, double cap);
   void replay_history();
+  void setup_profiler();
+  void write_profile_artifacts() const;
 
   GridConfig config_;
   // The router outlives every context (networks hold a raw pointer into it).
@@ -278,6 +306,9 @@ class GridSystem {
   std::vector<double> shard_sample_due_;  // per-shard due times (sharded)
   mutable std::optional<obs::SpanAnalysis> analysis_;  // cached by run()
   mutable std::optional<MergedObs> merged_;            // cached merge
+  // Host-time profiler (null unless config_.profile.enabled): its own
+  // registry and artifacts, never the simulation's.
+  std::unique_ptr<obs::Profiler> profiler_;
 };
 
 /// Fluent construction of a GridSystem. Replaces hand-assembled
@@ -391,6 +422,15 @@ class GridBuilder {
   /// single-engine loop.
   GridBuilder& shards(std::size_t count) {
     config_.shards = count;
+    return *this;
+  }
+  /// Enable host-time profiling (DESIGN.md §12). Pass a ProfileConfig to
+  /// also write profile.json / Prometheus / Chrome-trace artifacts at the
+  /// end of run(); the no-argument form keeps everything in memory for
+  /// GridSystem::profiler().
+  GridBuilder& profile(ProfileConfig config = {}) {
+    config_.profile = std::move(config);
+    config_.profile.enabled = true;
     return *this;
   }
   GridBuilder& cluster(ClusterSetup setup) {

@@ -204,6 +204,17 @@ Scenario Scenario::parse(const ConfigFile& config) {
     out.grid.shards = static_cast<std::size_t>(count);
   }
 
+  // [profile] — opt-in host-time profiling (DESIGN.md §12). `enabled`
+  // defaults to true when the section is present; artifact paths are
+  // optional (empty = keep the profile in memory only).
+  const ConfigSection* profile = config.section("profile");
+  if (profile != nullptr) {
+    out.grid.profile.enabled = profile->get_bool("enabled", true);
+    out.grid.profile.json_path = profile->get_string("json", "");
+    out.grid.profile.metrics_path = profile->get_string("metrics", "");
+    out.grid.profile.chrome_path = profile->get_string("chrome", "");
+  }
+
   const double load = wl != nullptr ? wl->get_double("load", 0.8) : 0.8;
   int total = 0;
   for (const auto& c : out.clusters) total += c.machine.total_procs;

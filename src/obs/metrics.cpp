@@ -157,8 +157,12 @@ MetricsRegistry MetricsRegistry::merged(
         break;
       }
       case Type::kGauge: {
+        // Carry each part's compensation term through the fold (not just its
+        // rounded value()) so the merged sum matches the single-engine
+        // compensated sum bit-for-bit regardless of how the series was split
+        // across shards.
         Gauge& g = out.gauge(s.proto->name, s.proto->help);
-        for (const Owned* p : s.parts) g.add(p->gauge->value());
+        for (const Owned* p : s.parts) g.merge_from(*p->gauge);
         break;
       }
       case Type::kHistogram: {

@@ -31,14 +31,37 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// Gauges accumulate with Neumaier compensated summation: (value_, comp_)
+/// behaves as a double-double accumulator, so sums of similarly-scaled series
+/// (e.g. per-job revenue) come out independent of partial-sum grouping. The
+/// sharded merge carries the compensation term through merge_from(), which is
+/// what makes merged Prometheus text byte-identical across shard counts
+/// (DESIGN.md §11.6).
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  void add(double v) noexcept { value_ += v; }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  void set(double v) noexcept {
+    value_ = v;
+    comp_ = 0.0;
+  }
+  void add(double v) noexcept {
+    const double t = value_ + v;
+    if (std::abs(value_) >= std::abs(v)) {
+      comp_ += (value_ - t) + v;
+    } else {
+      comp_ += (v - t) + value_;
+    }
+    value_ = t;
+  }
+  [[nodiscard]] double value() const noexcept { return value_ + comp_; }
+  /// Fold another gauge in, carrying its compensation term (sharded merge).
+  void merge_from(const Gauge& other) noexcept {
+    add(other.value_);
+    add(other.comp_);
+  }
 
  private:
   double value_ = 0.0;
+  double comp_ = 0.0;
 };
 
 /// Fixed-bucket histogram. `bounds` are ascending inclusive upper edges; one
@@ -103,6 +126,25 @@ class Histogram {
       cum += buckets_[i];
     }
     return max();
+  }
+
+  /// Fold pre-aggregated observations in one call (the host-time profiler's
+  /// POD tick histograms publish this way at finalize): `counts[i]` samples
+  /// land in bucket i (anything past the end goes to the overflow bucket),
+  /// plus the summary moments of those samples.
+  void fold_prebinned(const std::uint64_t* counts, std::size_t n, double sum,
+                      double mn, double mx) noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      buckets_[std::min(i, buckets_.size() - 1)] += counts[i];
+      total += counts[i];
+    }
+    count_ += total;
+    sum_ += sum;
+    if (total > 0) {
+      min_ = std::min(min_, mn);
+      max_ = std::max(max_, mx);
+    }
   }
 
   /// Fold another histogram with identical bounds into this one (sharded

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/profiler.hpp"
+
 namespace faucets::sim {
 
 namespace {
@@ -119,6 +121,14 @@ bool Engine::step(SimTime until) {
   pop_root();
   retire_slot(s);
   ++executed_;
+#if FAUCETS_PROFILE
+  if (prof_ != nullptr) {
+    prof_->begin_event();
+    fn();
+    prof_->end_event();
+    return true;
+  }
+#endif
   fn();
   return true;
 }

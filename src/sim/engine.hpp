@@ -28,6 +28,10 @@
 
 #include "src/sim/callable.hpp"
 
+namespace faucets::obs {
+class ProfilerLane;
+}  // namespace faucets::obs
+
 namespace faucets::sim {
 
 /// Simulated time in seconds since the start of the simulation.
@@ -197,6 +201,12 @@ class Engine {
   /// near the high-water mark of concurrently pending events).
   [[nodiscard]] std::size_t pool_slots() const noexcept { return slots_.size(); }
 
+  /// Attach a host-time profiler lane (DESIGN.md §12): step() brackets each
+  /// dispatched handler with one timestamp pair. Null (the default) keeps
+  /// the unprofiled path to a single branch per event; the hook compiles out
+  /// entirely with -DFAUCETS_PROFILE=0.
+  void set_profiler(obs::ProfilerLane* lane) noexcept { prof_ = lane; }
+
   static constexpr SimTime kForever = 1e300;
 
  private:
@@ -253,6 +263,7 @@ class Engine {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::ProfilerLane* prof_ = nullptr;  // host-time recorder; null = off
   bool deterministic_ties_ = false;
   std::uint64_t current_entity_ = kNoEntity;
   std::uint64_t orphan_seq_ = 0;

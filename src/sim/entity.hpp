@@ -158,6 +158,15 @@ class Entity {
   /// Called by the Network when a message addressed to this entity arrives.
   virtual void on_message(const Message& msg) = 0;
 
+  /// Coarse category byte for host-time profiler attribution (the value
+  /// space is obs::ProfClass; kept as a raw byte so sim stays free of obs
+  /// profiler types). Defaults to 0 = "other"; GridSystem tags the entities
+  /// it stands up.
+  [[nodiscard]] std::uint8_t profile_class() const noexcept {
+    return prof_class_;
+  }
+  void set_profile_class(std::uint8_t c) noexcept { prof_class_ = c; }
+
  protected:
   [[nodiscard]] Network* network() const noexcept { return network_; }
 
@@ -168,6 +177,7 @@ class Entity {
   Engine* engine_;
   Network* network_;
   EntityId id_;
+  std::uint8_t prof_class_ = 0;
 };
 
 }  // namespace faucets::sim

@@ -3,9 +3,15 @@
 #include <utility>
 
 #include "src/obs/observability.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/sim/shard.hpp"
 
 namespace faucets::sim {
+
+// Kind slot 0 is reserved for timer/no-message events; every MessageKind
+// must fit in the lanes' fixed attribution arrays.
+static_assert(kMessageKindCount + 1 <= obs::ProfilerLane::kKindSlots,
+              "grow ProfilerLane::kKindSlots to fit MessageKind");
 
 Network::Network(Engine& engine, NetworkConfig config, obs::Observability* obs,
                  ShardRouter* router, std::uint32_t shard)
@@ -135,6 +141,12 @@ void Network::deliver(MessageKind kind, MessagePtr msg) {
   ++messages_delivered_;
   ++delivered_by_kind_[static_cast<std::size_t>(kind)];
   if (delivered_ctr_ != nullptr) delivered_ctr_->inc();
+#if FAUCETS_PROFILE
+  if (prof_ != nullptr) {
+    prof_->set_event_tag(1 + static_cast<std::size_t>(kind),
+                         target->profile_class());
+  }
+#endif
   engine_->set_current_entity(msg->to.value());
   target->on_message(*msg);
 }

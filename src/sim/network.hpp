@@ -18,6 +18,7 @@ class Observability;
 class Counter;
 class Gauge;
 class Histogram;
+class ProfilerLane;
 }
 
 namespace faucets::sim {
@@ -115,6 +116,11 @@ class Network {
   /// Shard this fabric belongs to (0 in a single-engine run).
   [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
 
+  /// Attach this shard's host-time profiler lane (DESIGN.md §12): deliver()
+  /// tags the in-flight event with (MessageKind, entity class) so the
+  /// engine's timestamp pair lands in the right attribution buckets.
+  void set_profiler(obs::ProfilerLane* lane) noexcept { prof_ = lane; }
+
   /// Traffic counters that merge by exact sum across shards; exposed so the
   /// sharded GridSystem can aggregate without friend access.
   [[nodiscard]] const std::unordered_map<EntityId, std::uint64_t>&
@@ -136,6 +142,7 @@ class Network {
   obs::Observability* obs_;
   ShardRouter* router_ = nullptr;
   std::uint32_t shard_ = 0;
+  obs::ProfilerLane* prof_ = nullptr;  // host-time recorder; null = off
   // Registry instruments, resolved once so the send path never does a
   // by-name lookup. Null when obs_ is null.
   obs::Counter* sent_ctr_ = nullptr;

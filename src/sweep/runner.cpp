@@ -1,12 +1,14 @@
 #include "src/sweep/runner.hpp"
 
 #include <exception>
+#include <utility>
 
+#include "src/obs/profiler.hpp"
 #include "src/sweep/thread_pool.hpp"
 
 namespace faucets::sweep {
 
-RunResult SweepRunner::execute(const RunPoint& point) const {
+RunResult SweepRunner::execute(const RunPoint& point, bool profile) const {
   core::Scenario scenario = spec_.materialize(point);
   if (spec_.mode() == SweepMode::kCluster) {
     const auto requests = scenario.make_requests();
@@ -15,8 +17,22 @@ RunResult SweepRunner::execute(const RunPoint& point) const {
         requests, scenario.clusters.front().costs);
     return make_result(point, spec_.mode(), cluster_metrics(result));
   }
-  const auto report = scenario.run();
-  return make_result(point, spec_.mode(), grid_metrics(report));
+  if (!profile) {
+    const auto report = scenario.run();
+    return make_result(point, spec_.mode(), grid_metrics(report));
+  }
+  // Profiled grid point: build the grid directly so the profiler survives
+  // the run, then append the host-time prof_* columns after the sim metrics.
+  scenario.grid.profile.enabled = true;
+  const auto grid = scenario.make_grid();
+  const auto report = grid->run(scenario.make_requests());
+  auto metrics = grid_metrics(report);
+#if FAUCETS_PROFILE
+  if (const obs::Profiler* prof = grid->profiler()) {
+    prof->append_sweep_metrics(metrics);
+  }
+#endif
+  return make_result(point, spec_.mode(), std::move(metrics));
 }
 
 std::vector<RunResult> SweepRunner::run(const SweepOptions& options) const {
@@ -31,7 +47,7 @@ std::vector<RunResult> SweepRunner::run(const SweepOptions& options) const {
       // synchronization publishes the writes before run() returns.
       pool.submit([this, &point, &results, &errors, &options] {
         try {
-          RunResult result = execute(point);
+          RunResult result = execute(point, options.profile);
           if (options.sink != nullptr) options.sink->append(result.jsonl);
           results[point.run_id] = std::move(result);
         } catch (...) {

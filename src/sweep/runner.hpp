@@ -22,6 +22,12 @@ struct SweepOptions {
   std::size_t threads = 1;
   /// Optional streaming sink; lines arrive in completion order.
   JsonlSink* sink = nullptr;
+  /// Run every grid point under the host-time profiler and append per-run
+  /// prof_* columns (wall/phase milliseconds, events, windows) to each
+  /// result. Off by default: the columns are host-time measurements, so
+  /// unlike every other sweep column they are NOT byte-stable across
+  /// machines or thread counts.
+  bool profile = false;
 };
 
 class SweepRunner {
@@ -34,7 +40,7 @@ class SweepRunner {
   [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
 
  private:
-  [[nodiscard]] RunResult execute(const RunPoint& point) const;
+  [[nodiscard]] RunResult execute(const RunPoint& point, bool profile) const;
 
   SweepSpec spec_;
 };

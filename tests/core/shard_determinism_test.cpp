@@ -9,6 +9,7 @@
 // scenario (bench_shard runs it at full scale as experiment E13).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -57,21 +58,61 @@ std::string big_grid_ini(const std::string& bidgens) {
   return ini.str();
 }
 
+/// Prometheus text compare that is exact on structure (line count, metric
+/// names, label sets) and one-ulp tolerant on float values. Gauges merge
+/// through a Neumaier accumulator and land bit-exact across shard counts,
+/// but histogram sums are plain double accumulation, and regrouping the
+/// additions across shards may move the final bit.
+void expect_prometheus_within_one_ulp(const std::string& lhs,
+                                      const std::string& rhs,
+                                      const char* what) {
+  if (lhs == rhs) return;
+  std::istringstream ls(lhs);
+  std::istringstream rs(rhs);
+  std::string lline;
+  std::string rline;
+  std::size_t lineno = 0;
+  while (std::getline(ls, lline)) {
+    ++lineno;
+    ASSERT_TRUE(static_cast<bool>(std::getline(rs, rline)))
+        << what << ": right side ends at line " << lineno;
+    if (lline == rline) continue;
+    const std::size_t lsp = lline.rfind(' ');
+    const std::size_t rsp = rline.rfind(' ');
+    ASSERT_NE(lsp, std::string::npos) << what << " line " << lineno;
+    ASSERT_EQ(lline.substr(0, lsp), rline.substr(0, rsp))
+        << what << " line " << lineno << ": metric name/labels differ";
+    const double lv = std::strtod(lline.c_str() + lsp, nullptr);
+    const double rv = std::strtod(rline.c_str() + rsp, nullptr);
+    EXPECT_TRUE(rv == std::nextafter(lv, rv))
+        << what << " line " << lineno << " differs by more than one ulp:\n  "
+        << lline << "\n  " << rline;
+  }
+  EXPECT_FALSE(static_cast<bool>(std::getline(rs, rline)))
+      << what << ": right side has extra lines past " << lineno;
+}
+
 struct Outputs {
   std::string report_json;
   std::string trace_jsonl;
   std::string chrome;
+  std::string prometheus;
   std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
 };
 
-Outputs run_at(const std::string& ini, std::size_t shards) {
+Outputs run_at(const std::string& ini, std::size_t shards, bool profile = false) {
   Scenario scenario = Scenario::parse_string(ini);
   scenario.grid.shards = shards;
+  scenario.grid.profile.enabled = profile;
   auto grid = scenario.make_grid();
   const GridReport report = grid->run(scenario.make_requests(), /*until=*/1e9);
 
   Outputs out;
   out.submitted = report.jobs_submitted;
+  for (std::size_t s = 0; s < grid->shard_count(); ++s) {
+    out.executed += grid->shard_context(s).engine().executed();
+  }
   {
     std::ostringstream os;
     write_report_json(os, report);
@@ -86,6 +127,11 @@ Outputs run_at(const std::string& ini, std::size_t shards) {
     std::ostringstream os;
     obs::write_chrome_trace(os, grid->merged_spans(), grid->merged_trace(), {});
     out.chrome = os.str();
+  }
+  {
+    std::ostringstream os;
+    obs::write_prometheus(os, grid->merged_metrics());
+    out.prometheus = os.str();
   }
   return out;
 }
@@ -103,6 +149,34 @@ TEST(ShardDeterminism, ThousandClusterGridIsByteIdenticalAt1_2_8Shards) {
   EXPECT_EQ(one.trace_jsonl, eight.trace_jsonl);
   EXPECT_EQ(one.chrome, two.chrome);
   EXPECT_EQ(one.chrome, eight.chrome);
+  // §11.6: the Gauge's Neumaier accumulator carries the compensation term
+  // through the canonical-order shard merge, so gauge totals (revenue) agree
+  // to the last bit across shard counts. Histogram sums are still plain
+  // double accumulation, and regrouping additions across shards can legally
+  // move the final bit — so the Prometheus text is compared structurally,
+  // with float values required to agree within one ulp.
+  expect_prometheus_within_one_ulp(one.prometheus, two.prometheus, "1 vs 2");
+  expect_prometheus_within_one_ulp(one.prometheus, eight.prometheus, "1 vs 8");
+}
+
+TEST(ShardDeterminism, ProfilingDoesNotPerturbOutputsAt1_2_8Shards) {
+  // The host-time profiler (DESIGN.md §12) measures the executor, never the
+  // simulation: with profiling enabled the report JSON, trace JSONL, and
+  // executed-event counts must stay byte-for-byte / count-for-count what the
+  // unprofiled run produced, at every shard count.
+  const std::string ini = big_grid_ini("baseline");
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const Outputs off = run_at(ini, shards, /*profile=*/false);
+    const Outputs on = run_at(ini, shards, /*profile=*/true);
+    ASSERT_GT(off.submitted, 0u);
+    EXPECT_EQ(off.report_json, on.report_json) << shards << " shards";
+    EXPECT_EQ(off.trace_jsonl, on.trace_jsonl) << shards << " shards";
+    EXPECT_EQ(off.chrome, on.chrome) << shards << " shards";
+    EXPECT_EQ(off.prometheus, on.prometheus) << shards << " shards";
+    EXPECT_EQ(off.executed, on.executed)
+        << "profiling must not add, drop, or reorder a single event at "
+        << shards << " shards";
+  }
 }
 
 TEST(ShardDeterminism, GridWeatherBidgensStayByteIdenticalAcrossShardCounts) {

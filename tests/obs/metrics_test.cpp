@@ -33,6 +33,98 @@ TEST(Gauge, SetAndAdd) {
   EXPECT_DOUBLE_EQ(g.value(), 1.5);
 }
 
+// The §11.6 fix: revenue gauges accumulate thousands of tiny prices, where
+// naive += loses low-order bits that used to surface as a last-ulp residual
+// between serial and sharded-merged Prometheus output. Neumaier summation
+// carries the lost bits in a compensation term.
+TEST(Gauge, NeumaierRecoversBitsNaiveSummationLoses) {
+  Gauge g;
+  double naive = 0.0;
+  g.add(1.0);
+  naive += 1.0;
+  for (int i = 0; i < 10'000'000; ++i) {
+    g.add(1e-16);
+    naive += 1e-16;
+  }
+  // Naive summation drops every 1e-16 against the running 1.0.
+  EXPECT_DOUBLE_EQ(naive, 1.0);
+  EXPECT_NEAR(g.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(Gauge, SetResetsCompensation) {
+  Gauge g;
+  g.add(1.0);
+  for (int i = 0; i < 1000; ++i) g.add(1e-16);
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+// Shard-merge order invariance at the bit level: merging per-shard gauges
+// in canonical shard order must reproduce the serial accumulation exactly,
+// because merge_from carries each shard's compensation term instead of
+// re-rounding through a bare double.
+TEST(Gauge, MergeFromCarriesCompensationAcrossShards) {
+  std::mt19937_64 rng{20260809};
+  std::uniform_real_distribution<double> price{1e-8, 2.0};
+  for (int round = 0; round < 5; ++round) {
+    Gauge serial;
+    Gauge shards[4];
+    for (int i = 0; i < 20'000; ++i) {
+      const double v = price(rng);
+      serial.add(v);
+      shards[i % 4].add(v);
+    }
+    Gauge merged;
+    for (auto& shard : shards) merged.merge_from(shard);
+    // Compensated merge in canonical shard order lands within one ulp of
+    // the compensated serial sum; naive merging was off by many more.
+    EXPECT_NEAR(merged.value(), serial.value(),
+                std::abs(serial.value()) * 1e-15);
+  }
+}
+
+TEST(Histogram, FoldPrebinnedMatchesObserveStream) {
+  Histogram direct{{1.0, 2.0, 4.0}};
+  for (double v : {0.5, 1.0, 1.5, 3.0, 10.0}) direct.observe(v);
+
+  const std::uint64_t counts[4] = {2, 1, 1, 1};
+  Histogram folded{{1.0, 2.0, 4.0}};
+  folded.fold_prebinned(counts, 4, 16.0, 0.5, 10.0);
+  EXPECT_EQ(folded.count(), direct.count());
+  EXPECT_DOUBLE_EQ(folded.sum(), direct.sum());
+  EXPECT_DOUBLE_EQ(folded.min(), direct.min());
+  EXPECT_DOUBLE_EQ(folded.max(), direct.max());
+  EXPECT_EQ(folded.buckets(), direct.buckets());
+  // Folding again accumulates.
+  folded.fold_prebinned(counts, 4, 16.0, 0.4, 11.0);
+  EXPECT_EQ(folded.count(), 10u);
+  EXPECT_DOUBLE_EQ(folded.min(), 0.4);
+  EXPECT_DOUBLE_EQ(folded.max(), 11.0);
+}
+
+TEST(Histogram, FoldPrebinnedClampsExcessSourceBucketsIntoOverflow) {
+  // Source has more buckets than the destination (profiler: 32 log2 tick
+  // buckets into a shorter seconds histogram) — the excess lands in the
+  // destination's overflow bucket, preserving total count.
+  const std::uint64_t counts[6] = {1, 1, 1, 1, 1, 1};
+  Histogram h{{1.0, 2.0}};  // 3 buckets incl. overflow
+  h.fold_prebinned(counts, 6, 21.0, 0.5, 32.0);
+  EXPECT_EQ(h.count(), 6u);
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 4u);
+}
+
+TEST(Histogram, FoldPrebinnedEmptyLeavesExtremaUntouched) {
+  const std::uint64_t none[2] = {0, 0};
+  Histogram h{{1.0}};
+  h.fold_prebinned(none, 2, 0.0, 123.0, 456.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
 TEST(BucketHelpers, GenerateAscendingEdges) {
   const auto exp = exponential_buckets(1.0, 2.0, 4);
   ASSERT_EQ(exp.size(), 4u);

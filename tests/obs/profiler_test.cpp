@@ -1,0 +1,281 @@
+// Host-time profiler self-tests (DESIGN.md §12): ProfStats log2 bucketing
+// against brute-force oracles, HostClock sanity, the exclusive-phase
+// invariant (phases sum to wall, none negative), and the three export
+// artifacts of an end-to-end simulated run.
+#include "src/obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace faucets::obs {
+namespace {
+
+TEST(HostClock, TicksAdvanceAndCalibrationIsPositive) {
+  const std::uint64_t a = HostClock::ticks();
+  // Burn a little time; both TSC and steady_clock must move forward.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const std::uint64_t b = HostClock::ticks();
+  EXPECT_GT(b, a);
+  EXPECT_GT(HostClock::ns_per_tick(), 0.0);
+  // Calibration is a per-process constant.
+  EXPECT_DOUBLE_EQ(HostClock::ns_per_tick(), HostClock::ns_per_tick());
+  EXPECT_NE(HostClock::source(), nullptr);
+}
+
+TEST(ProfStats, EmptyIsAllZero) {
+  ProfStats s;
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min_or_zero(), 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile_ticks(0.5), 0.0);
+}
+
+TEST(ProfStats, BucketsAreLog2OfTicks) {
+  ProfStats s;
+  s.record(0);   // bit_width(0|1)-1 = 0
+  s.record(1);   // bucket 0
+  s.record(2);   // bucket 1
+  s.record(3);   // bucket 1
+  s.record(4);   // bucket 2
+  s.record(7);   // bucket 2
+  s.record(8);   // bucket 3
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.total, 25u);
+  EXPECT_EQ(s.min_or_zero(), 0u);
+  EXPECT_EQ(s.max, 8u);
+  // The top bucket absorbs everything >= 2^31 ticks.
+  ProfStats top;
+  top.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(top.buckets[ProfStats::kBuckets - 1], 1u);
+}
+
+TEST(ProfStats, MergeMatchesCombinedStream) {
+  std::mt19937_64 rng{20260809};
+  ProfStats a;
+  ProfStats b;
+  ProfStats both;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t t = rng() >> (rng() % 50);
+    ((i % 2 == 0) ? a : b).record(t);
+    both.record(t);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count, both.count);
+  EXPECT_EQ(a.total, both.total);
+  EXPECT_EQ(a.min, both.min);
+  EXPECT_EQ(a.max, both.max);
+  EXPECT_EQ(a.buckets, both.buckets);
+}
+
+// Quantile property: the estimate must land inside the value span of the
+// bucket holding the nearest-rank oracle answer, clamped to observed
+// min/max — error bounded by one power-of-two bucket width.
+TEST(ProfStats, QuantilesBracketSortedOracle) {
+  std::mt19937_64 rng{1717};
+  for (int round = 0; round < 10; ++round) {
+    ProfStats s;
+    std::vector<std::uint64_t> samples;
+    const int n = 100 + static_cast<int>(rng() % 500);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t t = (rng() % 100000) + 1;
+      s.record(t);
+      samples.push_back(t);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      const std::size_t rank = static_cast<std::size_t>(std::max<double>(
+          1.0, std::ceil(q * static_cast<double>(samples.size()))));
+      const double oracle = static_cast<double>(samples[rank - 1]);
+      const double est = s.quantile_ticks(q);
+      const auto w = static_cast<std::uint64_t>(
+          std::bit_width(samples[rank - 1] | 1) - 1);
+      const double lo = std::max<double>(static_cast<double>(std::uint64_t{1} << w),
+                                         static_cast<double>(s.min_or_zero()));
+      const double hi = std::min<double>(static_cast<double>(std::uint64_t{1} << (w + 1)),
+                                         static_cast<double>(s.max));
+      EXPECT_GE(est, std::min(lo, oracle) - 1e-9) << "q=" << q;
+      EXPECT_LE(est, std::max(hi, oracle) + 1e-9) << "q=" << q;
+      EXPECT_GE(est, static_cast<double>(s.min_or_zero()) - 1e-9);
+      EXPECT_LE(est, static_cast<double>(s.max) + 1e-9);
+    }
+  }
+}
+
+TEST(ProfilerLane, AttributesSelfTimeByKindAndClass) {
+  Profiler prof{ProfilerConfig{}};
+  ProfilerLane& lane = prof.lane(0);
+  lane.begin_event();
+  lane.set_event_tag(3, 2);
+  lane.end_event();
+  lane.begin_event();  // untagged -> slot 0 / class 0
+  lane.end_event();
+  EXPECT_EQ(lane.events(), 2u);
+  EXPECT_EQ(lane.by_kind(3).count, 1u);
+  EXPECT_EQ(lane.by_kind(0).count, 1u);
+  EXPECT_EQ(lane.by_class(2).count, 1u);
+  EXPECT_EQ(lane.by_class(0).count, 1u);
+  // Out-of-range tags clamp instead of writing out of bounds.
+  lane.begin_event();
+  lane.set_event_tag(1000, 1000);
+  lane.end_event();
+  EXPECT_EQ(lane.by_kind(ProfilerLane::kKindSlots - 1).count, 1u);
+  EXPECT_EQ(lane.by_class(0).count, 2u);
+}
+
+// Drive a fake two-shard windowed run through the coordinator hooks and
+// check the exclusive-phase invariant plus all three artifacts.
+TEST(Profiler, PhasesSumToWallAndArtifactsExport) {
+  ProfilerConfig config;
+  config.lanes = 2;
+  config.lookahead = 50.0;
+  Profiler prof{config};
+  prof.set_kind_name(0, "timer");
+  prof.set_kind_name(1, "RFB");
+
+  prof.begin_run();
+  double tmin = 0.0;
+  for (int w = 0; w < 5; ++w) {
+    prof.barrier_begin();
+    for (std::size_t s = 0; s < 2; ++s) {
+      const std::uint64_t d0 = HostClock::ticks();
+      prof.add_drain(s, HostClock::ticks() - d0);
+    }
+    prof.barrier_end();
+    prof.window_launch(tmin);
+    tmin += 25.0;
+    for (std::size_t s = 0; s < 2; ++s) {
+      ProfilerLane& lane = prof.lane(s);
+      lane.begin_window_task();
+      for (int e = 0; e < 10; ++e) {
+        lane.begin_event();
+        lane.set_event_tag(1, 1);
+        lane.end_event();
+      }
+      lane.end_window_task();
+    }
+    prof.window_complete();
+  }
+  prof.record_pool_task(0, 123, false);
+  prof.record_pool_task(0, 77, true);
+  prof.end_run();
+  prof.finalize();
+
+  EXPECT_EQ(prof.events_total(), 100u);
+  EXPECT_EQ(prof.windows(), 5u);
+  EXPECT_GT(prof.wall_seconds(), 0.0);
+  // Mean t_min advance 25 over lookahead 50.
+  EXPECT_NEAR(prof.lookahead_efficiency(), 0.5, 1e-9);
+  EXPECT_NEAR(prof.window_advance().mean(), 25.0, 1e-9);
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    const auto phases = prof.lane_phases(s);
+    EXPECT_EQ(phases.events, 50u);
+    EXPECT_EQ(phases.windows, 5u);
+    double sum = 0.0;
+    for (std::size_t p = 0; p < kProfPhaseCount; ++p) {
+      EXPECT_GE(phases.seconds[p], 0.0) << to_string(static_cast<ProfPhase>(p));
+      sum += phases.seconds[p];
+    }
+    EXPECT_GT(phases.wall_seconds, 0.0);
+    EXPECT_NEAR(sum, phases.wall_seconds, 1e-9 + phases.wall_seconds * 1e-6);
+    EXPECT_GT(phases.of(ProfPhase::kExecute), 0.0);
+  }
+
+  // finalize() is idempotent: a second call must not double anything.
+  prof.finalize();
+  EXPECT_EQ(prof.metrics().counter_value("faucets_prof_events_total"), 100u);
+  const Counter* windows =
+      prof.metrics().find_counter("faucets_prof_windows_total");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_EQ(windows->value(), 5u);
+
+  std::ostringstream json;
+  prof.write_json(json);
+  const std::string j = json.str();
+  for (const char* key :
+       {"\"schema\": 1", "\"clock\"", "\"wall_seconds\"", "\"events_total\": 100",
+        "\"windows\"", "\"lookahead_efficiency\"", "\"kinds\"", "\"RFB\"",
+        "\"entities\"", "\"shards\"", "\"barrier_wait\"", "\"pool\"",
+        "\"timeline_dropped\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "profile.json missing " << key;
+  }
+
+  std::ostringstream prom;
+  prof.write_prometheus(prom);
+  const std::string p = prom.str();
+  EXPECT_NE(p.find("faucets_prof_events_total 100"), std::string::npos);
+  EXPECT_NE(p.find("faucets_prof_phase_seconds"), std::string::npos);
+  EXPECT_NE(p.find("faucets_prof_event_self_seconds"), std::string::npos);
+
+  std::ostringstream chrome;
+  prof.write_chrome(chrome);
+  const std::string c = chrome.str();
+  EXPECT_NE(c.find("\"pid\": 9000"), std::string::npos);
+  EXPECT_NE(c.find("\"pid\": 9001"), std::string::npos);
+  EXPECT_NE(c.find("host: shards"), std::string::npos);
+
+  std::vector<std::pair<std::string, double>> cols;
+  prof.append_sweep_metrics(cols);
+  ASSERT_FALSE(cols.empty());
+  EXPECT_EQ(cols.front().first, "prof_wall_ms");
+  bool saw_events = false;
+  for (const auto& [name, value] : cols) {
+    if (name == "prof_events") {
+      saw_events = true;
+      EXPECT_DOUBLE_EQ(value, 100.0);
+    }
+  }
+  EXPECT_TRUE(saw_events);
+}
+
+TEST(Profiler, TimelineDropsAreKeepFirstAndCounted) {
+  ProfilerConfig config;
+  config.lanes = 1;
+  config.timeline_capacity = 4;
+  Profiler prof{config};
+  prof.begin_run();
+  for (int w = 0; w < 10; ++w) {
+    prof.barrier_begin();
+    prof.barrier_end();  // one barrier slice per window
+    prof.window_launch(static_cast<double>(w));
+    prof.lane(0).begin_window_task();
+    prof.lane(0).end_window_task();
+    prof.window_complete();  // plus one window slice per lane
+  }
+  prof.end_run();
+  // 10 windows emit 20 slices into a 4-slot ring: 16 dropped, first kept.
+  EXPECT_EQ(prof.timeline_dropped(), 16u);
+  prof.finalize();
+  std::ostringstream json;
+  prof.write_json(json);
+  EXPECT_NE(json.str().find("\"timeline_dropped\": 16"), std::string::npos);
+}
+
+TEST(Profiler, SingleLaneRunAccountsExecuteViaAddExecute) {
+  Profiler prof{ProfilerConfig{}};
+  prof.begin_run();
+  const std::uint64_t t0 = HostClock::ticks();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  prof.lane(0).add_execute(HostClock::ticks() - t0);
+  prof.end_run();
+  const auto phases = prof.lane_phases(0);
+  EXPECT_GT(phases.of(ProfPhase::kExecute), 0.0);
+  EXPECT_GE(phases.of(ProfPhase::kIdle), 0.0);
+  EXPECT_LE(phases.of(ProfPhase::kExecute), phases.wall_seconds * (1.0 + 1e-6));
+}
+
+}  // namespace
+}  // namespace faucets::obs
