@@ -40,7 +40,7 @@ std::vector<job::JobRequest> skewed_workload(double skew, std::uint64_t seed) {
   params.job_count = 240;
   params.user_count = 8;
   params.cluster_count = kClusters;
-  params.procs_cap = kProcs;
+  params.shaping.procs_cap = kProcs;
   params.min_procs_lo = 4;
   params.min_procs_hi = 16;
   job::WorkloadGenerator::calibrate_load(params, 0.6, kClusters * kProcs);

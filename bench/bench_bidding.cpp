@@ -31,7 +31,7 @@ std::vector<job::JobRequest> workload(std::size_t jobs, double load, int grid_pr
   job::WorkloadParams params;
   params.job_count = jobs;
   params.user_count = 12;
-  params.procs_cap = 256;
+  params.shaping.procs_cap = 256;
   params.min_procs_lo = 4;
   params.min_procs_hi = 24;
   job::WorkloadGenerator::calibrate_load(params, load, grid_procs);

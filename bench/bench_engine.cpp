@@ -153,7 +153,7 @@ void BM_MiniGridEndToEnd(benchmark::State& state) {
     job::WorkloadParams params;
     params.job_count = jobs;
     params.user_count = 4;
-    params.procs_cap = 128;
+    params.shaping.procs_cap = 128;
     job::WorkloadGenerator::calibrate_load(params, 0.5, 4 * 128);
     const auto report = grid.run(job::WorkloadGenerator{params, 5}.generate());
     benchmark::DoNotOptimize(report.jobs_completed);

@@ -37,11 +37,11 @@ std::vector<job::JobRequest> workload(std::uint64_t seed) {
   job::WorkloadParams params;
   params.job_count = 160;
   params.user_count = 8;
-  params.procs_cap = 128;
+  params.shaping.procs_cap = 128;
   params.min_procs_lo = 4;
   params.min_procs_hi = 16;
-  params.tightness_lo = 3.0;
-  params.tightness_hi = 10.0;
+  params.shaping.tightness_lo = 3.0;
+  params.shaping.tightness_hi = 10.0;
   job::WorkloadGenerator::calibrate_load(params, 0.55, 4 * 128);
   return job::WorkloadGenerator{params, seed}.generate();
 }

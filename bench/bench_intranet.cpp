@@ -36,7 +36,7 @@ Result run(sched::PriorityStrategyParams params, std::uint64_t seed) {
   job::WorkloadParams wl;
   wl.job_count = 200;
   wl.user_count = 8;
-  wl.procs_cap = 256;
+  wl.shaping.procs_cap = 256;
   job::WorkloadGenerator::calibrate_load(wl, 1.1, 256);
   auto requests = job::WorkloadGenerator{wl, seed}.generate();
   // User 7 is a management-priority department; user 0 is a hog who

@@ -45,7 +45,7 @@ std::vector<job::JobRequest> unbalanced_workload(std::uint64_t seed) {
   params.job_count = 400;
   params.user_count = 16;
   params.cluster_count = kClusters;
-  params.procs_cap = kProcs;
+  params.shaping.procs_cap = kProcs;
   params.min_procs_lo = 4;
   params.min_procs_hi = 24;
   job::WorkloadGenerator::calibrate_load(params, 0.5, kClusters * kProcs);

@@ -33,12 +33,12 @@ job::WorkloadParams deadline_params(int procs, double tightness_lo,
   job::WorkloadParams params;
   params.job_count = 300;
   params.user_count = 16;
-  params.procs_cap = procs;
+  params.shaping.procs_cap = procs;
   params.min_procs_lo = 4;
   params.min_procs_hi = 32;
-  params.tightness_lo = tightness_lo;
-  params.tightness_hi = tightness_hi;
-  params.penalty_fraction = 0.5;
+  params.shaping.tightness_lo = tightness_lo;
+  params.shaping.tightness_hi = tightness_hi;
+  params.shaping.penalty_fraction = 0.5;
   job::WorkloadGenerator::calibrate_load(params, 1.1, procs);  // overloaded
   return params;
 }

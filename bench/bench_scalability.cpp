@@ -36,7 +36,7 @@ std::vector<job::JobRequest> workload(int servers, std::uint64_t seed) {
   job::WorkloadParams params;
   params.job_count = static_cast<std::size_t>(25) * static_cast<std::size_t>(servers);
   params.user_count = 16;
-  params.procs_cap = 128;
+  params.shaping.procs_cap = 128;
   params.min_procs_lo = 4;
   params.min_procs_hi = 16;
   job::WorkloadGenerator::calibrate_load(params, 0.6, servers * 128);

@@ -4,7 +4,11 @@
 # run scenario_sim with every observability exporter and validate the
 # emitted JSONL/Prometheus/Chrome-trace files, run the regression-gated
 # parameter sweep (ci/sweep_gate.ini vs ci/sweep_baseline.json) and record
-# its serial-vs-parallel throughput in BENCH_sweep.json, generate the chaos
+# its serial-vs-parallel throughput in BENCH_sweep.json, run the streaming
+# replay gate (ci/replay_gate.ini streams ci/replay_fixture.swf over the
+# time-compression/user-multiplier axes vs ci/replay_baseline.json) and
+# record stream-vs-preload replay memory/throughput (E15) in
+# BENCH_replay.json, generate the chaos
 # run's telemetry artifacts (self-contained HTML report + phase/series CSVs)
 # and assert the grid-wide phase-balance invariant, then run the engine,
 # trace, and telemetry benchmarks from the optimized build and record the
@@ -102,6 +106,38 @@ print("BENCH_sweep.json: serial %.1f runs/s, %d threads %.1f runs/s "
 if hw >= 8:
     assert out["speedup"] >= 4.0, (
         "sweep speedup %.2fx < 4x on %d hardware threads" % (out["speedup"], hw))
+PY
+
+echo "==> streaming replay gate (SWF fixture through the trace axes)"
+python3 - <<'PY'
+import json, os, subprocess
+
+sweep = "./build-release-bench/examples/faucets_sweep"
+art = "build-release-bench/sweep-artifacts"
+os.makedirs(art, exist_ok=True)
+hw = os.cpu_count() or 1
+par_threads = max(hw, 8)
+
+def run(threads, out, extra=()):
+    cmd = [sweep, "--grid", "ci/replay_gate.ini", "--threads", str(threads),
+           "--quiet", "--out", out, *extra]
+    subprocess.run(cmd, check=True)  # gate violations exit 2 and fail CI
+
+serial = f"{art}/replay_serial.jsonl"
+parallel = f"{art}/replay_parallel.jsonl"
+run(1, serial)
+run(par_threads, parallel, ("--baseline", "ci/replay_baseline.json"))
+
+a, b = open(serial, "rb").read(), open(parallel, "rb").read()
+assert a == b, \
+    "replay artifact differs between 1 and %d threads" % par_threads
+runs = a.count(b"\n")
+assert runs == 16, f"replay gate expected 16 runs, saw {runs}"
+# The trace axes must actually reach the records (key + per-run fields).
+assert b'"time_compression":' in a and b'"user_multiplier":' in a, \
+    "replay gate records are missing the trace axis fields"
+print("replay gate: 16 streamed runs byte-identical across thread counts, "
+      "gated against ci/replay_baseline.json")
 PY
 
 echo "==> scenario_sim exporters (JSONL + Prometheus + Chrome trace)"
@@ -424,6 +460,40 @@ if hw >= 8:
             "threads — see phase split above (high barrier-wait = load "
             "imbalance or lookahead starvation; high drain/merge = "
             "coordinator-bound)" % (runs[4]["speedup"], hw))
+PY
+
+echo "==> bench_replay (E15: streaming vs preloaded SWF replay memory/throughput)"
+# The binary itself asserts (exit 2) that streamed and preloaded replays
+# admit identical job counts and that the drain-mode RSS delta stays flat
+# while the preload delta grows with the trace.
+./build-release-bench/bench/bench_replay --records 120000 --out BENCH_replay.json
+
+python3 - <<'PY'
+import json, os
+out = json.load(open("BENCH_replay.json"))
+hw = os.cpu_count() or 1
+rows = {(r["mode"], r["max_jobs"]): r for r in out["runs"]}
+print("BENCH_replay.json: drain-stream RSS delta %d KB vs drain-preload %d KB"
+      % (out["stream_rss_delta_kb"], out["preload_rss_delta_kb"]))
+for (mode, jobs), r in sorted(rows.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+    print("  %-13s %7d jobs: %6d ms, rss %8d KB, demux hw %d"
+          % (mode, jobs, r["wall_ms"], r["max_rss_kb"],
+             r.get("demux_high_water", 0)))
+
+# Throughput parity between stream and preload only means something with a
+# quiet, multi-core box; the memory-flatness and admitted-equality asserts
+# already ran unconditionally inside the binary.
+if hw >= 8:
+    big = [r for r in out["runs"] if r["mode"] in ("stream", "preload")]
+    by_jobs = {}
+    for r in big:
+        by_jobs.setdefault(r["max_jobs"], {})[r["mode"]] = r
+    for jobs, pair in by_jobs.items():
+        if "stream" in pair and "preload" in pair and pair["preload"]["wall_ms"]:
+            ratio = pair["stream"]["wall_ms"] / pair["preload"]["wall_ms"]
+            assert ratio < 1.5, (
+                "streamed replay %.2fx slower than preload at %d jobs"
+                % (ratio, jobs))
 PY
 
 echo "==> bench_telemetry (sampling overhead on a full grid run)"

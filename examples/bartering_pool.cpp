@@ -46,7 +46,7 @@ int main() {
   params.job_count = 160;
   params.user_count = 8;
   params.cluster_count = 4;
-  params.procs_cap = 128;
+  params.shaping.procs_cap = 128;
   job::WorkloadGenerator::calibrate_load(params, 0.7, 4 * 128);
   auto requests = job::WorkloadGenerator{params, 99}.generate();
   for (auto& req : requests) {
@@ -55,7 +55,10 @@ int main() {
     req.contract.work *= 3.0;
   }
 
-  const auto report = grid.run(std::move(requests));
+  // Hand-tweaked vectors enter through a VectorSource like every other
+  // workload (the source API is the only door into the grid).
+  job::VectorSource source{std::move(requests)};
+  const auto report = grid.run(source);
 
   std::cout << "Bartering pool of 4 department clusters, opening balance "
             << kOpeningCredits << " credits each\n\n";

@@ -32,7 +32,7 @@ int main() {
   job::WorkloadParams params;
   params.job_count = 240;
   params.user_count = 8;
-  params.procs_cap = 256;
+  params.shaping.procs_cap = 256;
   job::WorkloadGenerator::calibrate_load(params, 0.8, 4 * 256);
   auto reqs = job::WorkloadGenerator{params, 77}.generate();
   const double span = reqs.back().submit_time;
@@ -50,7 +50,10 @@ int main() {
                      return a.submit_time < b.submit_time;
                    });
 
-  const auto report = grid.run(std::move(reqs));
+  // The reshaped vector enters through a VectorSource (which re-sorts by
+  // submit time) like every other workload.
+  job::VectorSource source{std::move(reqs)};
+  const auto report = grid.run(source);
   const auto& history = grid.central().price_history();
   const double now = report.makespan;
 

@@ -3,9 +3,11 @@
 // heavy users cannot starve everyone else.
 //
 //   ./examples/intranet_pool
+#include <functional>
 #include <iostream>
 
 #include "src/cluster/server.hpp"
+#include "src/job/source.hpp"
 #include "src/job/workload.hpp"
 #include "src/sched/priority_sched.hpp"
 #include "src/util/table.hpp"
@@ -41,7 +43,7 @@ RunResult run(sched::PriorityStrategyParams params) {
   job::WorkloadParams wl;
   wl.job_count = 150;
   wl.user_count = 6;
-  wl.procs_cap = 256;
+  wl.shaping.procs_cap = 256;
   job::WorkloadGenerator::calibrate_load(wl, 1.0, 256);
   auto requests = job::WorkloadGenerator{wl, 321}.generate();
 
@@ -51,11 +53,19 @@ RunResult run(sched::PriorityStrategyParams params) {
     // Management says: user 0's department gets priority 5; everyone else 0.
     req.contract.priority = req.user_index == 0 ? 5 : 0;
   }
-  for (const auto& req : requests) {
-    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
+  // Feed the cluster through the pull-based source API: one submission
+  // timer at a time, re-armed as each request is pulled.
+  job::VectorSource source{std::move(requests)};
+  std::function<void()> pump = [&] {
+    const double t = source.peek_next_submit_time();
+    if (t >= job::WorkloadSource::kNoMoreJobs) return;
+    ctx.engine().schedule_at(t, [&] {
+      const job::JobRequest req = source.next();
+      pump();
       (void)cm.submit(UserId{req.user_index}, req.contract);
     });
-  }
+  };
+  pump();
   ctx.engine().run();
   cm.finish_metrics();
 

@@ -46,11 +46,12 @@ int main() {
   job::WorkloadParams params;
   params.job_count = 300;
   params.user_count = 12;
-  params.procs_cap = 256;
+  params.shaping.procs_cap = 256;
   params.min_procs_lo = 4;
   params.min_procs_hi = 24;
   job::WorkloadGenerator::calibrate_load(params, 0.85, 6 * 256);
-  const auto report = grid.run(job::WorkloadGenerator{params, 7}.generate());
+  job::GeneratorSource source{params, 7};
+  const auto report = grid.run(source);
 
   std::cout << "Market of 6 Compute Servers, 300 jobs, offered load 0.85\n\n";
   Table table{{"cluster", "bid strategy", "utilization", "jobs won", "revenue($)",

@@ -37,12 +37,15 @@ int main() {
   job::WorkloadParams params;
   params.job_count = 40;
   params.user_count = 4;
-  params.procs_cap = 512;
+  params.shaping.procs_cap = 512;
   job::WorkloadGenerator::calibrate_load(params, 0.6, 512 + 256 + 1024);
-  auto requests = job::WorkloadGenerator{params, /*seed=*/2004}.generate();
+  job::GeneratorSource source{params, /*seed=*/2004};
 
-  // 4. Run the discrete-event simulation to quiescence.
-  const auto report = grid.run(std::move(requests));
+  // 4. Stream the workload through the grid and run the discrete-event
+  //    simulation to quiescence. Jobs are pulled from the source one at a
+  //    time as their submit times arrive — the same pull-based path a
+  //    month-long trace replay uses (DESIGN.md §13).
+  const auto report = grid.run(source);
 
   // 5. Report.
   std::cout << "Faucets quickstart: " << report.jobs_submitted << " jobs submitted, "

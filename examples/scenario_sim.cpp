@@ -257,15 +257,27 @@ int main(int argc, char** argv) {
     }
 
     std::cout << "Simulating " << scenario.clusters.size() << " Compute Servers ("
-              << scenario.total_procs() << " processors), "
-              << scenario.workload.job_count << " jobs";
+              << scenario.total_procs() << " processors), ";
+    if (scenario.trace) {
+      std::cout << "streaming trace " << scenario.trace->path;
+      if (scenario.trace->options.time_compression != 1.0) {
+        std::cout << " at " << scenario.trace->options.time_compression
+                  << "x compression";
+      }
+      const std::size_t clones = scenario.trace->options.user_multiplier *
+                                 scenario.trace->options.cluster_multiplier;
+      if (clones > 1) std::cout << ", " << clones << " clones per job";
+    } else {
+      std::cout << scenario.workload.job_count << " jobs";
+    }
     if (scenario.grid.shards >= 1) {
       std::cout << " across " << scenario.grid.shards
                 << (scenario.grid.shards == 1 ? " shard" : " shards");
     }
     std::cout << "...\n\n";
     auto grid = scenario.make_grid();
-    const auto report = grid->run(scenario.make_requests(), until);
+    const auto source = scenario.make_source();
+    const auto report = grid->run(*source, until);
     faucets::core::print_report(std::cout, report);
 
     if (opts.report_json) {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fetch a real trace from the Parallel Workloads Archive for E15.
+#
+# The archive (https://www.cs.huji.ac.il/labs/parallel/workload/) publishes
+# decades of production supercomputer logs in the Standard Workload Format;
+# any of them streams straight into [trace] file = ... No trace is
+# committed here — run this (network required) or use make_month_trace.py
+# for a deterministic offline stand-in.
+#
+# Usage: experiments/traces/fetch_pwa.sh [name]
+#   name: one of the keys below (default: sdsc-sp2)
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+NAME="${1:-sdsc-sp2}"
+case "${NAME}" in
+  # 24 months of the 128-node SDSC SP2 — the classic scheduling benchmark.
+  sdsc-sp2) URL="https://www.cs.huji.ac.il/labs/parallel/workload/l_sdsc_sp2/SDSC-SP2-1998-4.2-cln.swf.gz" ;;
+  # 3 months of the 400+-node CTC SP2.
+  ctc-sp2)  URL="https://www.cs.huji.ac.il/labs/parallel/workload/l_ctc_sp2/CTC-SP2-1996-3.1-cln.swf.gz" ;;
+  # 12 months of ANL Intrepid (Blue Gene/P, 163840 cores).
+  anl-intrepid) URL="https://www.cs.huji.ac.il/labs/parallel/workload/l_anl_int/ANL-Intrepid-2009-1.swf.gz" ;;
+  *)
+    echo "unknown trace '${NAME}' (expected sdsc-sp2|ctc-sp2|anl-intrepid)" >&2
+    exit 1
+    ;;
+esac
+
+OUT="${NAME}.swf"
+if [[ -f "${OUT}" ]]; then
+  echo "${OUT} already present, skipping download"
+  exit 0
+fi
+
+echo "fetching ${URL}"
+if command -v curl >/dev/null; then
+  curl -fsSL "${URL}" -o "${OUT}.gz"
+else
+  wget -q "${URL}" -O "${OUT}.gz"
+fi
+gunzip "${OUT}.gz"
+echo "wrote $(wc -l < "${OUT}") lines to experiments/traces/${OUT}"

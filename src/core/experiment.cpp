@@ -1,21 +1,45 @@
 #include "src/core/experiment.hpp"
 
+#include <algorithm>
+
 #include "src/sim/context.hpp"
 
 namespace faucets::core {
+
+namespace {
+
+// The single-cluster submission chain: pull one request per timer firing
+// and re-arm for the next, mirroring FaucetsClient::arm_next_submission.
+void pump_source(sim::SimContext& ctx, cluster::ClusterManager& cm,
+                 job::WorkloadSource& source) {
+  const double t = source.peek_next_submit_time();
+  if (t >= job::WorkloadSource::kNoMoreJobs) return;
+  ctx.engine().schedule_at(std::max(t, ctx.engine().now()),
+                           [&ctx, &cm, &source] {
+                             job::JobRequest req = source.next();
+                             pump_source(ctx, cm, source);
+                             cm.submit(UserId{req.user_index}, req.contract);
+                           });
+}
+
+}  // namespace
 
 ClusterRunResult run_cluster_experiment(
     const cluster::MachineSpec& machine,
     const std::function<std::unique_ptr<sched::Strategy>()>& strategy,
     const std::vector<job::JobRequest>& requests, job::AdaptiveCosts costs) {
+  job::VectorSource source(requests);
+  return run_cluster_experiment(machine, strategy, source, costs);
+}
+
+ClusterRunResult run_cluster_experiment(
+    const cluster::MachineSpec& machine,
+    const std::function<std::unique_ptr<sched::Strategy>()>& strategy,
+    job::WorkloadSource& source, job::AdaptiveCosts costs) {
   sim::SimContext ctx;
   cluster::ClusterManager cm{ctx, machine, strategy(), costs};
 
-  for (const auto& req : requests) {
-    ctx.engine().schedule_at(req.submit_time, [&cm, &req] {
-      cm.submit(UserId{req.user_index}, req.contract);
-    });
-  }
+  pump_source(ctx, cm, source);
   ctx.engine().run();
   cm.finish_metrics();
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/cluster/server.hpp"
+#include "src/job/source.hpp"
 #include "src/job/workload.hpp"
 #include "src/sched/scheduler.hpp"
 
@@ -28,11 +29,19 @@ struct ClusterRunResult {
   double reconfigs_per_job = 0.0;
 };
 
-/// Submit `requests` to a fresh ClusterManager running `strategy` on
-/// `machine`, run to quiescence, and report. Rejected jobs simply vanish
-/// (single-cluster world: nowhere else to go). Every call builds a private
-/// SimContext and touches nothing global, so concurrent calls from sweep
-/// workers are safe; `requests` is shared read-only across them.
+/// Stream `source` into a fresh ClusterManager running `strategy` on
+/// `machine` — one submission timer re-armed per pull, so memory stays
+/// bounded by the source's read-ahead — run to quiescence, and report.
+/// Rejected jobs simply vanish (single-cluster world: nowhere else to go).
+/// Every call builds a private SimContext and touches nothing global, so
+/// concurrent calls from sweep workers are safe.
+[[nodiscard]] ClusterRunResult run_cluster_experiment(
+    const cluster::MachineSpec& machine,
+    const std::function<std::unique_ptr<sched::Strategy>()>& strategy,
+    job::WorkloadSource& source, job::AdaptiveCosts costs = {});
+
+/// Preload compatibility overload: `requests` is shared read-only across
+/// concurrent sweep workers (each call copies into its own VectorSource).
 [[nodiscard]] ClusterRunResult run_cluster_experiment(
     const cluster::MachineSpec& machine,
     const std::function<std::unique_ptr<sched::Strategy>()>& strategy,

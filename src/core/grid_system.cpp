@@ -301,16 +301,24 @@ void GridSystem::replay_history() {
 GridSystem::~GridSystem() = default;
 
 GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) {
+  job::VectorSource source(std::move(requests));
+  return run(source, until);
+}
+
+GridReport GridSystem::run(job::WorkloadSource& source, double until) {
   merged_.reset();
-  // Split the stream per user and hand each client its share.
-  std::vector<std::vector<job::JobRequest>> per_user(clients_.size());
-  for (auto& req : requests) {
-    per_user[req.user_index % clients_.size()].push_back(std::move(req));
-  }
-  std::vector<std::size_t> expected(clients_.size());
+  // Route the shared stream across the per-user clients. Sharded runs use
+  // manual refill: lanes must never pull the shared source from a worker
+  // thread, so the coordinator extends them at every barrier instead.
+  job::WorkloadDemux demux(source, clients_.size(),
+                           /*manual_refill=*/router_ != nullptr);
+  demux.prime();
+  demux_ = &demux;
   for (std::size_t u = 0; u < clients_.size(); ++u) {
-    expected[u] = clients_[u]->submissions() + per_user[u].size();
-    clients_[u]->run_workload(std::move(per_user[u]));
+    // Serial pre-run arming: each client claims creation attribution and
+    // schedules its first submission timer at now = 0, exactly as the old
+    // preload did, so canonical event identity is source-independent.
+    clients_[u]->run_source(demux.lane(u));
   }
 
   // Run until every submission has reached a terminal state. The engine's
@@ -318,10 +326,8 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
   // daemons' monitor timers re-arm forever, exactly like the real system's
   // daemons.
   auto all_done = [&] {
-    for (std::size_t u = 0; u < clients_.size(); ++u) {
-      if (clients_[u]->submissions() < expected[u] || !clients_[u]->idle()) {
-        return false;
-      }
+    for (const auto& client : clients_) {
+      if (!client->workload_drained() || !client->idle()) return false;
     }
     return true;
   };
@@ -385,6 +391,8 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
     obs::observe_phase_histograms(m.metrics, *analysis_);
   }
   if (profiler_ != nullptr) write_profile_artifacts();
+  workload_high_water_ = demux.high_water();
+  demux_ = nullptr;
   return report();
 }
 
@@ -453,6 +461,10 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
         if (tmin >= sim::Engine::kForever || tmin > cap) return false;
         profiler_->window_launch(tmin);
         const double window_end = tmin + lookahead;
+        // Extend every client lane past this window before the workers
+        // start: chains re-arm off their lane heads, so a lane that ends
+        // inside the window would starve its client mid-window.
+        if (demux_ != nullptr) demux_->refill(window_end);
         for (std::size_t s = 0; s < n; ++s) {
           obs::ProfilerLane* lane = &profiler_->lane(s);
           pool.submit([this, s, window_end, cap, lane] {
@@ -472,6 +484,8 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
       const double tmin = t_min();
       if (tmin >= sim::Engine::kForever || tmin > cap) return false;
       const double window_end = tmin + lookahead;
+      // Same lane-coverage invariant as the profiled twin above.
+      if (demux_ != nullptr) demux_->refill(window_end);
       for (std::size_t s = 0; s < n; ++s) {
         pool.submit([this, s, window_end, cap] {
           run_shard_window(s, window_end, cap);

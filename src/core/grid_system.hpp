@@ -20,6 +20,7 @@
 #include "src/faucets/central.hpp"
 #include "src/faucets/client.hpp"
 #include "src/faucets/daemon.hpp"
+#include "src/job/source.hpp"
 #include "src/job/workload.hpp"
 #include "src/market/bidgen.hpp"
 #include "src/market/evaluation.hpp"
@@ -190,10 +191,24 @@ class GridSystem {
   GridSystem(const GridSystem&) = delete;
   GridSystem& operator=(const GridSystem&) = delete;
 
-  /// Distribute the requests to the per-user clients and run the discrete
-  /// event simulation until quiescent (or `until`).
+  /// Stream `source` through the grid (DESIGN.md §13): a WorkloadDemux
+  /// routes each request to its user's client lane, every client re-arms a
+  /// single submission timer off its lane, and the discrete event
+  /// simulation runs until quiescent (or `until`). Memory is bounded by
+  /// the demux's read-ahead, not the workload length. This is the one way
+  /// jobs enter the system.
+  GridReport run(job::WorkloadSource& source,
+                 double until = sim::Engine::kForever);
+
+  /// Preload compatibility adapter: wraps the vector in a VectorSource.
   GridReport run(std::vector<job::JobRequest> requests,
                  double until = sim::Engine::kForever);
+
+  /// Streaming buffer high-water mark of the last run's demux (the
+  /// read-ahead memory bound BENCH_replay reports).
+  [[nodiscard]] std::size_t workload_high_water() const noexcept {
+    return workload_high_water_;
+  }
 
   [[nodiscard]] sim::SimContext& context() noexcept { return ctx_; }
   /// Context owning shard `s`'s engine/network/observability (0 = context()).
@@ -299,6 +314,11 @@ class GridSystem {
   // count of already-delivered entries at each list's front.
   std::vector<std::vector<sim::ShardRouter::Envelope>> staged_;
   std::vector<std::size_t> consumed_;
+  // Live only inside run(): the demux feeding the clients' lanes. Sharded
+  // runs refill it at every barrier (workers idle) so no client chain can
+  // starve mid-window.
+  job::WorkloadDemux* demux_ = nullptr;
+  std::size_t workload_high_water_ = 0;
   double makespan_ = 0.0;  // set by run(); report() uses it when sharded
   // Sim-time of the next sampler snapshot; +inf when sampling is disabled so
   // the run loop's check is one always-false branch. See maybe_sample().

@@ -1,5 +1,6 @@
 #include "src/core/scenario.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -75,6 +76,23 @@ BillingMode billing_mode(const std::string& name) {
   if (name == "barter") return BillingMode::kBarter;
   throw std::invalid_argument("unknown billing '" + name +
                               "' (expected dollars|su|barter)");
+}
+
+// One shaping vocabulary for [workload] and [trace]: both sections read
+// the same keys into the same JobShaping, so they cannot drift apart.
+void parse_shaping(const ConfigSection& section, job::JobShaping& shaping) {
+  shaping.malleability = section.get_double("malleability", shaping.malleability);
+  shaping.deadline_fraction =
+      section.get_double("deadline_fraction", shaping.deadline_fraction);
+  shaping.tightness_lo = section.get_double("tightness_lo", shaping.tightness_lo);
+  shaping.tightness_hi = section.get_double("tightness_hi", shaping.tightness_hi);
+  shaping.hard_stretch = section.get_double("hard_stretch", shaping.hard_stretch);
+  shaping.price_per_work =
+      section.get_double("price_per_work", shaping.price_per_work);
+  shaping.premium_lo = section.get_double("premium_lo", shaping.premium_lo);
+  shaping.premium_hi = section.get_double("premium_hi", shaping.premium_hi);
+  shaping.penalty_fraction =
+      section.get_double("penalty_fraction", shaping.penalty_fraction);
 }
 
 }  // namespace
@@ -176,24 +194,54 @@ Scenario Scenario::parse(const ConfigFile& config) {
   if (wl != nullptr) {
     out.workload.job_count = static_cast<std::size_t>(wl->get_int("jobs", 200));
     out.workload.rigid_fraction = wl->get_double("rigid_fraction", 0.0);
-    out.workload.deadline_fraction = wl->get_double("deadline_fraction", 1.0);
     out.workload.min_procs_lo = static_cast<int>(wl->get_int("min_procs_lo", 4));
     out.workload.min_procs_hi = static_cast<int>(wl->get_int("min_procs_hi", 32));
-    out.workload.tightness_lo =
-        wl->get_double("tightness_lo", out.workload.tightness_lo);
-    out.workload.tightness_hi =
-        wl->get_double("tightness_hi", out.workload.tightness_hi);
-    out.workload.penalty_fraction =
-        wl->get_double("penalty_fraction", out.workload.penalty_fraction);
+    parse_shaping(*wl, out.workload.shaping);
   }
   // Clamp jobs to the smallest machine? No — clamp their processor demand
   // to the largest machine so everything is placeable somewhere.
   int largest = 0;
   for (const auto& c : out.clusters) largest = std::max(largest, c.machine.total_procs);
-  out.workload.procs_cap = largest;
+  out.workload.shaping.procs_cap = largest;
   out.workload.min_procs_hi = std::min(out.workload.min_procs_hi, largest);
   out.workload.min_procs_lo =
       std::min(out.workload.min_procs_lo, out.workload.min_procs_hi);
+
+  const ConfigSection* trace = config.section("trace");
+  if (trace != nullptr) {
+    TraceScenario ts;
+    ts.path = trace->get_string("file", "");
+    if (ts.path.empty()) {
+      throw std::invalid_argument("[trace] needs a file = <path.swf> key");
+    }
+    job::SwfOptions& topt = ts.options;
+    topt.cluster_count = out.clusters.size();
+    topt.time_compression = trace->get_double("time_compression", 1.0);
+    if (topt.time_compression <= 0.0) {
+      throw std::invalid_argument("[trace] time_compression must be positive");
+    }
+    const long um = trace->get_int("user_multiplier", 1);
+    const long cm = trace->get_int("cluster_multiplier", 1);
+    if (um < 1 || cm < 1) {
+      throw std::invalid_argument("[trace] multipliers must be >= 1");
+    }
+    topt.user_multiplier = static_cast<std::size_t>(um);
+    topt.cluster_multiplier = static_cast<std::size_t>(cm);
+    topt.clone_jitter = trace->get_double("jitter", topt.clone_jitter);
+    topt.sort_window = trace->get_double("sort_window", 0.0);
+    topt.max_jobs =
+        static_cast<std::size_t>(std::max(0L, trace->get_int("max_jobs", 0)));
+    topt.read_ahead = static_cast<std::size_t>(
+        std::max(1L, trace->get_int("read_ahead",
+                                    static_cast<long>(topt.read_ahead))));
+    // The trace draws its shaping/jitter randomness from the scenario seed
+    // unless the section pins its own.
+    topt.seed = static_cast<std::uint64_t>(
+        trace->get_int("seed", static_cast<long>(out.seed)));
+    parse_shaping(*trace, topt.shaping);
+    topt.shaping.procs_cap = largest;
+    out.trace = std::move(ts);
+  }
 
   const ConfigSection* shards = config.section("shards");
   if (shards != nullptr) {
@@ -236,13 +284,22 @@ std::unique_ptr<GridSystem> Scenario::make_grid() const {
   return std::make_unique<GridSystem>(grid, clusters, workload.user_count);
 }
 
+std::unique_ptr<job::WorkloadSource> Scenario::make_source() const {
+  if (trace.has_value()) {
+    return job::SwfStreamSource::open(trace->path, trace->options);
+  }
+  return std::make_unique<job::GeneratorSource>(workload, seed);
+}
+
 std::vector<job::JobRequest> Scenario::make_requests() const {
-  return job::WorkloadGenerator{workload, seed}.generate();
+  auto source = make_source();
+  return job::collect(*source);
 }
 
 GridReport Scenario::run() {
   auto system = make_grid();
-  return system->run(make_requests());
+  auto source = make_source();
+  return system->run(*source);
 }
 
 void write_report_json(std::ostream& os, const GridReport& report) {

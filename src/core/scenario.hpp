@@ -39,9 +39,21 @@
 //   load = 0.8               # offered fraction of total grid capacity
 //   rigid_fraction = 0.0
 //   deadline_fraction = 1.0
-//   tightness_lo = 1.5       # deadline tightness range (see WorkloadParams)
+//   tightness_lo = 1.5       # deadline tightness range (see JobShaping)
 //   tightness_hi = 6.0
 //   penalty_fraction = 0.25  # post-hard-deadline penalty
+//
+//   [trace]                  # replaces [workload]: stream an SWF trace
+//   file = traces/month.swf  # path, relative to the scenario's cwd
+//   time_compression = 4     # replay a month in a week of simulated time
+//   user_multiplier = 2      # CRN-paired deterministic user clones
+//   cluster_multiplier = 1
+//   jitter = 60              # clone arrival jitter, seconds
+//   sort_window = 0          # tolerated out-of-order raw submits, seconds
+//   max_jobs = 0             # stop after N emitted jobs (0 = all)
+//   read_ahead = 4096        # streaming reorder-window reservation
+//   malleability = 0.5       # JobShaping keys work here too
+//   deadline_fraction = 0.0
 //
 //   [sweep]                  # optional: parameter grid (see src/sweep/spec.hpp)
 //
@@ -50,17 +62,29 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "src/core/grid_system.hpp"
+#include "src/job/source.hpp"
+#include "src/job/swf.hpp"
 #include "src/util/config.hpp"
 
 namespace faucets::core {
+
+/// [trace] — stream jobs from an SWF file instead of the generator.
+struct TraceScenario {
+  std::string path;
+  job::SwfOptions options;
+};
 
 struct Scenario {
   GridConfig grid;
   std::vector<ClusterSetup> clusters;
   job::WorkloadParams workload;
+  /// Engaged when the scenario has a [trace] section; the trace then
+  /// replaces the synthetic generator as the workload source.
+  std::optional<TraceScenario> trace;
   std::uint64_t seed = 42;
 
   /// Parse and validate. Throws std::invalid_argument with a useful
@@ -68,15 +92,20 @@ struct Scenario {
   static Scenario parse(const ConfigFile& config);
   static Scenario parse_string(const std::string& text);
 
-  /// Build the grid, generate the workload, run to completion.
+  /// Build the grid, stream the workload through it, run to completion.
   [[nodiscard]] GridReport run();
 
   /// Build the grid without running it. Callers that need the grid alive
   /// after the run — to export traces, metrics, or span timelines — use
-  /// this together with make_requests() instead of run().
+  /// this together with make_source() instead of run().
   [[nodiscard]] std::unique_ptr<GridSystem> make_grid() const;
 
-  /// Generate this scenario's workload (deterministic in `seed`).
+  /// The scenario's workload as a pull-based source (DESIGN.md §13):
+  /// a streaming SWF reader when [trace] is present, the synthetic
+  /// generator otherwise. Deterministic in `seed`.
+  [[nodiscard]] std::unique_ptr<job::WorkloadSource> make_source() const;
+
+  /// Preload compatibility: drain make_source() into a vector.
   [[nodiscard]] std::vector<job::JobRequest> make_requests() const;
 
   /// Total processors across all clusters (used for load calibration).

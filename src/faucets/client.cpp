@@ -1,6 +1,7 @@
 #include "src/faucets/client.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/sim/context.hpp"
 #include "src/util/logging.hpp"
@@ -127,16 +128,35 @@ void FaucetsClient::fail_unsubmitted(const qos::QosContract& contract) {
   outcomes_.push_back(outcome);
 }
 
-void FaucetsClient::run_workload(std::vector<job::JobRequest> requests) {
+void FaucetsClient::run_source(job::WorkloadSource& source) {
   // Called from outside the event loop: claim creation attribution so the
   // submission timers carry this client's canonical identity.
   engine().set_current_entity(id().value());
+  source_ = &source;
   login();
-  for (auto& req : requests) {
-    engine().schedule_at(req.submit_time, [this, contract = std::move(req.contract)] {
-      submit(contract);
-    });
-  }
+  arm_next_submission();
+}
+
+void FaucetsClient::run_workload(std::vector<job::JobRequest> requests) {
+  owned_source_ = std::make_unique<job::VectorSource>(std::move(requests));
+  run_source(*owned_source_);
+}
+
+void FaucetsClient::arm_next_submission() {
+  const double t = source_->peek_next_submit_time();
+  if (std::isinf(t)) return;  // drained; workload_drained() flips true
+  // One timer in flight at a time: each firing pulls exactly one request
+  // and re-arms, so a streaming source is drained at the pace of the
+  // simulation clock instead of being preloaded into the event queue.
+  engine().schedule_at(std::max(t, now()), [this] { on_submission_due(); });
+}
+
+void FaucetsClient::on_submission_due() {
+  job::JobRequest req = source_->next();
+  // Re-arm before submitting: the chain's creation stamps then depend only
+  // on the source's timeline, never on what submit() does.
+  arm_next_submission();
+  submit(req.contract);
 }
 
 void FaucetsClient::submit_now(const qos::QosContract& contract) {

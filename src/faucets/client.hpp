@@ -14,6 +14,7 @@
 
 #include "src/faucets/protocol.hpp"
 #include "src/faucets/retry.hpp"
+#include "src/job/source.hpp"
 #include "src/job/workload.hpp"
 #include "src/market/evaluation.hpp"
 #include "src/sim/network.hpp"
@@ -83,11 +84,25 @@ class FaucetsClient final : public sim::Entity {
   FaucetsClient(sim::SimContext& ctx, EntityId central,
                 std::unique_ptr<market::BidEvaluator> evaluator, ClientConfig config);
 
-  /// Log in and schedule the submission of every request at its time.
+  /// Pull-based submission (DESIGN.md §13): log in and arm one timer at
+  /// `source`'s next submit time; each firing pulls exactly one request and
+  /// re-arms for the next, so the client never holds the workload. The
+  /// source must outlive the run and yield nondecreasing submit times.
+  void run_source(job::WorkloadSource& source);
+
+  /// Compatibility adapter kept for tests: wraps the vector in an owned
+  /// VectorSource and streams it through run_source().
   void run_workload(std::vector<job::JobRequest> requests);
 
   /// Submit one contract right away (used by examples and tests).
   void submit_now(const qos::QosContract& contract);
+
+  /// True once the submission-timer chain has pulled everything its source
+  /// will ever yield (vacuously true without a source). The run loop is
+  /// finished when every client is drained *and* idle.
+  [[nodiscard]] bool workload_drained() {
+    return source_ == nullptr || source_->exhausted();
+  }
 
   // --- results -------------------------------------------------------------
   [[nodiscard]] const std::vector<SubmissionOutcome>& outcomes() const noexcept {
@@ -156,6 +171,10 @@ class FaucetsClient final : public sim::Entity {
 
   void login();
   void send_login();
+  /// Arm the next submission timer off source_->peek_next_submit_time();
+  /// no-op once the source is exhausted.
+  void arm_next_submission();
+  void on_submission_due();
   void submit(const qos::QosContract& contract);
   void handle_login(const proto::LoginReply& msg);
   void handle_directory(const proto::DirectoryReply& msg);
@@ -192,6 +211,11 @@ class FaucetsClient final : public sim::Entity {
   EntityId central_;
   std::unique_ptr<market::BidEvaluator> evaluator_;
   ClientConfig config_;
+
+  // Pull-based workload feed (null until run_source). owned_source_ backs
+  // the run_workload vector adapter only.
+  job::WorkloadSource* source_ = nullptr;
+  std::unique_ptr<job::WorkloadSource> owned_source_;
 
   std::optional<SessionId> session_;
   UserId user_;

@@ -1,0 +1,26 @@
+#include "src/job/shaping.hpp"
+
+#include <cmath>
+
+namespace faucets::job {
+
+void apply_shaping(const JobShaping& shaping, double submit_time,
+                   double runtime_at_max, double work, Rng& rng,
+                   qos::QosContract& contract) {
+  const double tightness = rng.uniform(shaping.tightness_lo, shaping.tightness_hi);
+  const double premium =
+      rng.uniform(shaping.premium_lo, shaping.premium_hi) / std::sqrt(tightness);
+  const double payoff = shaping.price_per_work * work * premium;
+
+  if (rng.bernoulli(shaping.deadline_fraction)) {
+    const double soft = submit_time + runtime_at_max * tightness;
+    const double hard =
+        submit_time + runtime_at_max * tightness * shaping.hard_stretch;
+    contract.payoff = qos::PayoffFunction::deadline(
+        soft, hard, payoff, payoff * 0.5, payoff * shaping.penalty_fraction);
+  } else {
+    contract.payoff = qos::PayoffFunction::flat(payoff);
+  }
+}
+
+}  // namespace faucets::job

@@ -1,0 +1,64 @@
+// JobShaping: the malleability / deadline / payoff widening knobs shared by
+// every workload backend.
+//
+// Both the synthetic generator (workload.hpp) and the SWF trace reader
+// (swf.hpp) turn a bare job — processors, runtime, work — into a full
+// QosContract the market can price: a malleable processor range, a
+// soft/hard deadline payoff (§2.1, §4.1), and a dollar value per unit of
+// work. Before this struct the two backends each carried their own copy of
+// those knobs and the [workload] and [trace] INI sections drifted; now one
+// JobShaping is parsed once and applied uniformly by both.
+#pragma once
+
+#include "src/qos/contract.hpp"
+#include "src/util/rng.hpp"
+
+namespace faucets::job {
+
+struct JobShaping {
+  /// Widen a rigid processor request into a malleable range:
+  /// min = procs / (1 + malleability), max = procs * (1 + malleability).
+  /// 0 keeps jobs as recorded. (The synthetic generator draws its own
+  /// expansion range instead; see WorkloadParams.)
+  double malleability = 0.0;
+
+  /// Clamp max_procs (e.g. to the largest machine). 0 = no clamp.
+  int procs_cap = 0;
+
+  /// Deadlines: soft deadline = submit + runtime_at_max * tightness where
+  /// tightness ~ U[tightness_lo, tightness_hi]; hard deadline stretches the
+  /// soft slack by hard_stretch. deadline_fraction of jobs carry deadlines
+  /// at all (the rest get a flat payoff).
+  double deadline_fraction = 1.0;
+  double tightness_lo = 1.5;
+  double tightness_hi = 6.0;
+  double hard_stretch = 2.0;
+
+  /// Economics: payoff = price_per_work * work * premium where premium ~
+  /// U[premium_lo, premium_hi] / sqrt(tightness) — tighter deadlines pay
+  /// more. Post-hard-deadline penalty as a fraction of the payoff.
+  double price_per_work = 0.001;
+  double premium_lo = 0.8;
+  double premium_hi = 2.5;
+  double penalty_fraction = 0.25;
+};
+
+/// Shaping defaults for replayed traces: rigid jobs, flat payoffs
+/// (premium 1, no deadline pressure) until a scenario asks for widening.
+[[nodiscard]] inline JobShaping trace_default_shaping() {
+  JobShaping s;
+  s.deadline_fraction = 0.0;
+  s.premium_lo = 1.0;
+  s.premium_hi = 1.0;
+  return s;
+}
+
+/// Draw one job's deadline/payoff terms from `rng` and attach them to
+/// `contract`. The draw order is fixed — tightness, premium, deadline
+/// bernoulli — and every backend routes its per-job stream through this
+/// one function, so seeds mean the same thing everywhere.
+void apply_shaping(const JobShaping& shaping, double submit_time,
+                   double runtime_at_max, double work, Rng& rng,
+                   qos::QosContract& contract);
+
+}  // namespace faucets::job

@@ -20,60 +20,49 @@ void WorkloadGenerator::calibrate_load(WorkloadParams& params, double load,
   params.mean_interarrival = mw / (load * static_cast<double>(total_procs));
 }
 
+JobRequest WorkloadGenerator::next() {
+  t_ += rng_.exponential(params_.mean_interarrival);
+  ++emitted_;
+
+  JobRequest req;
+  req.submit_time = t_;
+  req.user_index = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(params_.user_count) - 1));
+  req.home_cluster = req.user_index % std::max<std::size_t>(1, params_.cluster_count);
+
+  const double work = rng_.lognormal(params_.work_log_mu, params_.work_log_sigma);
+  const int min_procs = static_cast<int>(
+      rng_.uniform_int(params_.min_procs_lo, params_.min_procs_hi));
+  int max_procs = min_procs;
+  if (!rng_.bernoulli(params_.rigid_fraction)) {
+    const double expansion = rng_.uniform(params_.expansion_lo, params_.expansion_hi);
+    max_procs = static_cast<int>(std::lround(min_procs * expansion));
+  }
+  if (params_.shaping.procs_cap > 0) {
+    max_procs = std::min(max_procs, params_.shaping.procs_cap);
+  }
+  max_procs = std::max(max_procs, min_procs);
+
+  const double eff_min = rng_.uniform(params_.eff_min_lo, params_.eff_min_hi);
+  const double eff_max = rng_.uniform(params_.eff_max_lo, params_.eff_max_hi);
+
+  qos::QosContract c = qos::make_contract(min_procs, max_procs, work,
+                                          eff_min, std::min(eff_min, eff_max));
+  c.resources.memory_per_proc_mb =
+      rng_.uniform(params_.mem_per_proc_lo, params_.mem_per_proc_hi);
+  c.environment.operating_system = "linux";
+
+  apply_shaping(params_.shaping, t_, c.estimated_runtime(max_procs), work,
+                rng_, c);
+
+  req.contract = std::move(c);
+  return req;
+}
+
 std::vector<JobRequest> WorkloadGenerator::generate() {
   std::vector<JobRequest> out;
-  out.reserve(params_.job_count);
-  double t = 0.0;
-  for (std::size_t i = 0; i < params_.job_count; ++i) {
-    t += rng_.exponential(params_.mean_interarrival);
-
-    JobRequest req;
-    req.submit_time = t;
-    req.user_index = static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(params_.user_count) - 1));
-    req.home_cluster = req.user_index % std::max<std::size_t>(1, params_.cluster_count);
-
-    const double work = rng_.lognormal(params_.work_log_mu, params_.work_log_sigma);
-    const int min_procs = static_cast<int>(
-        rng_.uniform_int(params_.min_procs_lo, params_.min_procs_hi));
-    int max_procs = min_procs;
-    if (!rng_.bernoulli(params_.rigid_fraction)) {
-      const double expansion = rng_.uniform(params_.expansion_lo, params_.expansion_hi);
-      max_procs = static_cast<int>(std::lround(min_procs * expansion));
-    }
-    max_procs = std::clamp(max_procs, min_procs, params_.procs_cap);
-
-    const double eff_min = rng_.uniform(params_.eff_min_lo, params_.eff_min_hi);
-    const double eff_max = rng_.uniform(params_.eff_max_lo, params_.eff_max_hi);
-
-    qos::QosContract c = qos::make_contract(min_procs, max_procs, work,
-                                            eff_min, std::min(eff_min, eff_max));
-    c.resources.memory_per_proc_mb =
-        rng_.uniform(params_.mem_per_proc_lo, params_.mem_per_proc_hi);
-    c.environment.operating_system = "linux";
-
-    const double runtime_at_max = c.estimated_runtime(max_procs);
-    const double tightness = rng_.uniform(params_.tightness_lo, params_.tightness_hi);
-    const double premium =
-        rng_.uniform(params_.premium_lo, params_.premium_hi) / std::sqrt(tightness);
-    const double payoff = params_.price_per_work * work * premium;
-
-    if (rng_.bernoulli(params_.deadline_fraction)) {
-      const double soft = t + runtime_at_max * tightness;
-      const double hard = t + runtime_at_max * tightness * params_.hard_stretch;
-      c.payoff = qos::PayoffFunction::deadline(soft, hard, payoff, payoff * 0.5,
-                                               payoff * params_.penalty_fraction);
-    } else {
-      c.payoff = qos::PayoffFunction::flat(payoff);
-    }
-
-    req.contract = std::move(c);
-    out.push_back(std::move(req));
-  }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const JobRequest& a, const JobRequest& b) {
-                     return a.submit_time < b.submit_time;
-                   });
+  out.reserve(params_.job_count - std::min(emitted_, params_.job_count));
+  while (!exhausted()) out.push_back(next());
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "src/job/shaping.hpp"
 #include "src/qos/contract.hpp"
 #include "src/util/rng.hpp"
 
@@ -33,34 +34,21 @@ struct WorkloadParams {
   // Malleability: min_procs uniform in [min_procs_lo, min_procs_hi];
   // max_procs = min_procs * expansion chosen uniformly in
   // [expansion_lo, expansion_hi]. Set rigid_fraction > 0 for a mix of
-  // traditional jobs (max = min).
+  // traditional jobs (max = min). (The generator draws its own expansion;
+  // shaping.malleability is the trace backends' widening knob.)
   int min_procs_lo = 4;
   int min_procs_hi = 32;
   double expansion_lo = 2.0;
   double expansion_hi = 8.0;
   double rigid_fraction = 0.0;
-  int procs_cap = 1 << 20;  // clamp max_procs (e.g. to machine size)
 
   // Efficiency at the ends of the range.
   double eff_min_lo = 0.85, eff_min_hi = 1.0;   // at min_procs
   double eff_max_lo = 0.55, eff_max_hi = 0.9;   // at max_procs
 
-  // Deadlines: soft deadline = submit + runtime_at_max * tightness where
-  // tightness ~ U[tightness_lo, tightness_hi]; hard deadline = soft *
-  // hard_stretch. deadline_fraction of jobs carry deadlines at all.
-  double deadline_fraction = 1.0;
-  double tightness_lo = 1.5;
-  double tightness_hi = 6.0;
-  double hard_stretch = 2.0;
-
-  // Economics: payoff = price_per_work * work * premium where premium ~
-  // U[premium_lo, premium_hi]; tighter deadlines pay more (premium is
-  // divided by tightness). Post-hard-deadline penalty as a fraction of the
-  // payoff.
-  double price_per_work = 0.001;
-  double premium_lo = 0.8;
-  double premium_hi = 2.5;
-  double penalty_fraction = 0.25;
+  // Deadline / payoff widening and the max_procs clamp, shared with every
+  // other workload backend (see src/job/shaping.hpp).
+  JobShaping shaping;
 
   // Population for market experiments.
   std::size_t user_count = 16;
@@ -72,13 +60,21 @@ struct WorkloadParams {
 };
 
 /// Deterministic generator: the same seed and params always yield the same
-/// request stream.
+/// request stream. Jobs are produced one at a time in submit order (arrival
+/// times are a monotone exponential walk), so the generator streams without
+/// ever materializing the full workload.
 class WorkloadGenerator {
  public:
   explicit WorkloadGenerator(WorkloadParams params, std::uint64_t seed = 42);
 
-  /// Generate the full stream, sorted by submit time.
+  /// Generate the remaining stream, sorted by submit time.
   [[nodiscard]] std::vector<JobRequest> generate();
+
+  /// Generate the next job (valid while !exhausted()).
+  [[nodiscard]] JobRequest next();
+  [[nodiscard]] bool exhausted() const noexcept {
+    return emitted_ >= params_.job_count;
+  }
 
   /// Scale `mean_interarrival` so the stream offers `load` (fraction of
   /// capacity) to a machine with `total_procs` processors, given the mean
@@ -92,6 +88,8 @@ class WorkloadGenerator {
  private:
   WorkloadParams params_;
   Rng rng_;
+  double t_ = 0.0;
+  std::size_t emitted_ = 0;
 };
 
 /// The exact internal-fragmentation scenario from §1 of the paper: a

@@ -71,6 +71,12 @@ RunResult make_result(const RunPoint& point, SweepMode mode,
   if (mode == SweepMode::kGrid) {
     line += ",\"loss\":" + format_double(point.loss);
   }
+  if (point.time_compression > 0.0) {
+    // Trace-replay axes only appear on trace sweeps, so every pre-trace
+    // sweep's JSONL stays byte-identical.
+    line += ",\"time_compression\":" + format_double(point.time_compression);
+    line += ",\"user_multiplier\":" + std::to_string(point.user_multiplier);
+  }
   line += "},\"metrics\":{";
   bool first = true;
   for (const auto& [name, value] : out.metrics) {

@@ -11,10 +11,10 @@ namespace faucets::sweep {
 RunResult SweepRunner::execute(const RunPoint& point, bool profile) const {
   core::Scenario scenario = spec_.materialize(point);
   if (spec_.mode() == SweepMode::kCluster) {
-    const auto requests = scenario.make_requests();
+    const auto source = scenario.make_source();
     const auto result = core::run_cluster_experiment(
         scenario.clusters.front().machine, scenario.clusters.front().strategy,
-        requests, scenario.clusters.front().costs);
+        *source, scenario.clusters.front().costs);
     return make_result(point, spec_.mode(), cluster_metrics(result));
   }
   if (!profile) {
@@ -25,7 +25,8 @@ RunResult SweepRunner::execute(const RunPoint& point, bool profile) const {
   // the run, then append the host-time prof_* columns after the sim metrics.
   scenario.grid.profile.enabled = true;
   const auto grid = scenario.make_grid();
-  const auto report = grid->run(scenario.make_requests());
+  const auto source = scenario.make_source();
+  const auto report = grid->run(*source);
   auto metrics = grid_metrics(report);
 #if FAUCETS_PROFILE
   if (const obs::Profiler* prof = grid->profiler()) {

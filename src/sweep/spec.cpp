@@ -1,5 +1,6 @@
 #include "src/sweep/spec.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -60,6 +61,10 @@ std::string RunPoint::key() const {
   if (!evaluator.empty()) out += "|evaluator=" + evaluator;
   out += "|load=" + format_double(load);
   if (!bidgen.empty()) out += "|loss=" + format_double(loss);
+  if (time_compression > 0.0) {
+    out += "|tc=" + format_double(time_compression);
+    out += "|um=" + std::to_string(user_multiplier);
+  }
   return out;
 }
 
@@ -85,6 +90,23 @@ SweepSpec SweepSpec::parse(const ConfigFile& config) {
     if (const auto v = sweep->get("evaluators")) out.evaluators_ = split_list(*v);
     if (const auto v = sweep->get("loads")) out.loads_ = split_doubles(*v, "loads");
     if (const auto v = sweep->get("loss")) out.losses_ = split_doubles(*v, "loss");
+    if (const auto v = sweep->get("time_compressions")) {
+      out.time_compressions_ = split_doubles(*v, "time_compressions");
+    }
+    if (const auto v = sweep->get("user_multipliers")) {
+      for (const double m : split_doubles(*v, "user_multipliers")) {
+        if (m < 1.0 || m != std::floor(m)) {
+          throw std::invalid_argument(
+              "[sweep] user_multipliers must be integers >= 1");
+        }
+        out.user_multipliers_.push_back(static_cast<std::size_t>(m));
+      }
+    }
+    if ((!out.time_compressions_.empty() || !out.user_multipliers_.empty()) &&
+        !out.base_.trace.has_value()) {
+      throw std::invalid_argument(
+          "[sweep] time_compressions/user_multipliers need a [trace] section");
+    }
     const long reps = sweep->get_int("replicates", 1);
     if (reps <= 0) throw std::invalid_argument("[sweep] replicates must be positive");
     out.replicates_ = static_cast<std::size_t>(reps);
@@ -110,6 +132,15 @@ SweepSpec SweepSpec::parse(const ConfigFile& config) {
   if (out.evaluators_.empty()) out.evaluators_ = {kBaseValue};
   if (out.loads_.empty()) out.loads_ = {implied_load(out.base_)};
   if (out.losses_.empty()) out.losses_ = {out.base_.grid.faults.loss_rate};
+  if (out.time_compressions_.empty()) {
+    out.time_compressions_ = {
+        out.base_.trace ? out.base_.trace->options.time_compression : 1.0};
+  }
+  if (out.user_multipliers_.empty()) {
+    out.user_multipliers_ = {
+        out.base_.trace ? out.base_.trace->options.user_multiplier
+                        : std::size_t{1}};
+  }
 
   // Validate axis names eagerly: the factories throw the precise message.
   for (const auto& name : out.schedulers_) {
@@ -129,6 +160,11 @@ SweepSpec SweepSpec::parse(const ConfigFile& config) {
       throw std::invalid_argument("[sweep] loss must be in [0, 1)");
     }
   }
+  for (const double tc : out.time_compressions_) {
+    if (tc <= 0.0) {
+      throw std::invalid_argument("[sweep] time_compressions must be positive");
+    }
+  }
   return out;
 }
 
@@ -143,33 +179,52 @@ std::vector<RunPoint> SweepSpec::expand() const {
   const bool cluster = mode_ == SweepMode::kCluster;
   std::size_t run_id = 0;
   std::size_t point_index = 0;
+  const bool traced = base_.trace.has_value();
   for (const auto& scheduler : schedulers_) {
     for (const auto& bidgen : bidgens_) {
       for (const auto& evaluator : evaluators_) {
-        for (std::size_t load_index = 0; load_index < loads_.size(); ++load_index) {
-          for (const double loss : losses_) {
-            for (std::size_t rep = 0; rep < replicates_; ++rep) {
-              RunPoint point;
-              point.run_id = run_id++;
-              point.point_index = point_index;
-              point.replicate = rep;
-              point.scheduler = scheduler;
-              if (!cluster) {
-                point.bidgen = bidgen;
-                point.evaluator = evaluator;
-                point.loss = loss;
+        for (std::size_t um_index = 0; um_index < user_multipliers_.size();
+             ++um_index) {
+          for (std::size_t tc_index = 0; tc_index < time_compressions_.size();
+               ++tc_index) {
+            for (std::size_t load_index = 0; load_index < loads_.size();
+                 ++load_index) {
+              for (const double loss : losses_) {
+                for (std::size_t rep = 0; rep < replicates_; ++rep) {
+                  RunPoint point;
+                  point.run_id = run_id++;
+                  point.point_index = point_index;
+                  point.replicate = rep;
+                  point.scheduler = scheduler;
+                  if (!cluster) {
+                    point.bidgen = bidgen;
+                    point.evaluator = evaluator;
+                    point.loss = loss;
+                  }
+                  point.load = loads_[load_index];
+                  if (traced) {
+                    point.time_compression = time_compressions_[tc_index];
+                    point.user_multiplier = user_multipliers_[um_index];
+                  }
+                  // Common-random-numbers design: the seed depends only on
+                  // the workload-defining axes (user multiplier, time
+                  // compression, load) and the replicate, never on the
+                  // treatment axes (scheduler/bidgen/evaluator/loss), so
+                  // every treatment is measured against the same replicate
+                  // request streams and their differences are paired, not
+                  // confounded with workload draw. Singleton trace axes
+                  // collapse the index to the bare load index, so non-trace
+                  // sweeps reproduce their historical seeds exactly.
+                  const std::size_t workload_index =
+                      (um_index * time_compressions_.size() + tc_index) *
+                          loads_.size() +
+                      load_index;
+                  point.seed = seeds.at(workload_index, rep);
+                  out.push_back(std::move(point));
+                }
+                ++point_index;
               }
-              point.load = loads_[load_index];
-              // Common-random-numbers design: the seed depends only on the
-              // workload-defining axis (load) and the replicate, never on
-              // the treatment axes (scheduler/bidgen/evaluator/loss), so
-              // every treatment is measured against the same replicate
-              // request streams and their differences are paired, not
-              // confounded with workload draw.
-              point.seed = seeds.at(load_index, rep);
-              out.push_back(std::move(point));
             }
-            ++point_index;
           }
         }
       }
@@ -204,6 +259,14 @@ core::Scenario SweepSpec::materialize(const RunPoint& point) const {
   }
   job::WorkloadGenerator::calibrate_load(scenario.workload, point.load,
                                          scenario.total_procs());
+  if (scenario.trace && point.time_compression > 0.0) {
+    // Trace axes + CRN: every run's shaping/jitter stream derives from the
+    // run seed (the [trace] section's own seed is a non-sweep convenience
+    // only), and clone 0 reproduces the raw trace at every multiplier.
+    scenario.trace->options.time_compression = point.time_compression;
+    scenario.trace->options.user_multiplier = point.user_multiplier;
+    scenario.trace->options.seed = point.seed;
+  }
   return scenario;
 }
 

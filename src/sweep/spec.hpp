@@ -18,6 +18,8 @@
 //   evaluators = least-cost   # grid mode only
 //   loads = 0.5, 0.9          # re-calibrates the workload per point
 //   loss = 0.0, 0.1           # fault profile: message loss probability
+//   time_compressions = 1, 4  # [trace] scenarios: replay speed-ups
+//   user_multipliers = 1, 4   # [trace] scenarios: CRN-paired user cloning
 //   replicates = 4            # seeds per grid point
 //   base_seed = 42            # SeedSequence root (defaults to [grid] seed)
 #pragma once
@@ -51,6 +53,11 @@ struct RunPoint {
   std::string evaluator;
   double load = 0.0;
   double loss = 0.0;
+  /// Trace-replay axes, engaged (> 0) only when the scenario has a [trace]
+  /// section. Zero means "not a trace sweep": the key and JSONL then omit
+  /// them, so non-trace sweep artifacts are byte-identical to before.
+  double time_compression = 0.0;
+  std::size_t user_multiplier = 0;
   std::uint64_t seed = 0;
 
   /// Stable grid-point key, e.g. "scheduler=payoff|load=0.9|loss=0":
@@ -83,6 +90,7 @@ class SweepSpec {
   [[nodiscard]] const core::Scenario& base() const noexcept { return base_; }
   [[nodiscard]] std::size_t run_count() const noexcept {
     return schedulers_.size() * bidgens_.size() * evaluators_.size() *
+           user_multipliers_.size() * time_compressions_.size() *
            loads_.size() * losses_.size() * replicates_;
   }
 
@@ -94,6 +102,11 @@ class SweepSpec {
   std::vector<std::string> evaluators_;
   std::vector<double> loads_;
   std::vector<double> losses_;
+  // Trace-replay axes; singletons holding the base [trace] values (or the
+  // inert 1/1) when not swept, so run_count() and seed derivation reduce to
+  // the pre-trace formulas on non-trace sweeps.
+  std::vector<double> time_compressions_;
+  std::vector<std::size_t> user_multipliers_;
   std::size_t replicates_ = 1;
   std::uint64_t base_seed_ = 0;
 };

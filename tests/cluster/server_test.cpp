@@ -198,7 +198,7 @@ TEST(ClusterManager, ManyJobsAllComplete) {
   params.job_count = 60;
   params.min_procs_lo = 2;
   params.min_procs_hi = 8;
-  params.procs_cap = 128;
+  params.shaping.procs_cap = 128;
   job::WorkloadGenerator::calibrate_load(params, 0.7, 128);
   const auto reqs = job::WorkloadGenerator{params, 21}.generate();
   std::size_t accepted = 0;

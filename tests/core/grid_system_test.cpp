@@ -152,7 +152,7 @@ TEST(GridSystem, ManyJobsAcrossClustersAllComplete) {
   params.job_count = 80;
   params.user_count = 8;
   params.cluster_count = 4;
-  params.procs_cap = 128;
+  params.shaping.procs_cap = 128;
   params.min_procs_lo = 2;
   params.min_procs_hi = 16;
   job::WorkloadGenerator::calibrate_load(params, 0.5, 4 * 128);

@@ -74,7 +74,7 @@ TEST(Determinism, IdenticalSeedsIdenticalReports) {
     job::WorkloadParams params;
     params.job_count = 120;
     params.user_count = 6;
-    params.procs_cap = 128;
+    params.shaping.procs_cap = 128;
     job::WorkloadGenerator::calibrate_load(params, 0.8, 3 * 128);
     return grid->run(job::WorkloadGenerator{params, 4242}.generate());
   };

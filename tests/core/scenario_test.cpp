@@ -64,7 +64,7 @@ load = 0.5
       job::WorkloadGenerator::mean_work(scenario.workload) /
       (scenario.workload.mean_interarrival * 500.0);
   EXPECT_NEAR(offered, 0.5, 1e-9);
-  EXPECT_EQ(scenario.workload.procs_cap, 300);
+  EXPECT_EQ(scenario.workload.shaping.procs_cap, 300);
 }
 
 TEST(Scenario, EndToEndRunCompletes) {
@@ -94,6 +94,55 @@ load = 0.5
   print_report(os, report);
   EXPECT_NE(os.str().find("jobs: 40 submitted"), std::string::npos);
   EXPECT_NE(os.str().find("| a"), std::string::npos);
+}
+
+TEST(Scenario, TraceSectionParses) {
+  auto scenario = Scenario::parse_string(R"(
+[grid]
+users = 6
+seed = 99
+[cluster]
+procs = 256
+[trace]
+file = /data/month.swf
+time_compression = 4
+user_multiplier = 3
+cluster_multiplier = 2
+jitter = 45
+sort_window = 120
+max_jobs = 1000000
+read_ahead = 8192
+malleability = 0.5
+deadline_fraction = 0.25
+)");
+  ASSERT_TRUE(scenario.trace.has_value());
+  EXPECT_EQ(scenario.trace->path, "/data/month.swf");
+  EXPECT_DOUBLE_EQ(scenario.trace->options.time_compression, 4.0);
+  EXPECT_EQ(scenario.trace->options.user_multiplier, 3u);
+  EXPECT_EQ(scenario.trace->options.cluster_multiplier, 2u);
+  EXPECT_DOUBLE_EQ(scenario.trace->options.clone_jitter, 45.0);
+  EXPECT_DOUBLE_EQ(scenario.trace->options.sort_window, 120.0);
+  EXPECT_EQ(scenario.trace->options.max_jobs, 1000000u);
+  EXPECT_EQ(scenario.trace->options.read_ahead, 8192u);
+  EXPECT_DOUBLE_EQ(scenario.trace->options.shaping.malleability, 0.5);
+  EXPECT_DOUBLE_EQ(scenario.trace->options.shaping.deadline_fraction, 0.25);
+  // Trace seed defaults to the scenario seed; procs are capped at the
+  // largest cluster so no trace job is unplaceable.
+  EXPECT_EQ(scenario.trace->options.seed, 99u);
+  EXPECT_EQ(scenario.trace->options.shaping.procs_cap, 256);
+}
+
+TEST(Scenario, TraceSectionValidates) {
+  EXPECT_THROW(Scenario::parse_string("[cluster]\nprocs = 4\n[trace]\n"),
+               std::invalid_argument);  // missing file
+  EXPECT_THROW(Scenario::parse_string(
+                   "[cluster]\nprocs = 4\n[trace]\nfile = x.swf\n"
+                   "time_compression = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario::parse_string(
+                   "[cluster]\nprocs = 4\n[trace]\nfile = x.swf\n"
+                   "user_multiplier = 0\n"),
+               std::invalid_argument);
 }
 
 TEST(Scenario, BrokeredFlagHonored) {

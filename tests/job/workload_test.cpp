@@ -48,7 +48,10 @@ TEST(Workload, AllContractsValid) {
     EXPECT_TRUE(req.contract.valid());
     EXPECT_GE(req.contract.min_procs, params.min_procs_lo);
     EXPECT_LE(req.contract.min_procs, params.min_procs_hi);
-    EXPECT_LE(req.contract.max_procs, params.procs_cap);
+    // procs_cap = 0 means uncapped; ProcsCapRespected covers the capped case.
+    if (params.shaping.procs_cap > 0) {
+      EXPECT_LE(req.contract.max_procs, params.shaping.procs_cap);
+    }
   }
 }
 
@@ -64,7 +67,7 @@ TEST(Workload, RigidFractionOneMakesAllRigid) {
 TEST(Workload, ProcsCapRespected) {
   WorkloadParams params;
   params.job_count = 100;
-  params.procs_cap = 64;
+  params.shaping.procs_cap = 64;
   for (const auto& req : WorkloadGenerator{params, 5}.generate()) {
     EXPECT_LE(req.contract.max_procs, 64);
   }
@@ -85,7 +88,7 @@ TEST(Workload, DeadlinesAfterSubmission) {
 TEST(Workload, DeadlineFractionZeroMakesFlatPayoffs) {
   WorkloadParams params;
   params.job_count = 50;
-  params.deadline_fraction = 0.0;
+  params.shaping.deadline_fraction = 0.0;
   for (const auto& req : WorkloadGenerator{params, 9}.generate()) {
     EXPECT_FALSE(req.contract.payoff.has_deadline());
   }

@@ -46,7 +46,7 @@ job::WorkloadParams sweep_params(double load, int procs, std::uint64_t jobs = 12
   job::WorkloadParams params;
   params.job_count = jobs;
   params.user_count = 8;
-  params.procs_cap = procs;
+  params.shaping.procs_cap = procs;
   params.min_procs_lo = 2;
   params.min_procs_hi = 24;
   job::WorkloadGenerator::calibrate_load(params, load, procs);
