@@ -347,6 +347,152 @@ print(f"report.html: {len(html)} bytes self-contained; phases.csv: "
       f"series.csv: {len(names)} series")
 PY
 
+echo "==> durable store: kill-and-resume golden run (DESIGN.md §14)"
+STORE_DIR="build-release-bench/store-artifacts"
+rm -rf "${STORE_DIR}"
+mkdir -p "${STORE_DIR}"
+cat > "${STORE_DIR}/golden.ini" <<'INI'
+[grid]
+billing = barter
+users = 6
+seed = 1404
+watchdog = 600
+
+[faults]
+loss = 0.05
+jitter = 0.2
+seed = 77
+
+[cluster]
+name = turing
+procs = 64
+cost = 0.0008
+credits = 300
+strategy = payoff
+bidgen = utilization
+
+[cluster]
+name = hopper
+procs = 64
+cost = 0.0005
+credits = 300
+strategy = fcfs
+bidgen = baseline
+
+[cluster]
+name = lovelace
+procs = 128
+cost = 0.0012
+credits = 400
+strategy = payoff
+bidgen = baseline
+
+[workload]
+jobs = 150
+load = 0.6
+INI
+
+# Reference artifacts: uninterrupted runs at 1 and 8 shards.
+for S in 1 8; do
+  ./build-release-bench/examples/scenario_sim "${STORE_DIR}/golden.ini" \
+    --shards "${S}" \
+    --report-json "${STORE_DIR}/ref-s${S}.json" \
+    --trace-jsonl "${STORE_DIR}/ref-s${S}.jsonl" >/dev/null
+
+  # Checkpoint mid-run (the hook must not perturb the run), then restore:
+  # the replay re-verifies the fingerprint at T and must finish
+  # byte-identical — report JSON and trace JSONL alike.
+  ./build-release-bench/examples/scenario_sim "${STORE_DIR}/golden.ini" \
+    --shards "${S}" \
+    --checkpoint-at 40 --checkpoint "${STORE_DIR}/grid-s${S}.ckpt" \
+    --report-json "${STORE_DIR}/ckpt-s${S}.json" \
+    --trace-jsonl "${STORE_DIR}/ckpt-s${S}.jsonl" >/dev/null
+  cmp "${STORE_DIR}/ckpt-s${S}.json" "${STORE_DIR}/ref-s${S}.json"
+  cmp "${STORE_DIR}/ckpt-s${S}.jsonl" "${STORE_DIR}/ref-s${S}.jsonl"
+
+  ./build-release-bench/examples/scenario_sim \
+    --restore "${STORE_DIR}/grid-s${S}.ckpt" \
+    --report-json "${STORE_DIR}/res-s${S}.json" \
+    --trace-jsonl "${STORE_DIR}/res-s${S}.jsonl" >/dev/null
+  cmp "${STORE_DIR}/res-s${S}.json" "${STORE_DIR}/ref-s${S}.json"
+  cmp "${STORE_DIR}/res-s${S}.jsonl" "${STORE_DIR}/ref-s${S}.jsonl"
+  echo "store: shards=${S} checkpoint + restore byte-identical"
+done
+
+# Credit conservation is part of the report contract: the ledger section's
+# residual must stay within float rounding on every golden run.
+python3 - "${STORE_DIR}" <<'PY'
+import json, sys
+d = sys.argv[1]
+for name in ("ref-s1", "ref-s8", "res-s1", "res-s8"):
+    ledger = json.load(open(f"{d}/{name}.json"))["ledger"]
+    assert ledger["barter"], f"{name}: barter grid expected"
+    assert abs(ledger["conservation_residual"]) <= 1e-9, (
+        f"{name}: credits not conserved: {ledger}")
+    assert ledger["opening_credits"] == 1000.0, ledger
+print("ledger: conservation residual <= 1e-9 on all four golden runs")
+PY
+
+# SIGKILL the run mid-flight with a durable store attached, then prove the
+# on-disk WAL replays to a conserved ledger: generation 1 holds the empty
+# start-of-run image, so the salvageable frames alone must account for
+# every credit (kills can tear the tail — that suffix is discarded, never
+# half-applied). The kill scenario inflates the workload so the run is
+# still mid-flight seconds in — a clean finish would roll the WAL into
+# generation 2 and the assert below would (rightly) fail.
+sed 's/^jobs = 150$/jobs = 200000/' "${STORE_DIR}/golden.ini" \
+  > "${STORE_DIR}/killed.ini"
+./build-release-bench/examples/scenario_sim "${STORE_DIR}/killed.ini" \
+  --store-dir "${STORE_DIR}/killed-store" \
+  --report-json "${STORE_DIR}/killed.json" >/dev/null &
+SIM_PID=$!
+sleep 1.5
+kill -9 "${SIM_PID}" 2>/dev/null || true
+wait "${SIM_PID}" 2>/dev/null || true
+python3 - "${STORE_DIR}/killed-store" <<'PY'
+import struct, sys, zlib
+d = sys.argv[1]
+snap = open(f"{d}/snapshot-1", "rb").read()
+assert snap[:8] == b"FAUCSNP\x01", "generation-1 snapshot missing"
+length, crc = struct.unpack("<II", snap[8:16])
+body = snap[16:]
+assert len(body) == length and zlib.crc32(body) == crc, "snapshot corrupt"
+assert length == 0, "start-of-run image must be the empty state"
+
+data = open(f"{d}/wal-1", "rb").read()
+assert data[:8] == b"FAUCWAL\x01", "WAL magic missing"
+pos, ops, torn = 8, [], False
+while pos < len(data):
+    if len(data) - pos < 8:
+        torn = True
+        break
+    length, crc = struct.unpack_from("<II", data, pos)
+    if length < 2 or len(data) - pos - 8 < length:
+        torn = True
+        break
+    body = data[pos + 8 : pos + 8 + length]
+    if zlib.crc32(body) != crc:
+        torn = True
+        break
+    ops.append((struct.unpack_from("<H", body)[0], body[2:]))
+    pos += 8 + length
+
+total = 0.0
+opens = transfers = 0
+for op_type, payload in ops:
+    if op_type == 0x0101:  # ledger open: u64 cluster, f64 credits
+        total += struct.unpack_from("<d", payload, 8)[0]
+        opens += 1
+    elif op_type == 0x0102:  # transfer: conserves by construction
+        transfers += 1
+assert opens == 3, f"expected 3 ledger accounts, saw {opens}"
+assert total == 1000.0, f"recovered ledger total {total}, expected 1000"
+print(f"killed run: {len(ops)} intact WAL ops salvaged "
+      f"({'torn tail discarded' if torn else 'no tear'}), "
+      f"{transfers} transfers replay to a conserved 1000.0-credit ledger")
+PY
+rm -rf "${STORE_DIR}/killed-store" "${STORE_DIR}/killed.json"
+
 if [[ "${SKIP_BENCH}" == "1" ]]; then
   echo "==> bench skipped (--skip-bench)"
   exit 0
@@ -494,6 +640,41 @@ if hw >= 8:
             assert ratio < 1.5, (
                 "streamed replay %.2fx slower than preload at %d jobs"
                 % (ratio, jobs))
+PY
+
+echo "==> bench_store (E16: WAL throughput, snapshot latency, warm-fork amortization)"
+# The binary asserts (exit 2) that recovery replays every journaled
+# transfer and that the warm-forked sweep artifact is byte-identical to
+# the from-scratch artifact.
+./build-release-bench/bench/bench_store --ops 50000 --out BENCH_store.json
+
+python3 - <<'PY'
+import json
+out = json.load(open("BENCH_store.json"))
+for r in out["wal"]:
+    print("BENCH_store.json: wal %-8s %6d records, %8d rec/s, %5.1f MB/s, "
+          "%d fsyncs" % (r["sync"], r["records"], r["records_per_sec"],
+                         r["mb_per_sec"], r["fsyncs"]))
+    assert r["records_per_sec"] > 0, r
+none = next(r for r in out["wal"] if r["sync"] == "none")
+batch = next(r for r in out["wal"] if r["sync"] == "batch-64")
+always = next(r for r in out["wal"] if r["sync"] == "always")
+assert none["fsyncs"] == 0, "sync=none must never fsync"
+assert batch["records"] // 64 <= batch["fsyncs"] <= batch["records"] // 64 + 1, (
+    "group commit must fsync once per 64 appends (plus the final flush)")
+assert always["fsyncs"] == always["records"], (
+    "sync=always must fsync every append")
+snap = out["snapshot"]
+print("  snapshot: %d ops, image %d B, write %.2f ms, recover replay "
+      "%.2f ms vs snapshot %.2f ms"
+      % (snap["ops"], snap["image_bytes"], snap["snapshot_ms"],
+         snap["recover_replay_ms"], snap["recover_snapshot_ms"]))
+wf = out["warmfork"]
+assert wf["artifacts_identical"], "forked sweep artifact diverged"
+print("  warm-fork: %d runs, warmup %.1f/%.1f s, %.0f ms scratch vs "
+      "%.0f ms forked (%.2fx), artifacts byte-identical"
+      % (wf["runs"], wf["warmup_s"], wf["makespan_s"], wf["scratch_ms"],
+         wf["forked_ms"], wf["speedup"]))
 PY
 
 echo "==> bench_telemetry (sampling overhead on a full grid run)"

@@ -37,7 +37,8 @@ struct Options {
   std::optional<std::string> write_baseline;  // snapshot aggregate here
   double tolerance = 0.05;
   bool quiet = false;
-  bool profile = false;  // append host-time prof_* columns per run
+  bool profile = false;    // append host-time prof_* columns per run
+  bool warm_fork = true;   // warm-state forking when [sweep] warmup_until set
 };
 
 void usage(std::ostream& os) {
@@ -52,6 +53,8 @@ void usage(std::ostream& os) {
         "  --profile               run points under the host-time profiler and\n"
         "                          append prof_* columns (host-time: not\n"
         "                          byte-stable across machines)\n"
+        "  --no-warm-fork          run every cell from scratch even when the\n"
+        "                          sweep sets [sweep] warmup_until\n"
         "  --quiet                 suppress the aggregate table\n";
 }
 
@@ -82,6 +85,8 @@ Options parse_args(int argc, char** argv) {
       opt.quiet = true;
     } else if (arg == "--profile") {
       opt.profile = true;
+    } else if (arg == "--no-warm-fork") {
+      opt.warm_fork = false;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -164,6 +169,7 @@ int main(int argc, char** argv) {
     run_options.threads = opt.threads;
     run_options.sink = sink ? &*sink : nullptr;
     run_options.profile = opt.profile;
+    run_options.warm_fork = opt.warm_fork;
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = runner.run(run_options);

@@ -26,6 +26,16 @@
 //
 //   ./examples/scenario_sim --shards 4                # overrides [shards]
 //
+// Durable state + checkpoint/restore (DESIGN.md §14):
+//
+//   ./examples/scenario_sim --store-dir runs/store    # WAL + snapshots
+//                           --checkpoint-at 1800      # pause time, seconds
+//                           --checkpoint grid.ckpt    # checkpoint file
+//   ./examples/scenario_sim --restore grid.ckpt       # resume: replays the
+//                           # pinned scenario + overrides from t = 0,
+//                           # PROVES the state matches at the checkpoint
+//                           # instant, then continues to completion.
+//
 // Host-time profiling (DESIGN.md §12):
 //
 //   ./examples/scenario_sim --profile                 # writes profile.json
@@ -35,8 +45,10 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/engine.hpp"
@@ -44,6 +56,7 @@
 #include "src/core/scenario.hpp"
 #include "src/obs/exporters.hpp"
 #include "src/obs/report.hpp"
+#include "src/store/checkpoint.hpp"
 
 namespace {
 
@@ -100,6 +113,10 @@ struct Options {
   std::optional<std::string> shards;
   std::optional<std::string> report_json;
   std::optional<std::string> profile;  // profile.json path
+  std::optional<std::string> store_dir;
+  std::optional<std::string> checkpoint_at;  // sim seconds
+  std::optional<std::string> checkpoint;     // checkpoint file to write
+  std::optional<std::string> restore;        // checkpoint file to resume from
 };
 
 /// Split "a:b[:c]" into its numeric fields.
@@ -166,6 +183,10 @@ Options parse_args(int argc, char** argv) {
     if (take_flag(arg, argc, argv, i, "--until", opts.until)) continue;
     if (take_flag(arg, argc, argv, i, "--shards", opts.shards)) continue;
     if (take_flag(arg, argc, argv, i, "--report-json", opts.report_json)) continue;
+    if (take_flag(arg, argc, argv, i, "--store-dir", opts.store_dir)) continue;
+    if (take_flag(arg, argc, argv, i, "--checkpoint-at", opts.checkpoint_at)) continue;
+    if (take_flag(arg, argc, argv, i, "--checkpoint", opts.checkpoint)) continue;
+    if (take_flag(arg, argc, argv, i, "--restore", opts.restore)) continue;
     // --profile is the one flag whose value is optional: bare --profile
     // defaults to profile.json in the working directory.
     if (arg == "--profile") {
@@ -190,48 +211,93 @@ std::ofstream open_out(const std::string& path) {
   return out;
 }
 
+/// Apply one simulation-affecting override. Checkpoints pin these (flag,
+/// value) pairs verbatim so --restore reconstructs the identical run; keep
+/// this the single dispatch point for both the live CLI and replay.
+void apply_override(faucets::core::Scenario& scenario, double& until,
+                    const std::string& flag, const std::string& value) {
+  if (flag == "--loss") {
+    scenario.grid.faults.loss_rate = std::stod(value);
+  } else if (flag == "--jitter") {
+    scenario.grid.faults.jitter = std::stod(value);
+  } else if (flag == "--partition") {
+    const auto f = split_colon_numbers("--partition", value, 3, 3);
+    scenario.grid.partitions.push_back(
+        {static_cast<std::size_t>(f[0]), f[1], f[2]});
+  } else if (flag == "--crash-at") {
+    const auto f = split_colon_numbers("--crash-at", value, 2, 3);
+    faucets::core::CrashSchedule crash;
+    crash.cluster = static_cast<std::size_t>(f[0]);
+    crash.at = f[1];
+    if (f.size() == 3) crash.restart_at = f[2];
+    scenario.grid.crashes.push_back(crash);
+  } else if (flag == "--shards") {
+    const long n = std::stol(value);
+    if (n < 1) throw std::invalid_argument("--shards must be >= 1");
+    scenario.grid.shards = static_cast<std::size_t>(n);
+  } else if (flag == "--until") {
+    until = std::stod(value);
+  } else {
+    throw std::invalid_argument("checkpoint carries unknown override " + flag);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opts = parse_args(argc, argv);
-    faucets::core::Scenario scenario = [&] {
+
+    // The simulation is defined by (scenario text, overrides): live runs
+    // collect both from the command line; --restore reads the exact pair a
+    // checkpoint pinned and replays it.
+    std::string scenario_text;
+    std::vector<std::pair<std::string, std::string>> overrides;
+    std::optional<faucets::store::Checkpoint> restore_ckpt;
+    if (opts.restore) {
+      if (opts.scenario_file || opts.loss || opts.jitter || opts.partition ||
+          opts.crash_at || opts.shards || opts.until || opts.checkpoint_at) {
+        throw std::invalid_argument(
+            "--restore replays the checkpointed scenario and overrides; drop "
+            "the scenario file and --loss/--jitter/--partition/--crash-at/"
+            "--shards/--until/--checkpoint-at");
+      }
+      restore_ckpt = faucets::store::Checkpoint::read_file(*opts.restore);
+      scenario_text = restore_ckpt->scenario_text;
+      overrides = restore_ckpt->overrides;
+    } else {
       if (opts.scenario_file) {
         std::ifstream file{*opts.scenario_file};
         if (!file) {
           throw std::invalid_argument("cannot open scenario file " +
                                       *opts.scenario_file);
         }
-        return faucets::core::Scenario::parse(faucets::ConfigFile::parse(file));
+        std::ostringstream text;
+        text << file.rdbuf();
+        scenario_text = text.str();
+      } else {
+        std::cout << "(no scenario file given; running the built-in demo)\n\n";
+        scenario_text = kDemoScenario;
       }
-      std::cout << "(no scenario file given; running the built-in demo)\n\n";
-      return faucets::core::Scenario::parse_string(kDemoScenario);
-    }();
+      // Chaos flags override the scenario's [faults] section; the same
+      // (flag, value) pairs go into any checkpoint this run writes.
+      if (opts.loss) overrides.emplace_back("--loss", *opts.loss);
+      if (opts.jitter) overrides.emplace_back("--jitter", *opts.jitter);
+      if (opts.partition) overrides.emplace_back("--partition", *opts.partition);
+      if (opts.crash_at) overrides.emplace_back("--crash-at", *opts.crash_at);
+      if (opts.shards) overrides.emplace_back("--shards", *opts.shards);
+      if (opts.until) overrides.emplace_back("--until", *opts.until);
+    }
 
-    // Chaos flags override the scenario's [faults] section.
-    if (opts.loss) scenario.grid.faults.loss_rate = std::stod(*opts.loss);
-    if (opts.jitter) scenario.grid.faults.jitter = std::stod(*opts.jitter);
-    if (opts.partition) {
-      const auto f =
-          split_colon_numbers("--partition", *opts.partition, 3, 3);
-      scenario.grid.partitions.push_back(
-          {static_cast<std::size_t>(f[0]), f[1], f[2]});
+    faucets::core::Scenario scenario =
+        faucets::core::Scenario::parse_string(scenario_text);
+    double until = faucets::sim::Engine::kForever;
+    for (const auto& [flag, value] : overrides) {
+      apply_override(scenario, until, flag, value);
     }
-    if (opts.crash_at) {
-      const auto f = split_colon_numbers("--crash-at", *opts.crash_at, 2, 3);
-      faucets::core::CrashSchedule crash;
-      crash.cluster = static_cast<std::size_t>(f[0]);
-      crash.at = f[1];
-      if (f.size() == 3) crash.restart_at = f[2];
-      scenario.grid.crashes.push_back(crash);
-    }
-    const double until =
-        opts.until ? std::stod(*opts.until) : faucets::sim::Engine::kForever;
-    if (opts.shards) {
-      const long n = std::stol(*opts.shards);
-      if (n < 1) throw std::invalid_argument("--shards must be >= 1");
-      scenario.grid.shards = static_cast<std::size_t>(n);
-    }
+    // The store directory is host-side persistence, not part of the
+    // simulation: it never goes into a checkpoint's override list.
+    if (opts.store_dir) scenario.grid.store.dir = *opts.store_dir;
 
     // --profile[=path] writes the JSON summary to `path` and derives the
     // sibling artifacts (Prometheus text, host Chrome trace) from its stem.
@@ -276,8 +342,47 @@ int main(int argc, char** argv) {
     }
     std::cout << "...\n\n";
     auto grid = scenario.make_grid();
+
+    // Checkpointing pauses the run at the first consistent boundary past
+    // the requested instant, captures the progress fingerprint, and lets
+    // the run continue — the uninterrupted artifacts double as the
+    // byte-identity reference for a later --restore.
+    bool pause_reached = false;
+    std::string restore_error;
+    if (opts.checkpoint_at) {
+      const double at = std::stod(*opts.checkpoint_at);
+      const std::string path = opts.checkpoint.value_or("grid.ckpt");
+      grid->set_pause_hook(at, [&, at, path] {
+        pause_reached = true;
+        faucets::store::Checkpoint ckpt;
+        ckpt.scenario_text = scenario_text;
+        ckpt.overrides = overrides;
+        ckpt.shards = scenario.grid.shards;
+        faucets::core::fill_checkpoint(ckpt, *grid, at);
+        ckpt.write_file(path);
+        std::cout << "checkpoint written to " << path << " at t=" << at << "\n";
+        return true;
+      });
+    } else if (restore_ckpt) {
+      grid->set_pause_hook(restore_ckpt->sim_time, [&] {
+        pause_reached = true;
+        restore_error = faucets::core::verify_checkpoint(*restore_ckpt, *grid);
+        if (!restore_error.empty()) return false;  // abandon the divergent run
+        std::cout << "restore verified at t=" << restore_ckpt->sim_time
+                  << "; continuing\n";
+        return true;
+      });
+    }
+
     const auto source = scenario.make_source();
     const auto report = grid->run(*source, until);
+    if ((opts.checkpoint_at || restore_ckpt) && !pause_reached) {
+      throw std::runtime_error(
+          "the run ended before the checkpoint instant was reached");
+    }
+    if (!restore_error.empty()) {
+      throw std::runtime_error("restore verification failed: " + restore_error);
+    }
     faucets::core::print_report(std::cout, report);
 
     if (opts.report_json) {

@@ -64,6 +64,16 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
   }
 
   central_ = std::make_unique<CentralServer>(ctx_, config_.central);
+  if (!config_.store.dir.empty()) {
+    store_ = std::make_unique<store::DurableStore>(
+        config_.store.dir,
+        store::DurableOptions{config_.store.sync, config_.store.sync_every});
+    // Generation 1 is the empty image, taken before any state exists: every
+    // registration and account opening below lands in the WAL, so recovery
+    // is always "empty snapshot + full op history" or a later roll-up of it.
+    store_->snapshot("");
+    central_->attach_store(store_.get(), config_.store.snapshot_every);
+  }
   appspector_ = std::make_unique<AppSpector>(ctx_);
   if (config_.brokered_submission) {
     BrokerConfig broker_config;
@@ -146,7 +156,13 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
     faults.partitions.push_back(
         {daemons_.at(p.cluster)->id(), p.from, p.until});
   }
-  const bool chaos = faults.any() || !config_.crashes.empty();
+  // An armed activation gate means a loss/jitter treatment may be swapped
+  // in at the boundary (warm-state forking), so such a grid provisions for
+  // chaos even when its warm prefix is fault-free — otherwise a forked cell
+  // and a from-scratch cell would disagree on construction-time knobs like
+  // bid_rounds and diverge after the boundary.
+  const bool chaos = faults.any() || faults.active_from > 0.0 ||
+                     !config_.crashes.empty();
   for (std::size_t s = 0; s < shard_count(); ++s) {
     shard_context(s).network().set_faults(faults);
   }
@@ -214,6 +230,9 @@ GridSystem::GridSystem(GridConfig config, std::vector<ClusterSetup> clusters,
   for (auto& c : clients_) {
     c->set_profile_class(static_cast<std::uint8_t>(obs::ProfClass::kClient));
   }
+  // Conservation baseline: every account is open and no transfer has run
+  // yet, so this is the sum of the clusters' opening contributions.
+  opening_credits_ = std::as_const(*central_).barter_ledger().total_credits();
   setup_profiler();
 }
 
@@ -276,6 +295,21 @@ void GridSystem::maybe_sample() {
   next_sample_due_ = ctx_.now() + config_.telemetry.sample_interval;
 }
 
+bool GridSystem::maybe_pause(double now) {
+  // One-shot: at most one pause per run, at the first consistent boundary
+  // with time >= pause_at_. Classic runs pass the next event's timestamp
+  // BEFORE stepping it, so nothing at or past the boundary has executed
+  // when the hook runs — a forked child's treatment swap then covers
+  // exactly the sends a from-scratch run would gate on active_from.
+  // Sharded runs pass T_min at a barrier (workers idle), so the hook
+  // always sees a globally consistent grid.
+  if (!pause_hook_ || pause_fired_ || now < pause_at_) return true;
+  pause_fired_ = true;
+  if (pause_hook_()) return true;
+  abandoned_ = true;
+  return false;
+}
+
 void GridSystem::maybe_sample_shard(std::size_t s) {
   // Sharded twin of maybe_sample(): each shard samples its own sampler on
   // its own clock from its own worker thread (shared state: none).
@@ -288,14 +322,18 @@ void GridSystem::maybe_sample_shard(std::size_t s) {
 void GridSystem::replay_history() {
   // Barrier-time (workers idle): push the Central Server's newly journaled
   // contracts into every shard's replica. Replay goes through record() so a
-  // replica's bounded deque evicts exactly like the live history's.
+  // replica's bounded deque evicts exactly like the live history's. The
+  // applied prefix is compacted away — journal entries are addressed by
+  // global index, so the cursor survives compaction and a long run's
+  // journal memory stays bounded by one barrier interval's contracts.
   if (history_replicas_.empty()) return;
-  const auto& journal = central_->price_history().journal();
-  for (; history_applied_ < journal.size(); ++history_applied_) {
-    for (auto& replica : history_replicas_) {
-      replica.record(journal[history_applied_]);
-    }
+  market::PriceHistory& history = central_->mutable_price_history();
+  const std::size_t end = history.journal_size();
+  for (; history_applied_ < end; ++history_applied_) {
+    const market::ContractRecord& rec = history.journal_at(history_applied_);
+    for (auto& replica : history_replicas_) replica.record(rec);
   }
+  history.compact_journal(history_applied_);
 }
 
 GridSystem::~GridSystem() = default;
@@ -307,6 +345,8 @@ GridReport GridSystem::run(std::vector<job::JobRequest> requests, double until) 
 
 GridReport GridSystem::run(job::WorkloadSource& source, double until) {
   merged_.reset();
+  pause_fired_ = false;
+  abandoned_ = false;
   // Route the shared stream across the per-user clients. Sharded runs use
   // manual refill: lanes must never pull the shared source from a worker
   // thread, so the coordinator extends them at every barrier instead.
@@ -340,23 +380,27 @@ GridReport GridSystem::run(job::WorkloadSource& source, double until) {
       // One execute span around the whole loop: an unsharded lane has no
       // drain/merge/barrier, so its wall clock is execute plus idle.
       const std::uint64_t t0 = obs::HostClock::ticks();
-      while (!all_done() && ctx_.engine().step(until)) {
+      while (!all_done()) {
+        if (!maybe_pause(ctx_.engine().next_time())) break;
+        if (!ctx_.engine().step(until)) break;
         maybe_sample();
       }
-      ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
+      if (!abandoned_) ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
       profiler_->lane(0).add_execute(obs::HostClock::ticks() - t0);
       makespan_ = ctx_.now();
     } else
 #endif
     {
-      while (!all_done() && ctx_.engine().step(until)) {
+      while (!all_done()) {
+        if (!maybe_pause(ctx_.engine().next_time())) break;
+        if (!ctx_.engine().step(until)) break;
         maybe_sample();
       }
       // Drain in-flight housekeeping for one simulated second: the daemons'
       // ContractSettled reports to the Central Server (price history,
       // billing, barter transfers) trail the completion notices clients
       // wait for.
-      ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
+      if (!abandoned_) ctx_.engine().run(std::min(until, ctx_.now() + 1.0));
       makespan_ = ctx_.now();
     }
   } else {
@@ -391,6 +435,10 @@ GridReport GridSystem::run(job::WorkloadSource& source, double until) {
     obs::observe_phase_histograms(m.metrics, *analysis_);
   }
   if (profiler_ != nullptr) write_profile_artifacts();
+  // A clean end of run rolls the WAL into a fresh snapshot: restart from
+  // here replays zero operations. Abandoned runs skip it (the warm-fork
+  // parent's state is mid-flight and must not overwrite the store).
+  if (store_ != nullptr && !abandoned_) central_->snapshot_to_store();
   workload_high_water_ = demux.high_water();
   demux_ = nullptr;
   return report();
@@ -459,6 +507,7 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
         const double tmin = t_min();
         profiler_->barrier_end();
         if (tmin >= sim::Engine::kForever || tmin > cap) return false;
+        if (!maybe_pause(tmin)) return false;
         profiler_->window_launch(tmin);
         const double window_end = tmin + lookahead;
         // Extend every client lane past this window before the workers
@@ -483,6 +532,7 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
       if (stop_when_done && all_done()) return true;
       const double tmin = t_min();
       if (tmin >= sim::Engine::kForever || tmin > cap) return false;
+      if (!maybe_pause(tmin)) return false;
       const double window_end = tmin + lookahead;
       // Same lane-coverage invariant as the profiled twin above.
       if (demux_ != nullptr) demux_->refill(window_end);
@@ -497,6 +547,7 @@ void GridSystem::run_sharded(double until, const std::function<bool()>& all_done
 
   // Phase A: the market runs until quiescent (or `until`).
   const bool done = windows(until, /*stop_when_done=*/true);
+  if (abandoned_) return;  // pause hook bailed; the caller discards the run
 
   // Phase B: drain trailing housekeeping (ContractSettled reports, billing,
   // barter transfers) for one simulated second — the single-engine drain
@@ -745,6 +796,18 @@ GridReport GridSystem::report() const {
     }
     out.clusters.push_back(std::move(c));
   }
+
+  // Grid-wide accounting: the conservation invariant (§5.5.3). Transfers
+  // are paired += / -= of one double value, so in barter mode the residual
+  // is exactly 0.0 — CI asserts on it without an epsilon.
+  const BarterLedger& ledger = std::as_const(*central_).barter_ledger();
+  out.ledger.barter = config_.central.billing == BillingMode::kBarter;
+  out.ledger.opening_credits = opening_credits_;
+  out.ledger.total_credits = ledger.total_credits();
+  out.ledger.conservation_residual = out.ledger.total_credits - opening_credits_;
+  out.ledger.transfers = ledger.log().size();
+  out.ledger.total_charged =
+      std::as_const(*central_).user_accounts().total_charged();
 
   Samples latency;
   for (const auto& cl : clients_) {

@@ -26,6 +26,7 @@
 #include "src/market/evaluation.hpp"
 #include "src/sim/context.hpp"
 #include "src/sim/network.hpp"
+#include "src/store/store.hpp"
 
 namespace faucets::obs {
 class Profiler;
@@ -75,6 +76,21 @@ struct ProfileConfig {
   std::string json_path;     // profile.json summary
   std::string metrics_path;  // Prometheus faucets_prof_* text
   std::string chrome_path;   // host-timeline Chrome trace
+};
+
+/// Durable persistence of the Central Server's accounting state
+/// (DESIGN.md §14). With a directory set, the grid opens a DurableStore
+/// there, takes the generation-1 snapshot of the empty image before any
+/// state mutates, journals every ledger / account / user / price mutation
+/// through the WAL, and snapshots again at the end of a clean run. After a
+/// crash, store::recover_central_state() rebuilds the exact state.
+struct StoreConfig {
+  std::string dir;  // empty = no durability (in-memory only)
+  store::SyncPolicy sync = store::SyncPolicy::kBatch;
+  std::size_t sync_every = 64;  // group-commit batch (kBatch only)
+  /// Roll the WAL into a fresh snapshot after this many settled contracts;
+  /// 0 keeps only the initial and end-of-run snapshots.
+  std::uint64_t snapshot_every = 0;
 };
 
 /// Periodic time-series sampling of registered telemetry signals.
@@ -127,6 +143,8 @@ struct GridConfig {
   /// Host-time profiling; off by default (and compiled out entirely with
   /// -DFAUCETS_PROFILE=0, in which case enabling is a no-op).
   ProfileConfig profile{};
+  /// Durable persistence; off by default (empty dir).
+  StoreConfig store{};
 };
 
 /// Per-cluster results after a run.
@@ -143,6 +161,20 @@ struct ClusterReport {
   std::uint64_t awards_confirmed = 0;
   std::uint64_t awards_refused = 0;
   double barter_balance = 0.0;
+};
+
+/// Grid-wide accounting summary: the credit-conservation invariant the CI
+/// asserts (§5.5.3 — transfers move credits, they never mint them).
+struct LedgerReport {
+  bool barter = false;            // billing mode was kBarter
+  double opening_credits = 0.0;   // ledger total right after construction
+  double total_credits = 0.0;     // ledger total now
+  /// total - opening; conservation keeps it within float rounding of the
+  /// transferred volume (each paired -= / += rounds once per side), so the
+  /// CI asserts |residual| <= 1e-9, matching the accounting unit tests.
+  double conservation_residual = 0.0;
+  std::uint64_t transfers = 0;    // settled cross-cluster barter moves
+  double total_charged = 0.0;     // dollars/SU billed in pay-per-use modes
 };
 
 struct GridReport {
@@ -164,6 +196,8 @@ struct GridReport {
   /// Mean seconds each submission spent in every exclusive latency phase
   /// (indexed by obs::Phase); all zero when no submission closed.
   std::array<double, obs::kPhaseCount> phase_mean_seconds{};
+  /// Per-cluster balances live in `clusters`; this is the grid-wide view.
+  LedgerReport ledger{};
 
   [[nodiscard]] double grid_utilization_weighted() const;
   [[nodiscard]] std::uint64_t sent_of(sim::MessageKind kind) const noexcept {
@@ -254,6 +288,40 @@ class GridSystem {
   /// Build the report from current state (run() calls this at the end).
   [[nodiscard]] GridReport report() const;
 
+  /// The durable store backing the Central Server, when GridConfig::store
+  /// names a directory; null otherwise.
+  [[nodiscard]] store::StateStore* store() noexcept { return store_.get(); }
+
+  /// Fire `hook` once, the first time simulated time reaches `at` during the
+  /// next run() — after an event boundary (classic loop) or at a lookahead
+  /// barrier with every worker idle (sharded), so the grid is globally
+  /// consistent when it runs. Return true to continue the run; false
+  /// abandons it (run() returns promptly with partial state — the warm-fork
+  /// parent's path, whose report is discarded).
+  void set_pause_hook(double at, std::function<bool()> hook) {
+    pause_at_ = at;
+    pause_hook_ = std::move(hook);
+  }
+
+  /// Swap the stochastic fault treatment (loss, jitter) on every shard's
+  /// network without reseeding the injector streams. Used by forked warm
+  /// runs at the activation boundary; see sim::FaultInjector::set_treatment.
+  void set_fault_treatment(double loss_rate, double jitter) noexcept {
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      shard_context(s).network().set_fault_treatment(loss_rate, jitter);
+    }
+  }
+
+  /// Per-shard executed-event counts — the checkpoint's progress
+  /// fingerprint (index 0 = shard 0 / the classic engine).
+  [[nodiscard]] std::vector<std::uint64_t> executed_counts() const {
+    std::vector<std::uint64_t> out;
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      out.push_back(shard_context(s).engine().executed());
+    }
+    return out;
+  }
+
   // --- shard-count-independent observability views -------------------------
   // In a sharded run each shard records into its own registry / span tracker
   // / trace ring; these return the deterministic merge (built lazily, cached
@@ -285,6 +353,8 @@ class GridSystem {
 
   void maybe_sample();
   void maybe_sample_shard(std::size_t s);
+  /// Fire the pause hook if due; false = the hook abandoned the run.
+  bool maybe_pause(double now);
   [[nodiscard]] const obs::SpanAnalysis& analysis() const;
   [[nodiscard]] MergedObs& ensure_merged() const;
   void run_sharded(double until, const std::function<bool()>& all_done);
@@ -298,6 +368,7 @@ class GridSystem {
   std::unique_ptr<sim::ShardRouter> router_;
   sim::SimContext ctx_;                                     // shard 0
   std::vector<std::unique_ptr<sim::SimContext>> extra_ctx_; // shards 1..N-1
+  std::unique_ptr<store::StateStore> store_;                // null = no durability
   std::unique_ptr<CentralServer> central_;
   std::unique_ptr<AppSpector> appspector_;
   std::unique_ptr<BrokerAgent> broker_;
@@ -320,6 +391,12 @@ class GridSystem {
   job::WorkloadDemux* demux_ = nullptr;
   std::size_t workload_high_water_ = 0;
   double makespan_ = 0.0;  // set by run(); report() uses it when sharded
+  double opening_credits_ = 0.0;  // ledger total right after construction
+  // One-shot pause hook (checkpointing, warm-state forking); +inf = unarmed.
+  double pause_at_ = std::numeric_limits<double>::infinity();
+  std::function<bool()> pause_hook_;
+  bool pause_fired_ = false;
+  bool abandoned_ = false;  // the hook told run() to bail out
   // Sim-time of the next sampler snapshot; +inf when sampling is disabled so
   // the run loop's check is one always-false branch. See maybe_sample().
   double next_sample_due_ = std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/faucets/central_store.hpp"
 #include "src/sched/backfill.hpp"
 #include "src/sweep/jsonio.hpp"
 #include "src/sched/equipartition.hpp"
@@ -243,6 +244,49 @@ Scenario Scenario::parse(const ConfigFile& config) {
     out.trace = std::move(ts);
   }
 
+  // [market] — price-history retention (satellite of DESIGN.md §14): how
+  // many settled contracts the Central Server's bounded deque keeps and how
+  // far back its queries look.
+  const ConfigSection* market = config.section("market");
+  if (market != nullptr) {
+    const long capacity = market->get_int(
+        "history_capacity", static_cast<long>(out.grid.central.history_capacity));
+    if (capacity < 1) {
+      throw std::invalid_argument("[market] history_capacity must be >= 1");
+    }
+    out.grid.central.history_capacity = static_cast<std::size_t>(capacity);
+    out.grid.central.history_window = market->get_double(
+        "history_window", out.grid.central.history_window);
+    if (out.grid.central.history_window <= 0.0) {
+      throw std::invalid_argument("[market] history_window must be positive");
+    }
+  }
+
+  // [store] — durable accounting state (DESIGN.md §14).
+  const ConfigSection* store_section = config.section("store");
+  if (store_section != nullptr) {
+    out.grid.store.dir = store_section->get_string("dir", "");
+    if (out.grid.store.dir.empty()) {
+      throw std::invalid_argument("[store] needs a dir = <path> key");
+    }
+    const std::string sync = store_section->get_string("sync", "batch");
+    if (sync == "none") {
+      out.grid.store.sync = store::SyncPolicy::kNone;
+    } else if (sync == "batch") {
+      out.grid.store.sync = store::SyncPolicy::kBatch;
+    } else if (sync == "always") {
+      out.grid.store.sync = store::SyncPolicy::kAlways;
+    } else {
+      throw std::invalid_argument("[store] unknown sync '" + sync +
+                                  "' (expected none|batch|always)");
+    }
+    out.grid.store.sync_every = static_cast<std::size_t>(std::max(
+        1L, store_section->get_int("sync_every",
+                                   static_cast<long>(out.grid.store.sync_every))));
+    out.grid.store.snapshot_every = static_cast<std::uint64_t>(
+        std::max(0L, store_section->get_int("snapshot_every", 0)));
+  }
+
   const ConfigSection* shards = config.section("shards");
   if (shards != nullptr) {
     const long count = shards->get_int("count", 1);
@@ -327,7 +371,13 @@ void write_report_json(std::ostream& os, const GridReport& report) {
   for (std::size_t i = 0; i < report.phase_mean_seconds.size(); ++i) {
     os << (i == 0 ? "" : ",") << num(report.phase_mean_seconds[i]);
   }
-  os << "],\"clusters\":[";
+  os << "],\"ledger\":{\"barter\":" << (report.ledger.barter ? "true" : "false")
+     << ",\"opening_credits\":" << num(report.ledger.opening_credits)
+     << ",\"total_credits\":" << num(report.ledger.total_credits)
+     << ",\"conservation_residual\":" << num(report.ledger.conservation_residual)
+     << ",\"transfers\":" << report.ledger.transfers
+     << ",\"total_charged\":" << num(report.ledger.total_charged) << "}";
+  os << ",\"clusters\":[";
   for (std::size_t i = 0; i < report.clusters.size(); ++i) {
     const ClusterReport& c = report.clusters[i];
     os << (i == 0 ? "" : ",") << "{\"name\":\"" << sweep::escape_json(c.name)
@@ -343,6 +393,34 @@ void write_report_json(std::ostream& os, const GridReport& report) {
        << ",\"barter_balance\":" << num(c.barter_balance) << "}";
   }
   os << "]}\n";
+}
+
+void fill_checkpoint(store::Checkpoint& ckpt, GridSystem& grid, double sim_time) {
+  ckpt.sim_time = sim_time;
+  ckpt.executed = grid.executed_counts();
+  ckpt.state_image = encode_central_state(grid.central());
+}
+
+std::string verify_checkpoint(const store::Checkpoint& ckpt, GridSystem& grid) {
+  const std::vector<std::uint64_t> executed = grid.executed_counts();
+  if (executed.size() != ckpt.executed.size()) {
+    return "shard count mismatch: checkpoint has " +
+           std::to_string(ckpt.executed.size()) + " shards, this run has " +
+           std::to_string(executed.size());
+  }
+  for (std::size_t s = 0; s < executed.size(); ++s) {
+    if (executed[s] != ckpt.executed[s]) {
+      return "shard " + std::to_string(s) + " executed " +
+             std::to_string(executed[s]) + " events by t=" +
+             std::to_string(ckpt.sim_time) + ", checkpoint recorded " +
+             std::to_string(ckpt.executed[s]);
+    }
+  }
+  if (encode_central_state(grid.central()) != ckpt.state_image) {
+    return "central server state at t=" + std::to_string(ckpt.sim_time) +
+           " differs from the checkpointed image";
+  }
+  return {};
 }
 
 void print_report(std::ostream& os, const GridReport& report) {

@@ -59,6 +59,16 @@
 //
 //   [shards]                 # optional: conservative parallel simulation
 //   count = 4                # per-shard engines on worker threads (§11)
+//
+//   [market]                 # optional: price-history retention (§5.2.1)
+//   history_capacity = 4096  # settled contracts the bounded deque keeps
+//   history_window = 86400   # how far back queries look, seconds
+//
+//   [store]                  # optional: durable accounting state (§14)
+//   dir = runs/store         # WAL + snapshot directory; required key
+//   sync = batch             # none | batch | always
+//   sync_every = 64          # group-commit batch size (batch only)
+//   snapshot_every = 0       # settled contracts per WAL roll-up; 0 = end only
 #pragma once
 
 #include <iosfwd>
@@ -68,6 +78,7 @@
 #include "src/core/grid_system.hpp"
 #include "src/job/source.hpp"
 #include "src/job/swf.hpp"
+#include "src/store/checkpoint.hpp"
 #include "src/util/config.hpp"
 
 namespace faucets::core {
@@ -125,5 +136,15 @@ void print_report(std::ostream& os, const GridReport& report);
 /// identical runs — the sharded determinism tests and bench_shard compare
 /// this output across shard counts.
 void write_report_json(std::ostream& os, const GridReport& report);
+
+/// Checkpoint glue (DESIGN.md §14). fill_checkpoint captures a *paused*
+/// grid's progress fingerprint (per-shard executed counts, encoded Central
+/// Server state) into `ckpt`; the caller owns scenario_text / overrides /
+/// shards. verify_checkpoint re-checks a paused grid against a checkpoint at
+/// its sim_time — empty string on a byte-for-byte match, otherwise a
+/// description of the first mismatch.
+void fill_checkpoint(store::Checkpoint& ckpt, GridSystem& grid, double sim_time);
+[[nodiscard]] std::string verify_checkpoint(const store::Checkpoint& ckpt,
+                                            GridSystem& grid);
 
 }  // namespace faucets::core

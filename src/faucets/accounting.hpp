@@ -18,6 +18,12 @@
 
 #include "src/util/ids.hpp"
 
+namespace faucets::store {
+class StateStore;
+class Encoder;
+class Decoder;
+}  // namespace faucets::store
+
 namespace faucets {
 
 enum class BillingMode {
@@ -66,11 +72,24 @@ class BarterLedger {
   [[nodiscard]] const std::vector<Transfer>& log() const noexcept { return log_; }
   void set_clock(const double* clock) noexcept { clock_ = clock; }
 
+  /// Journal every mutation through `store` (DESIGN.md §14). The debt limit
+  /// is config-owned and not journaled: recovery re-applies it from config.
+  void set_store(store::StateStore* store) noexcept { store_ = store; }
+
+  /// Deterministic full-state encoding (balances sorted by cluster id, then
+  /// the transfer log). Used for snapshots and checkpoint images.
+  void save(store::Encoder& out) const;
+  void load(store::Decoder& in);
+  /// Replay one journaled 0x01xx operation; false when `type` isn't ours.
+  /// Mutates state directly — never re-journals.
+  bool apply_op(std::uint16_t type, store::Decoder& in);
+
  private:
   std::unordered_map<ClusterId, double> balances_;
   std::vector<Transfer> log_;
   double debt_limit_ = 0.0;
   const double* clock_ = nullptr;  // optional sim-time source for the log
+  store::StateStore* store_ = nullptr;
 };
 
 /// Per-user dollar/SU accounts used in the pay-per-use modes.
@@ -87,9 +106,16 @@ class UserAccounts {
 
   [[nodiscard]] double total_charged() const noexcept { return total_charged_; }
 
+  /// Store wiring, mirroring BarterLedger's (ops 0x02xx).
+  void set_store(store::StateStore* store) noexcept { store_ = store; }
+  void save(store::Encoder& out) const;
+  void load(store::Decoder& in);
+  bool apply_op(std::uint16_t type, store::Decoder& in);
+
  private:
   std::unordered_map<UserId, double> funds_;
   double total_charged_ = 0.0;
+  store::StateStore* store_ = nullptr;
 };
 
 }  // namespace faucets

@@ -1,5 +1,12 @@
 #include "src/faucets/auth.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/store/codec.hpp"
+#include "src/store/ops.hpp"
+#include "src/store/store.hpp"
+
 namespace faucets {
 
 std::uint64_t UserDatabase::digest(std::uint64_t salt, std::string_view password) noexcept {
@@ -24,6 +31,14 @@ std::optional<UserId> UserDatabase::add_user(const std::string& username,
   account.salt = rng_.next();
   account.password_digest = digest(account.salt, password);
   users_.emplace(username, account);
+  if (store_ != nullptr) {
+    store::Encoder e;
+    e.put_string(username);
+    e.put_u64(account.id.value());
+    e.put_u64(account.salt);
+    e.put_u64(account.password_digest);
+    store_->append(store::op::kUserAdd, e.bytes());
+  }
   return account.id;
 }
 
@@ -44,7 +59,72 @@ bool UserDatabase::change_password(const std::string& username,
   auto& account = users_.at(username);
   account.salt = rng_.next();
   account.password_digest = digest(account.salt, new_password);
+  if (store_ != nullptr) {
+    store::Encoder e;
+    e.put_string(username);
+    e.put_u64(account.salt);
+    e.put_u64(account.password_digest);
+    store_->append(store::op::kUserPassword, e.bytes());
+  }
   return true;
+}
+
+void UserDatabase::save(store::Encoder& out) const {
+  std::vector<std::pair<std::string, Account>> sorted(users_.begin(),
+                                                      users_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.put_u32(static_cast<std::uint32_t>(sorted.size()));
+  for (const auto& [name, account] : sorted) {
+    out.put_string(name);
+    out.put_u64(account.id.value());
+    out.put_u64(account.salt);
+    out.put_u64(account.password_digest);
+  }
+  out.put_u64(ids_.peek());
+}
+
+void UserDatabase::load(store::Decoder& in) {
+  users_.clear();
+  const std::uint32_t n = in.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = in.get_string();
+    Account account;
+    account.id = UserId{in.get_u64()};
+    account.salt = in.get_u64();
+    account.password_digest = in.get_u64();
+    users_.emplace(name, account);
+  }
+  ids_.reset(in.get_u64());
+}
+
+bool UserDatabase::apply_op(std::uint16_t type, store::Decoder& in) {
+  switch (type) {
+    case store::op::kUserAdd: {
+      const std::string name = in.get_string();
+      Account account;
+      account.id = UserId{in.get_u64()};
+      account.salt = in.get_u64();
+      account.password_digest = in.get_u64();
+      users_.emplace(name, account);
+      // Keep the generator ahead of every replayed id.
+      if (account.id.value() + 1 > ids_.peek()) ids_.reset(account.id.value() + 1);
+      return true;
+    }
+    case store::op::kUserPassword: {
+      const std::string name = in.get_string();
+      auto it = users_.find(name);
+      const std::uint64_t salt = in.get_u64();
+      const std::uint64_t dig = in.get_u64();
+      if (it != users_.end()) {
+        it->second.salt = salt;
+        it->second.password_digest = dig;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 std::optional<UserId> UserDatabase::find(const std::string& username) const {

@@ -16,6 +16,12 @@
 #include "src/util/ids.hpp"
 #include "src/util/rng.hpp"
 
+namespace faucets::store {
+class StateStore;
+class Encoder;
+class Decoder;
+}  // namespace faucets::store
+
 namespace faucets {
 
 class UserDatabase {
@@ -40,6 +46,14 @@ class UserDatabase {
   /// Salted FNV-1a digest, exposed for tests.
   [[nodiscard]] static std::uint64_t digest(std::uint64_t salt, std::string_view password) noexcept;
 
+  /// Store wiring (ops 0x03xx, DESIGN.md §14). Salts and digests are
+  /// journaled, so recovery never touches rng_ — a recovered database
+  /// verifies the same passwords without replaying random draws.
+  void set_store(store::StateStore* store) noexcept { store_ = store; }
+  void save(store::Encoder& out) const;
+  void load(store::Decoder& in);
+  bool apply_op(std::uint16_t type, store::Decoder& in);
+
  private:
   struct Account {
     UserId id;
@@ -50,6 +64,7 @@ class UserDatabase {
   std::unordered_map<std::string, Account> users_;
   IdGenerator<UserId> ids_;
   Rng rng_;
+  store::StateStore* store_ = nullptr;
 };
 
 /// Short-lived session tokens the client embeds in each message after

@@ -8,7 +8,10 @@
 namespace faucets {
 
 CentralServer::CentralServer(sim::SimContext& ctx, CentralServerConfig config)
-    : sim::Entity("faucets-server", ctx), network_(&ctx.network()), config_(config) {
+    : sim::Entity("faucets-server", ctx),
+      network_(&ctx.network()),
+      config_(config),
+      price_history_(config.history_capacity, config.history_window) {
   network_->attach(*this);
   auto& metrics = ctx.metrics();
   auth_ok_ctr_ = &metrics.counter("faucets_auth_ok_total",
@@ -263,6 +266,11 @@ void CentralServer::handle_settled(const proto::ContractSettled& msg) {
       if (home) ledger_.transfer(*home, msg.record.cluster, msg.record.price);
       break;
     }
+  }
+  if (store_ != nullptr && snapshot_every_ > 0 &&
+      ++settled_since_snapshot_ >= snapshot_every_) {
+    settled_since_snapshot_ = 0;
+    snapshot_to_store();
   }
 }
 

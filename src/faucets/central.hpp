@@ -38,6 +38,11 @@ struct CentralServerConfig {
   /// Disengaged (or <= 1) = no regulation. (The `price_band = 0` sentinel
   /// is gone from the public surface; see DESIGN.md §8.)
   std::optional<double> price_band;
+  /// Price-history retention: how many settled contracts the bounded deque
+  /// keeps, and how far back (seconds) queries look. Scenario `[market]`
+  /// section; see PriceHistory.
+  std::size_t history_capacity = 4096;
+  double history_window = 24.0 * 3600.0;
 };
 
 class CentralServer final : public sim::Entity {
@@ -81,6 +86,8 @@ class CentralServer final : public sim::Entity {
   [[nodiscard]] BarterLedger& barter_ledger() noexcept { return ledger_; }
   [[nodiscard]] const BarterLedger& barter_ledger() const noexcept { return ledger_; }
   [[nodiscard]] UserAccounts& user_accounts() noexcept { return accounts_; }
+  [[nodiscard]] const UserAccounts& user_accounts() const noexcept { return accounts_; }
+  [[nodiscard]] const UserDatabase& user_db() const noexcept { return users_; }
   [[nodiscard]] const CentralServerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::optional<ClusterId> home_cluster_of(UserId user) const;
 
@@ -88,6 +95,15 @@ class CentralServer final : public sim::Entity {
   /// entries could serve `contract` for `user`?
   [[nodiscard]] std::vector<proto::ServerInfo> filter_servers(
       const qos::QosContract& contract, UserId user) const;
+
+  /// Durable persistence (DESIGN.md §14): journal every ledger / account /
+  /// user / price mutation through `store`. `snapshot_every > 0` rolls the
+  /// WAL into a fresh snapshot after that many settled contracts. The caller
+  /// must take the initial snapshot (usually of the empty image) *before*
+  /// any journaled mutation. Implemented in central_store.cpp.
+  void attach_store(store::StateStore* store, std::uint64_t snapshot_every = 0);
+  /// Write the current durable state as a snapshot and rotate the WAL.
+  void snapshot_to_store();
 
   void on_message(const sim::Message& msg) override;
 
@@ -138,6 +154,9 @@ class CentralServer final : public sim::Entity {
   UserAccounts accounts_;
   sim::EventHandle poll_timer_;
   double now_cache_ = 0.0;  // clock source for the ledger log
+  store::StateStore* store_ = nullptr;
+  std::uint64_t snapshot_every_ = 0;  // settled contracts per snapshot; 0 = never
+  std::uint64_t settled_since_snapshot_ = 0;
   std::vector<EntityId> peers_;
   IdGenerator<RequestId> federated_ids_;
   std::unordered_map<RequestId, FederatedQuery> federated_;

@@ -1,0 +1,101 @@
+#include "src/faucets/central_store.hpp"
+
+#include "src/faucets/central.hpp"
+#include "src/store/codec.hpp"
+#include "src/store/store.hpp"
+
+namespace faucets {
+
+namespace {
+
+std::string encode_components(const UserDatabase& users,
+                              const UserAccounts& accounts,
+                              const BarterLedger& ledger,
+                              const market::PriceHistory& prices) {
+  // Each section is length-prefixed so components can evolve their own
+  // encodings without shifting their neighbours' framing.
+  store::Encoder out;
+  const auto section = [&out](const auto& component) {
+    store::Encoder e;
+    component.save(e);
+    out.put_string(e.bytes());
+  };
+  section(users);
+  section(accounts);
+  section(ledger);
+  section(prices);
+  return out.take();
+}
+
+}  // namespace
+
+std::string encode_central_state(const CentralServer& server) {
+  return encode_components(server.user_db(), server.user_accounts(),
+                           server.barter_ledger(), server.price_history());
+}
+
+std::string encode_central_state(const CentralState& state) {
+  return encode_components(state.users, state.accounts, state.ledger,
+                           state.prices);
+}
+
+CentralState decode_central_state(const std::string& image) {
+  CentralState state;
+  if (image.empty()) return state;  // the pre-first-mutation empty image
+  store::Decoder in{image};
+  const auto section = [&in](auto& component) {
+    const std::string bytes = in.get_string();
+    store::Decoder d{bytes};
+    component.load(d);
+  };
+  section(state.users);
+  section(state.accounts);
+  section(state.ledger);
+  section(state.prices);
+  return state;
+}
+
+bool apply_central_op(CentralState& state, std::uint16_t type,
+                      store::Decoder& payload) {
+  switch (type >> 8) {
+    case 0x01:
+      return state.ledger.apply_op(type, payload);
+    case 0x02:
+      return state.accounts.apply_op(type, payload);
+    case 0x03:
+      return state.users.apply_op(type, payload);
+    case 0x04:
+      return state.prices.apply_op(type, payload);
+    default:
+      return false;
+  }
+}
+
+CentralState recover_central_state(const store::StateStore& store, bool* torn) {
+  const store::StateStore::Recovered recovered = store.recover();
+  CentralState state = decode_central_state(recovered.snapshot);
+  for (const store::WalRecord& op : recovered.ops) {
+    store::Decoder payload{op.payload};
+    apply_central_op(state, op.type, payload);
+  }
+  if (torn != nullptr) *torn = recovered.torn;
+  return state;
+}
+
+void CentralServer::attach_store(store::StateStore* store,
+                                 std::uint64_t snapshot_every) {
+  store_ = store;
+  snapshot_every_ = snapshot_every;
+  settled_since_snapshot_ = 0;
+  users_.set_store(store);
+  accounts_.set_store(store);
+  ledger_.set_store(store);
+  price_history_.set_store(store);
+}
+
+void CentralServer::snapshot_to_store() {
+  if (store_ == nullptr) return;
+  store_->snapshot(encode_central_state(*this));
+}
+
+}  // namespace faucets

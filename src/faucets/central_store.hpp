@@ -1,0 +1,54 @@
+// Glue between the Central Server's durable components and the generic
+// state store (DESIGN.md §14). The store layer frames bytes; this file
+// knows that a Central Server's durable state is exactly four components —
+// the user database, the per-user accounts, the barter ledger, and the
+// price history — and how to encode, recover, and replay them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/faucets/accounting.hpp"
+#include "src/faucets/auth.hpp"
+#include "src/market/price_history.hpp"
+
+namespace faucets::store {
+class StateStore;
+class Decoder;
+}  // namespace faucets::store
+
+namespace faucets {
+
+class CentralServer;
+
+/// A detached copy of the Central Server's durable state — what recovery
+/// reconstructs after a crash, without needing a live simulation.
+struct CentralState {
+  UserDatabase users;
+  UserAccounts accounts;
+  BarterLedger ledger;
+  market::PriceHistory prices;
+};
+
+/// Deterministic full encoding of the durable state (the snapshot /
+/// checkpoint image format): four length-prefixed component sections in a
+/// fixed order.
+[[nodiscard]] std::string encode_central_state(const CentralServer& server);
+[[nodiscard]] std::string encode_central_state(const CentralState& state);
+
+/// Parse an image produced by encode_central_state. Throws store::CodecError
+/// on a malformed image. An empty image decodes to the empty state.
+[[nodiscard]] CentralState decode_central_state(const std::string& image);
+
+/// Replay one journaled operation into `state`, dispatching on the op's
+/// component (high byte). Returns false for unknown ops (forward
+/// compatibility: recovery skips what it does not understand).
+bool apply_central_op(CentralState& state, std::uint16_t type,
+                      store::Decoder& payload);
+
+/// Crash recovery: latest valid snapshot + intact WAL replayed over it.
+/// `torn` (optional) reports whether a torn WAL tail was discarded.
+[[nodiscard]] CentralState recover_central_state(const store::StateStore& store,
+                                                 bool* torn = nullptr);
+
+}  // namespace faucets

@@ -2,13 +2,73 @@
 
 #include <algorithm>
 
+#include "src/store/codec.hpp"
+#include "src/store/ops.hpp"
+#include "src/store/store.hpp"
+
 namespace faucets::market {
+
+namespace {
+
+void put_record(store::Encoder& e, const ContractRecord& r) {
+  e.put_f64(r.time);
+  e.put_u64(r.cluster.value());
+  e.put_u32(static_cast<std::uint32_t>(r.procs));
+  e.put_f64(r.work);
+  e.put_f64(r.price);
+}
+
+ContractRecord get_record(store::Decoder& d) {
+  ContractRecord r;
+  r.time = d.get_f64();
+  r.cluster = ClusterId{d.get_u64()};
+  r.procs = static_cast<int>(d.get_u32());
+  r.work = d.get_f64();
+  r.price = d.get_f64();
+  return r;
+}
+
+}  // namespace
 
 void PriceHistory::record(ContractRecord record) {
   if (journal_enabled_) journal_.push_back(record);
+  if (store_ != nullptr) {
+    store::Encoder e;
+    put_record(e, record);
+    store_->append(store::op::kPriceRecord, e.bytes());
+  }
   records_.push_back(record);
   while (records_.size() > capacity_) records_.pop_front();
   evict(record.time);
+}
+
+void PriceHistory::compact_journal(std::size_t upto) {
+  if (upto <= journal_base_) return;
+  const std::size_t drop = std::min(upto - journal_base_, journal_.size());
+  journal_.erase(journal_.begin(),
+                 journal_.begin() + static_cast<std::ptrdiff_t>(drop));
+  journal_base_ += drop;
+}
+
+void PriceHistory::save(store::Encoder& out) const {
+  out.put_u32(static_cast<std::uint32_t>(records_.size()));
+  for (const ContractRecord& r : records_) put_record(out, r);
+}
+
+void PriceHistory::load(store::Decoder& in) {
+  records_.clear();
+  const std::uint32_t n = in.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) records_.push_back(get_record(in));
+}
+
+bool PriceHistory::apply_op(std::uint16_t type, store::Decoder& in) {
+  if (type != store::op::kPriceRecord) return false;
+  const ContractRecord r = get_record(in);
+  if (journal_enabled_) journal_.push_back(r);
+  records_.push_back(r);
+  while (records_.size() > capacity_) records_.pop_front();
+  evict(r.time);
+  return true;
 }
 
 void PriceHistory::evict(double now) {

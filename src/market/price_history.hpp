@@ -11,6 +11,12 @@
 #include "src/util/ids.hpp"
 #include "src/util/stats.hpp"
 
+namespace faucets::store {
+class StateStore;
+class Encoder;
+class Decoder;
+}  // namespace faucets::store
+
 namespace faucets::market {
 
 /// One settled contract: what was paid per unit of work.
@@ -79,6 +85,27 @@ class PriceHistory {
     return journal_;
   }
 
+  /// Journal entries are addressed by *global* index: compaction drops an
+  /// applied prefix but keeps the indexing stable, so replica cursors keep
+  /// working across compactions.
+  [[nodiscard]] std::size_t journal_size() const noexcept {
+    return journal_base_ + journal_.size();
+  }
+  [[nodiscard]] const ContractRecord& journal_at(std::size_t global_i) const {
+    return journal_.at(global_i - journal_base_);
+  }
+  /// Drop journal entries below global index `upto` (no-op if already past).
+  void compact_journal(std::size_t upto);
+  [[nodiscard]] std::size_t journal_base() const noexcept { return journal_base_; }
+
+  /// Store wiring (op 0x0401, DESIGN.md §14).
+  void set_store(store::StateStore* store) noexcept { store_ = store; }
+  /// Encodes the bounded deque only — the replica journal is shard-local
+  /// runtime scaffolding, rebuilt naturally after a restore.
+  void save(store::Encoder& out) const;
+  void load(store::Decoder& in);
+  bool apply_op(std::uint16_t type, store::Decoder& in);
+
  private:
   void evict(double now);
 
@@ -87,6 +114,8 @@ class PriceHistory {
   std::deque<ContractRecord> records_;  // time-ordered
   bool journal_enabled_ = false;
   std::vector<ContractRecord> journal_;
+  std::size_t journal_base_ = 0;  // global index of journal_[0]
+  store::StateStore* store_ = nullptr;
 };
 
 }  // namespace faucets::market

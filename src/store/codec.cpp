@@ -1,0 +1,69 @@
+#include "src/store/codec.hpp"
+
+#include <array>
+#include <bit>
+
+namespace faucets::store {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Encoder::put_f64(double v) { put_fixed(std::bit_cast<std::uint64_t>(v), 8); }
+
+void Encoder::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+std::uint64_t Decoder::get_fixed(int width) {
+  if (remaining() < static_cast<std::size_t>(width)) {
+    throw CodecError("decode underflow: need " + std::to_string(width) +
+                     " bytes, have " + std::to_string(remaining()));
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(width);
+  return v;
+}
+
+double Decoder::get_f64() { return std::bit_cast<double>(get_fixed(8)); }
+
+std::string Decoder::get_string() {
+  const std::uint32_t n = get_u32();
+  if (remaining() < n) {
+    throw CodecError("decode underflow: string of " + std::to_string(n) +
+                     " bytes, have " + std::to_string(remaining()));
+  }
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace faucets::store

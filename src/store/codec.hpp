@@ -1,0 +1,75 @@
+// Binary encoding for the durable state store (DESIGN.md §14).
+//
+// Little-endian, length-prefixed, schema-free: every record and snapshot in
+// the store is a flat byte string produced by an Encoder and consumed by a
+// Decoder. The format is deliberately dumb — fixed-width integers, IEEE
+// doubles by bit pattern, u32-length-prefixed strings — so that a byte
+// string compares equal iff the encoded state is identical, which is what
+// checkpoint verification relies on. CRC32 (the zlib polynomial) frames
+// records on disk.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace faucets::store {
+
+/// CRC-32 (reflected polynomial 0xEDB88320, as in zlib/PNG) over `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Thrown by Decoder on truncated or malformed input. Recovery paths catch
+/// it to mean "this record is torn — stop replaying here".
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte-string builder. All integers little-endian.
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u16(std::uint16_t v) { put_fixed(v, 2); }
+  void put_u32(std::uint32_t v) { put_fixed(v, 4); }
+  void put_u64(std::uint64_t v) { put_fixed(v, 8); }
+  void put_f64(double v);
+  /// u32 length prefix + raw bytes.
+  void put_string(std::string_view s);
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void put_fixed(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::string buf_;
+};
+
+/// Sequential reader over one encoded byte string. Throws CodecError on
+/// underflow; remaining() == 0 after a complete decode.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8() { return static_cast<std::uint8_t>(get_fixed(1)); }
+  [[nodiscard]] std::uint16_t get_u16() { return static_cast<std::uint16_t>(get_fixed(2)); }
+  [[nodiscard]] std::uint32_t get_u32() { return static_cast<std::uint32_t>(get_fixed(4)); }
+  [[nodiscard]] std::uint64_t get_u64() { return get_fixed(8); }
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string get_string();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] std::uint64_t get_fixed(int width);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace faucets::store

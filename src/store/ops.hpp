@@ -1,0 +1,28 @@
+// Operation type registry for the state store's WAL (DESIGN.md §14).
+//
+// One flat u16 namespace shared by every journaled component, grouped by
+// high byte so recovery can dispatch on component. Values are part of the
+// on-disk format: never renumber, only append.
+#pragma once
+
+#include <cstdint>
+
+namespace faucets::store::op {
+
+// 0x01xx — BarterLedger
+inline constexpr std::uint16_t kLedgerOpen = 0x0101;      // cluster, credits
+inline constexpr std::uint16_t kLedgerTransfer = 0x0102;  // time, home, executor, credits
+
+// 0x02xx — UserAccounts
+inline constexpr std::uint16_t kAccountOpen = 0x0201;     // user, funds
+inline constexpr std::uint16_t kAccountCharge = 0x0202;   // user, amount
+inline constexpr std::uint16_t kAccountDeposit = 0x0203;  // user, amount
+
+// 0x03xx — UserDatabase
+inline constexpr std::uint16_t kUserAdd = 0x0301;       // name, id, salt, digest
+inline constexpr std::uint16_t kUserPassword = 0x0302;  // name, salt, digest
+
+// 0x04xx — market::PriceHistory
+inline constexpr std::uint16_t kPriceRecord = 0x0401;  // time, cluster, procs, work, price
+
+}  // namespace faucets::store::op

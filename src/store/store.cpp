@@ -1,0 +1,194 @@
+#include "src/store/store.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/store/codec.hpp"
+
+namespace faucets::store {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'F', 'A', 'U', 'C', 'S', 'N', 'P', '\x01'};
+
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+// --- MemStore ---------------------------------------------------------------
+
+void MemStore::append(std::uint16_t type, std::string_view payload) {
+  ops_.push_back(WalRecord{type, std::string(payload)});
+}
+
+void MemStore::snapshot(std::string_view image) {
+  image_.assign(image);
+  ops_.clear();
+  ++generation_;
+}
+
+StateStore::Recovered MemStore::recover() const {
+  Recovered out;
+  out.snapshot = image_;
+  out.ops = ops_;
+  out.generation = generation_;
+  return out;
+}
+
+// --- DurableStore -----------------------------------------------------------
+
+bool read_snapshot_file(const std::string& path, std::string& image) {
+  image.clear();
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string data = raw.str();
+  // magic + u32 length + u32 crc + image bytes
+  if (data.size() < sizeof kSnapMagic + 8) return false;
+  if (std::memcmp(data.data(), kSnapMagic, sizeof kSnapMagic) != 0) return false;
+  Decoder header{std::string_view(data).substr(sizeof kSnapMagic, 8)};
+  const std::uint32_t length = header.get_u32();
+  const std::uint32_t crc = header.get_u32();
+  const std::string_view body =
+      std::string_view(data).substr(sizeof kSnapMagic + 8);
+  if (body.size() != length) return false;
+  if (crc32(body) != crc) return false;
+  image.assign(body);
+  return true;
+}
+
+DurableStore::DurableStore(std::string dir, DurableOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("store: cannot create directory " + dir_ + ": " +
+                             std::strerror(errno));
+  }
+  generation_ = scan_latest_generation();
+}
+
+DurableStore::~DurableStore() = default;
+
+std::string DurableStore::snapshot_path(std::uint64_t gen) const {
+  return dir_ + "/snapshot-" + std::to_string(gen);
+}
+
+std::string DurableStore::wal_path(std::uint64_t gen) const {
+  return dir_ + "/wal-" + std::to_string(gen);
+}
+
+std::uint64_t DurableStore::scan_latest_generation() const {
+  // snapshot() retires the predecessor pair, so the generations on disk are
+  // sparse — usually a single survivor, plus leftovers from a crash
+  // mid-publish. List the directory for snapshot-<g> names; validation
+  // happens at recover() time.
+  std::uint64_t latest = 0;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return 0;
+  while (const dirent* e = ::readdir(d)) {
+    const char* name = e->d_name;
+    if (std::strncmp(name, "snapshot-", 9) != 0) continue;
+    char* end = nullptr;
+    const unsigned long long g = std::strtoull(name + 9, &end, 10);
+    if (end == name + 9 || *end != '\0') continue;  // skips snapshot-N.tmp
+    if (g > latest) latest = g;
+  }
+  ::closedir(d);
+  return latest;
+}
+
+void DurableStore::append(std::uint16_t type, std::string_view payload) {
+  if (!wal_.is_open()) {
+    throw std::runtime_error(
+        "store: append before snapshot() — a session must open its "
+        "generation with snapshot() first");
+  }
+  wal_.append(type, payload);
+  ++appends_;
+}
+
+void DurableStore::flush() {
+  if (wal_.is_open()) wal_.flush();
+}
+
+void DurableStore::snapshot(std::string_view image) {
+  const std::uint64_t next = generation_ + 1;
+  const std::string path = snapshot_path(next);
+  const std::string tmp = path + ".tmp";
+  {
+    Encoder header;
+    header.put_u32(static_cast<std::uint32_t>(image.size()));
+    header.put_u32(crc32(image));
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("store: cannot write " + tmp + ": " +
+                               std::strerror(errno));
+    }
+    std::string blob{kSnapMagic, sizeof kSnapMagic};
+    blob += header.bytes();
+    blob.append(image.data(), image.size());
+    const char* p = blob.data();
+    std::size_t left = blob.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw std::runtime_error("store: write failed on " + tmp + ": " +
+                                 std::strerror(errno));
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("store: cannot publish snapshot " + path + ": " +
+                             std::strerror(errno));
+  }
+  fsync_path(dir_, /*directory=*/true);
+
+  // The snapshot is durable: open the new generation's log, then retire the
+  // old pair. A crash between these steps leaves extra files recover()
+  // simply ignores.
+  wal_.open(wal_path(next), options_.sync, options_.sync_every);
+  if (generation_ > 0) {
+    (void)std::remove(snapshot_path(generation_).c_str());
+    (void)std::remove(wal_path(generation_).c_str());
+  }
+  generation_ = next;
+  appends_ = 0;
+}
+
+StateStore::Recovered DurableStore::recover() const {
+  Recovered out;
+  // Highest generation whose snapshot validates wins; a corrupt top
+  // generation (crash mid-publish) falls back to its predecessor.
+  for (std::uint64_t g = scan_latest_generation(); g >= 1; --g) {
+    if (!read_snapshot_file(snapshot_path(g), out.snapshot)) continue;
+    out.generation = g;
+    WalReadResult wal = read_wal(wal_path(g));
+    out.ops = std::move(wal.records);
+    out.torn = wal.torn;
+    return out;
+  }
+  return out;  // empty state: fresh directory
+}
+
+}  // namespace faucets::store

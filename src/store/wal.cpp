@@ -1,0 +1,171 @@
+#include "src/store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/store/codec.hpp"
+
+namespace faucets::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'A', 'U', 'C', 'W', 'A', 'L', '\x01'};
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+
+std::uint32_t read_le32(const char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view wal_magic() noexcept { return {kMagic, sizeof kMagic}; }
+
+std::string frame_record(std::uint16_t type, std::string_view payload) {
+  Encoder body;
+  body.put_u16(type);
+  std::string framed_body = body.take();
+  framed_body.append(payload.data(), payload.size());
+
+  Encoder frame;
+  frame.put_u32(static_cast<std::uint32_t>(framed_body.size()));
+  frame.put_u32(crc32(framed_body));
+  std::string out = frame.take();
+  out += framed_body;
+  return out;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::open(const std::string& path, SyncPolicy policy,
+                     std::size_t sync_every) {
+  close();
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("wal: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  policy_ = policy;
+  sync_every_ = sync_every == 0 ? 1 : sync_every;
+  unsynced_ = 0;
+  records_ = 0;
+  bytes_ = 0;
+  syncs_ = 0;
+  buffer_.assign(kMagic, sizeof kMagic);
+  write_out(policy_ == SyncPolicy::kAlways);
+}
+
+void WalWriter::close() {
+  if (fd_ < 0) return;
+  flush();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void WalWriter::append(std::uint16_t type, std::string_view payload) {
+  if (fd_ < 0) throw std::runtime_error("wal: append on closed writer");
+  const std::string frame = frame_record(type, payload);
+  buffer_ += frame;
+  bytes_ += frame.size();
+  ++records_;
+  ++unsynced_;
+  switch (policy_) {
+    case SyncPolicy::kNone:
+      // Bound memory without durability promises: push large buffers out.
+      if (buffer_.size() >= 1 << 16) write_out(false);
+      break;
+    case SyncPolicy::kBatch:
+      if (unsynced_ >= sync_every_) write_out(true);
+      break;
+    case SyncPolicy::kAlways:
+      write_out(true);
+      break;
+  }
+}
+
+void WalWriter::flush() {
+  if (fd_ < 0) return;
+  write_out(policy_ != SyncPolicy::kNone);
+}
+
+void WalWriter::write_out(bool sync) {
+  if (!buffer_.empty()) {
+    const char* p = buffer_.data();
+    std::size_t left = buffer_.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("wal: write failed: ") +
+                                 std::strerror(errno));
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    buffer_.clear();
+  }
+  if (sync && unsynced_ > 0) {
+    ::fsync(fd_);
+    ++syncs_;
+    unsynced_ = 0;
+  }
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult out;
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    out.error = "missing";
+    return out;
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string data = raw.str();
+
+  if (data.size() < sizeof kMagic ||
+      std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) {
+    out.error = "bad magic";
+    out.torn = !data.empty();
+    return out;
+  }
+
+  std::size_t pos = sizeof kMagic;
+  out.valid_bytes = pos;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeader) {
+      out.torn = true;  // partial frame header
+      break;
+    }
+    const std::uint32_t length = read_le32(data.data() + pos);
+    const std::uint32_t crc = read_le32(data.data() + pos + 4);
+    if (length < 2 || data.size() - pos - kFrameHeader < length) {
+      out.torn = true;  // impossible length or body runs past EOF
+      break;
+    }
+    const std::string_view body{data.data() + pos + kFrameHeader, length};
+    if (crc32(body) != crc) {
+      out.torn = true;  // corrupt body (or a torn tail overwritten later)
+      break;
+    }
+    WalRecord rec;
+    rec.type = static_cast<std::uint16_t>(
+        static_cast<unsigned char>(body[0]) |
+        (static_cast<unsigned char>(body[1]) << 8));
+    rec.payload.assign(body.substr(2));
+    out.records.push_back(std::move(rec));
+    pos += kFrameHeader + length;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace faucets::store

@@ -1,0 +1,98 @@
+// Append-only write-ahead log (DESIGN.md §14).
+//
+// File layout: an 8-byte magic header ("FAUCWAL" + format version) followed
+// by CRC-framed records:
+//
+//   [u32 length][u32 crc][u16 type][payload: length-2 bytes]
+//
+// `length` counts the type tag plus the payload; `crc` is CRC-32 over those
+// same bytes. The reader walks frames until the first torn or corrupt one
+// and discards everything from there on — a record either replays in full
+// or not at all, which is the atomicity unit the ledger relies on.
+//
+// Durability is batched: the writer buffers appends in memory and issues
+// one write(2) + optional fsync(2) per `sync_every` records (group commit).
+// A crash loses at most the unsynced tail, never the middle of the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faucets::store {
+
+/// One logical record recovered from (or destined for) the log.
+struct WalRecord {
+  std::uint16_t type = 0;
+  std::string payload;
+};
+
+enum class SyncPolicy {
+  kNone,   // buffered writes, no fsync (tests, benchmarks)
+  kBatch,  // fsync every `sync_every` appends — the default group commit
+  kAlways, // fsync every append
+};
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Create (or truncate) `path` and write the magic header. Throws
+  /// std::runtime_error on I/O failure.
+  void open(const std::string& path, SyncPolicy policy = SyncPolicy::kBatch,
+            std::size_t sync_every = 64);
+  void close();
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Frame and append one record. Buffered; becomes durable at the next
+  /// group-commit boundary (or flush()/close()).
+  void append(std::uint16_t type, std::string_view payload);
+
+  /// Push the buffer to the OS and, unless SyncPolicy::kNone, fsync.
+  void flush();
+
+  [[nodiscard]] std::uint64_t records_appended() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t bytes_framed() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t syncs() const noexcept { return syncs_; }
+
+ private:
+  void write_out(bool sync);
+
+  int fd_ = -1;
+  SyncPolicy policy_ = SyncPolicy::kBatch;
+  std::size_t sync_every_ = 64;
+  std::size_t unsynced_ = 0;
+  std::string buffer_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+/// Everything read_wal() could salvage from a log file.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// True when the file ended mid-frame or with a CRC mismatch: the torn
+  /// tail was discarded and `valid_bytes` marks the last good frame end.
+  bool torn = false;
+  std::uint64_t valid_bytes = 0;
+  /// Empty when the file existed with a valid header; otherwise why nothing
+  /// could be read ("missing", "bad magic", ...).
+  std::string error;
+};
+
+/// Scan `path`, returning every intact record in order. Never throws on
+/// torn or corrupt input — salvage what validates, report the rest.
+[[nodiscard]] WalReadResult read_wal(const std::string& path);
+
+/// Frame one record exactly as WalWriter does (exposed for the torn-tail
+/// property test, which needs to know frame boundaries).
+[[nodiscard]] std::string frame_record(std::uint16_t type, std::string_view payload);
+
+/// The 8-byte file magic ("FAUCWAL" + version byte).
+[[nodiscard]] std::string_view wal_magic() noexcept;
+
+}  // namespace faucets::store

@@ -28,6 +28,15 @@ struct SweepOptions {
   /// unlike every other sweep column they are NOT byte-stable across
   /// machines or thread counts.
   bool profile = false;
+  /// Warm-state forking (DESIGN.md §14.3). When the spec sets
+  /// [sweep] warmup_until and the sweep is eligible (grid mode, no trace,
+  /// no profiling, no shards, no durable store), each warm group — the
+  /// cells that differ only in message loss — is simulated once up to the
+  /// warm-up instant, then fork(2)ed per cell, resuming each from the
+  /// shared warm image. Results are byte-identical to in-process runs
+  /// because the fault gate draws nothing before warmup_until. Off, or an
+  /// ineligible sweep, falls back to the in-process thread pool.
+  bool warm_fork = true;
 };
 
 class SweepRunner {
@@ -39,8 +48,12 @@ class SweepRunner {
 
   [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
 
+  /// True when run() would take the warm-fork path for these options.
+  [[nodiscard]] bool warm_fork_eligible(const SweepOptions& options) const;
+
  private:
   [[nodiscard]] RunResult execute(const RunPoint& point, bool profile) const;
+  [[nodiscard]] std::vector<RunResult> run_forked(const SweepOptions& options) const;
 
   SweepSpec spec_;
 };

@@ -47,6 +47,8 @@ class IdGenerator {
  public:
   [[nodiscard]] IdType next() noexcept { return IdType{next_++}; }
   void reset(typename IdType::underlying_type start = 0) noexcept { next_ = start; }
+  /// The value the next call to next() would return, for serialization.
+  [[nodiscard]] typename IdType::underlying_type peek() const noexcept { return next_; }
 
  private:
   typename IdType::underlying_type next_ = 0;

@@ -1,0 +1,82 @@
+// Binary codec (src/store/codec.hpp): round-trips are exact, the encoding
+// is little-endian and deterministic, CRC-32 matches the zlib polynomial's
+// known vectors, and every underflow throws CodecError instead of reading
+// garbage.
+#include "src/store/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace faucets::store {
+namespace {
+
+TEST(Codec, RoundTripsEveryWidth) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u16(0xbeef);
+  enc.put_u32(0xdeadbeefu);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_f64(-1234.5625);
+  enc.put_string("barter ledger");
+  enc.put_string("");  // empty strings are legal
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u16(), 0xbeef);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.get_f64(), -1234.5625);
+  EXPECT_EQ(dec.get_string(), "barter ledger");
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Encoder enc;
+  enc.put_u32(0x04030201u);
+  const std::string& b = enc.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x04);
+}
+
+TEST(Codec, DoublesRoundTripByBitPattern) {
+  for (const double v : {0.0, -0.0, 1.0 / 3.0, std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::denorm_min()}) {
+    Encoder enc;
+    enc.put_f64(v);
+    Decoder dec(enc.bytes());
+    const double back = dec.get_f64();
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(back, v);
+  }
+  Encoder enc;
+  enc.put_f64(std::numeric_limits<double>::quiet_NaN());
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(std::isnan(dec.get_f64()));
+}
+
+TEST(Codec, Crc32MatchesKnownVectors) {
+  // The zlib/PNG polynomial's canonical check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_NE(crc32("faucets"), crc32("faucet"));
+}
+
+TEST(Codec, UnderflowThrowsCodecError) {
+  Encoder enc;
+  enc.put_u16(7);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_u32(), CodecError);
+
+  Encoder truncated;
+  truncated.put_u32(100);  // claims a 100-byte string, provides none
+  Decoder dec2(truncated.bytes());
+  EXPECT_THROW((void)dec2.get_string(), CodecError);
+}
+
+}  // namespace
+}  // namespace faucets::store

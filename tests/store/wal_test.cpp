@@ -1,0 +1,137 @@
+// Write-ahead log (src/store/wal.hpp): appended records read back in order,
+// the file starts with the magic header, group commit batches fsyncs, and a
+// reader salvages every intact frame from damaged files.
+#include "src/store/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/store/codec.hpp"
+
+namespace faucets::store {
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(Wal, AppendedRecordsReadBackInOrder) {
+  const std::string path = temp_path("wal_roundtrip.wal");
+  {
+    WalWriter writer;
+    writer.open(path, SyncPolicy::kNone);
+    writer.append(0x0101, "alpha");
+    writer.append(0x0102, std::string("\x00\xff payload", 10));
+    writer.append(0x0401, "");
+    writer.close();
+  }
+  const auto result = read_wal(path);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_FALSE(result.torn);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].type, 0x0101);
+  EXPECT_EQ(result.records[0].payload, "alpha");
+  EXPECT_EQ(result.records[1].payload.size(), 10u);
+  EXPECT_EQ(result.records[2].type, 0x0401);
+  EXPECT_TRUE(result.records[2].payload.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Wal, FileStartsWithTheMagicHeader) {
+  const std::string path = temp_path("wal_magic.wal");
+  {
+    WalWriter writer;
+    writer.open(path, SyncPolicy::kNone);
+    writer.append(1, "x");
+    writer.close();
+  }
+  const std::string bytes = slurp(path);
+  ASSERT_GE(bytes.size(), wal_magic().size());
+  EXPECT_EQ(std::string_view(bytes).substr(0, wal_magic().size()), wal_magic());
+  std::remove(path.c_str());
+}
+
+TEST(Wal, GroupCommitBatchesSyncs) {
+  const std::string path = temp_path("wal_batch.wal");
+  WalWriter writer;
+  writer.open(path, SyncPolicy::kBatch, 8);
+  for (int i = 0; i < 24; ++i) writer.append(1, "record");
+  EXPECT_EQ(writer.records_appended(), 24u);
+  EXPECT_EQ(writer.syncs(), 3u) << "one fsync per 8-record batch";
+  writer.close();
+  std::remove(path.c_str());
+}
+
+TEST(Wal, AlwaysPolicySyncsEveryRecord) {
+  const std::string path = temp_path("wal_always.wal");
+  WalWriter writer;
+  writer.open(path, SyncPolicy::kAlways);
+  for (int i = 0; i < 5; ++i) writer.append(1, "r");
+  EXPECT_EQ(writer.syncs(), 5u);
+  writer.close();
+  std::remove(path.c_str());
+}
+
+TEST(Wal, MissingFileReportsError) {
+  const auto result = read_wal(temp_path("wal_never_created.wal"));
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Wal, BadMagicReportsError) {
+  const std::string path = temp_path("wal_badmagic.wal");
+  std::ofstream(path, std::ios::binary) << "NOTAWAL0" << frame_record(1, "x");
+  const auto result = read_wal(path);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_FALSE(result.error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Wal, CorruptMiddleFrameDiscardsTheTail) {
+  const std::string path = temp_path("wal_corrupt.wal");
+  {
+    WalWriter writer;
+    writer.open(path, SyncPolicy::kNone);
+    writer.append(1, "first");
+    writer.append(2, "second");
+    writer.append(3, "third");
+    writer.close();
+  }
+  std::string bytes = slurp(path);
+  // Flip one payload byte inside the second frame.
+  const std::size_t second_start = wal_magic().size() + frame_record(1, "first").size();
+  bytes[second_start + 4 + 4 + 2 + 1] ^= 0x40;
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  const auto result = read_wal(path);
+  EXPECT_TRUE(result.torn);
+  ASSERT_EQ(result.records.size(), 1u) << "only the frame before the damage survives";
+  EXPECT_EQ(result.records[0].payload, "first");
+  EXPECT_EQ(result.valid_bytes, wal_magic().size() + frame_record(1, "first").size());
+  std::remove(path.c_str());
+}
+
+TEST(Wal, FrameRecordMatchesTheWriterFraming) {
+  const std::string path = temp_path("wal_frame.wal");
+  {
+    WalWriter writer;
+    writer.open(path, SyncPolicy::kNone);
+    writer.append(0x0202, "payload bytes");
+    writer.close();
+  }
+  const std::string expected =
+      std::string(wal_magic()) + frame_record(0x0202, "payload bytes");
+  EXPECT_EQ(slurp(path), expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace faucets::store

@@ -1,0 +1,96 @@
+// Warm-state forking (DESIGN.md §14.3): a sweep with [sweep] warmup_until
+// forks each loss cell from one warmed image, and the ordered JSONL
+// artifact is byte-identical to running every cell from scratch — the CRN
+// pairing plus the fault activation gate make the fork undetectable in the
+// results. Eligibility gates fall back to the in-process pool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/sweep/runner.hpp"
+#include "src/sweep/sink.hpp"
+#include "src/sweep/spec.hpp"
+
+namespace faucets::sweep {
+namespace {
+
+std::string sweep_ini(const std::string& extra_sweep_keys) {
+  std::ostringstream ini;
+  // The loss axis strands jobs whose JobDone is dropped unless the
+  // completion watchdog can restart them — without it a lossy cell never
+  // drains and the sweep would hang.
+  ini << "[grid]\nbilling = barter\nusers = 4\nseed = 21\nwatchdog = 600\n"
+      << "[cluster]\nname = a\nprocs = 16\ncost = 0.001\ncredits = 100\n"
+      << "[cluster]\nname = b\nprocs = 16\ncost = 0.002\ncredits = 100\n"
+      << "[workload]\njobs = 80\nload = 0.7\n"
+      << "[sweep]\nloss = 0, 0.1\nreplicates = 2\n"
+      << extra_sweep_keys;
+  return ini.str();
+}
+
+std::string ordered_jsonl(const SweepSpec& spec, bool warm_fork) {
+  const SweepRunner runner(spec);
+  SweepOptions options;
+  options.threads = 2;
+  options.warm_fork = warm_fork;
+  const auto results = runner.run(options);
+  std::ostringstream os;
+  write_ordered(os, results);
+  return os.str();
+}
+
+TEST(WarmFork, ParsesAndGatesEligibility) {
+  const auto warm = SweepSpec::parse_string(sweep_ini("warmup_until = 25\n"));
+  EXPECT_EQ(warm.warmup_until(), 25.0);
+  const SweepRunner warm_runner(warm);
+  EXPECT_TRUE(warm_runner.warm_fork_eligible({.warm_fork = true}));
+  EXPECT_FALSE(warm_runner.warm_fork_eligible({.warm_fork = false}));
+  EXPECT_FALSE(warm_runner.warm_fork_eligible({.profile = true, .warm_fork = true}))
+      << "host-time profiling must not share a warm prefix";
+
+  const auto cold = SweepSpec::parse_string(sweep_ini(""));
+  EXPECT_EQ(cold.warmup_until(), 0.0);
+  EXPECT_FALSE(SweepRunner(cold).warm_fork_eligible({.warm_fork = true}));
+
+  EXPECT_THROW((void)SweepSpec::parse_string(sweep_ini("warmup_until = -5\n")),
+               std::invalid_argument);
+}
+
+TEST(WarmFork, MaterializeDefersFaultActivationOnEveryCell) {
+  const auto spec = SweepSpec::parse_string(sweep_ini("warmup_until = 25\n"));
+  for (const auto& point : spec.expand()) {
+    const auto scenario = spec.materialize(point);
+    EXPECT_EQ(scenario.grid.faults.active_from, 25.0)
+        << "forked and from-scratch cells must share the activation gate";
+  }
+}
+
+TEST(WarmFork, ForkedSweepIsByteIdenticalToFromScratch) {
+  const auto spec = SweepSpec::parse_string(sweep_ini("warmup_until = 25\n"));
+  const std::string forked = ordered_jsonl(spec, /*warm_fork=*/true);
+  const std::string scratch = ordered_jsonl(spec, /*warm_fork=*/false);
+  EXPECT_FALSE(forked.empty());
+  EXPECT_EQ(forked, scratch)
+      << "warm-state forking must be invisible in the ordered artifact";
+}
+
+TEST(WarmFork, StreamingSinkSeesEveryForkedLine) {
+  const auto spec = SweepSpec::parse_string(sweep_ini("warmup_until = 25\n"));
+  const SweepRunner runner(spec);
+  std::ostringstream stream;
+  JsonlSink sink(&stream);
+  SweepOptions options;
+  options.sink = &sink;
+  options.warm_fork = true;
+  const auto results = runner.run(options);
+  EXPECT_EQ(results.size(), 4u);  // 2 losses x 2 replicates
+  EXPECT_EQ(sink.lines_written(), 4u);
+  for (const auto& result : results) {
+    EXPECT_FALSE(result.jsonl.empty());
+    EXPECT_NE(stream.str().find(result.jsonl), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace faucets::sweep
